@@ -1,0 +1,262 @@
+(* Benchmark harness.
+
+   Running this executable does two things:
+
+   1. Regenerates every table and figure of the paper's evaluation at a
+      reduced scale and prints the same rows the paper reports (use
+      `bin/main.exe all` for full-scale runs).
+
+   2. Runs Bechamel micro/meso benchmarks: one Test.make per table and
+      figure (timing the machinery that regenerates it), plus the
+      ablations called out in DESIGN.md and micro-benchmarks of the core
+      primitives (Save-work checking, dangerous-path coloring, VM
+      interpretation, checkpoint commit/restore). *)
+
+open Bechamel
+open Toolkit
+
+(* --- part 1: regenerate the evaluation ---------------------------------- *)
+
+let regenerate () =
+  print_string
+    (Ft_harness.Report.section "Figure 3: the protocol space");
+  print_string (Ft_core.Protocol_space.render Ft_core.Protocol_space.all);
+  List.iter
+    (fun app ->
+      let r = Ft_harness.Figure8.measure ~scale:0.25 app in
+      print_string (Ft_harness.Figure8.render r))
+    Ft_harness.Figure8.all_apps;
+  List.iter
+    (fun app ->
+      let rows = Ft_harness.Table1.run ~target_crashes:15 ~app () in
+      print_string (Ft_harness.Table1.render ~app rows);
+      if app = Ft_harness.Table1.Nvi then begin
+        let v = Ft_harness.Table1.average rows /. 100. in
+        print_string
+          (Ft_harness.Analysis.render_conflict
+             (Ft_harness.Analysis.conflict ~violation_rate:v ()))
+      end)
+    [ Ft_harness.Table1.Nvi; Ft_harness.Table1.Postgres ];
+  List.iter
+    (fun app ->
+      let rows = Ft_harness.Table2.run ~target_crashes:15 ~app () in
+      print_string (Ft_harness.Table2.render ~app rows))
+    [ Ft_harness.Table1.Nvi; Ft_harness.Table1.Postgres ]
+
+(* --- part 2: bechamel tests ---------------------------------------------- *)
+
+(* Tiny workload runs so each benchmark sample stays in the millisecond
+   range. *)
+let tiny_nvi () =
+  Ft_apps.Nvi.workload
+    ~params:{ Ft_apps.Nvi.small_params with Ft_apps.Nvi.keystrokes = 40 } ()
+
+let tiny_magic () =
+  Ft_apps.Magic.workload
+    ~params:{ Ft_apps.Magic.small_params with Ft_apps.Magic.commands = 10 } ()
+
+let tiny_xpilot () =
+  Ft_apps.Xpilot.workload
+    ~params:{ Ft_apps.Xpilot.small_params with Ft_apps.Xpilot.frames = 10 } ()
+
+let tiny_treadmarks () =
+  Ft_apps.Treadmarks.workload
+    ~params:
+      { Ft_apps.Treadmarks.small_params with
+        Ft_apps.Treadmarks.bodies = 8; iters = 2 }
+    ()
+
+let run_workload ?(protocol = Ft_core.Protocols.cpvs)
+    ?(medium = Ft_runtime.Checkpointer.Reliable_memory)
+    ?(cost = Ft_runtime.Checkpointer.default_cost)
+    ?(page_size = 64) (w : Ft_apps.Workload.t) =
+  let cfg =
+    Ft_apps.Workload.engine_config w
+      { Ft_runtime.Engine.default_config with protocol; medium; cost;
+        page_size }
+  in
+  let kernel = Ft_apps.Workload.kernel w in
+  let _, r = Ft_runtime.Engine.execute ~cfg ~kernel ~programs:w.programs () in
+  assert (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  r
+
+(* One Test.make per figure. *)
+let fig3 =
+  Test.make ~name:"fig3_protocol_space"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Ft_core.Protocol_space.render Ft_core.Protocol_space.all)))
+
+let fig8 name mk =
+  Test.make ~name
+    (Staged.stage (fun () -> Sys.opaque_identity (run_workload (mk ()))))
+
+let fig8a = fig8 "fig8a_nvi" tiny_nvi
+let fig8b = fig8 "fig8b_magic" tiny_magic
+let fig8c = fig8 "fig8c_xpilot" tiny_xpilot
+let fig8d = fig8 "fig8d_treadmarks" tiny_treadmarks
+
+let tiny_barnes_hut () =
+  Ft_apps.Treadmarks.workload
+    ~params:
+      { Ft_apps.Treadmarks.tree_params with
+        Ft_apps.Treadmarks.bodies = 8; iters = 2 }
+    ()
+
+let fig8d_tree = fig8 "fig8d_barnes_hut_tree" tiny_barnes_hut
+
+(* One Test.make per table: a single-fault-type mini campaign. *)
+let table1_bench =
+  Test.make ~name:"table1_app_faults"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Ft_harness.Table1.campaign ~target_crashes:2 ~max_attempts:10
+              ~app:Ft_harness.Table1.Postgres
+              Ft_faults.Fault_type.Destination_reg)))
+
+let table2_bench =
+  Test.make ~name:"table2_os_faults"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Ft_harness.Table2.run ~target_crashes:2 ~max_attempts:6
+              ~app:Ft_harness.Table1.Postgres ())))
+
+(* Ablations (DESIGN.md §5). *)
+let ablation_medium =
+  Test.make ~name:"ablation_disk_commit"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (run_workload
+              ~medium:(Ft_runtime.Checkpointer.Disk Ft_stablemem.Disk.default)
+              (tiny_nvi ()))))
+
+let ablation_page_size page_size =
+  Test.make ~name:(Printf.sprintf "ablation_page_%d" page_size)
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (run_workload ~page_size (tiny_magic ()))))
+
+let ablation_crash_early check_every =
+  Test.make ~name:(Printf.sprintf "ablation_checks_every_%d" check_every)
+    (Staged.stage (fun () ->
+         let w =
+           Ft_apps.Nvi.workload
+             ~params:
+               { Ft_apps.Nvi.small_params with
+                 Ft_apps.Nvi.keystrokes = 40; check_every }
+             ()
+         in
+         Sys.opaque_identity (run_workload w)))
+
+(* Micro-benchmarks of the core primitives. *)
+let micro_save_work =
+  let trace =
+    let t = Ft_core.Trace.create ~nprocs:2 in
+    for i = 0 to 99 do
+      ignore
+        (Ft_core.Trace.record t ~pid:(i mod 2)
+           (if i mod 3 = 0 then Ft_core.Event.Nd Ft_core.Event.Transient
+            else if i mod 3 = 1 then Ft_core.Event.Commit
+            else Ft_core.Event.Visible i))
+    done;
+    t
+  in
+  Test.make ~name:"micro_save_work_check"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Ft_core.Save_work.violations trace)))
+
+let micro_dangerous =
+  let g =
+    let edges = ref [] in
+    for i = 0 to 199 do
+      edges :=
+        ( i,
+          (i + 1) mod 200,
+          if i mod 7 = 0 then Ft_core.State_graph.Transient_nd
+          else if i mod 11 = 0 then Ft_core.State_graph.Fixed_nd
+          else Ft_core.State_graph.Det )
+        :: !edges
+    done;
+    Ft_core.State_graph.make ~nstates:200 ~edges:!edges ~crash_states:[ 77 ]
+      ()
+  in
+  Test.make ~name:"micro_dangerous_paths"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Ft_core.Dangerous_paths.dangerous_edges g)))
+
+let micro_vm =
+  let code =
+    Ft_vm.Asm.(
+      compile
+        (program
+           [
+             func "main" []
+               [
+                 Let ("i", Int 0);
+                 While
+                   ( Var "i" <: Int 1000,
+                     [ Set_heap (Var "i" %: Int 256, Var "i" *: Var "i");
+                       Set ("i", Var "i" +: Int 1) ] );
+               ];
+           ]))
+  in
+  Test.make ~name:"micro_vm_interpreter"
+    (Staged.stage (fun () ->
+         let m = Ft_vm.Machine.create ~heap_size:1024 code in
+         while Ft_vm.Machine.status m = Ft_vm.Machine.Running do
+           Ft_vm.Machine.step m
+         done;
+         Sys.opaque_identity (Ft_vm.Machine.icount m)))
+
+let micro_checkpoint =
+  Test.make ~name:"micro_checkpoint_commit"
+    (Staged.stage (fun () ->
+         let ck =
+           Ft_runtime.Checkpointer.create
+             ~medium:Ft_runtime.Checkpointer.Reliable_memory ~nprocs:1
+             ~heap_words:4096 ~stack_words:256 ()
+         in
+         let m = Ft_vm.Machine.create ~heap_size:4096 [| Ft_vm.Instr.Halt |] in
+         for i = 0 to 511 do
+           Ft_vm.Memory.write (Ft_vm.Machine.heap m) i i
+         done;
+         let kernel = Ft_os.Kernel.create ~nprocs:1 () in
+         let kstate = Ft_os.Kernel.snapshot_kstate kernel 0 in
+         Sys.opaque_identity
+           (Ft_runtime.Checkpointer.commit ck ~pid:0 ~machine:m ~kstate)))
+
+let tests =
+  [
+    fig3; fig8a; fig8b; fig8c; fig8d; fig8d_tree; table1_bench;
+    table2_bench;
+    ablation_medium; ablation_page_size 16; ablation_page_size 256;
+    ablation_crash_early 1; ablation_crash_early 32; micro_save_work;
+    micro_dangerous; micro_vm; micro_checkpoint;
+  ]
+
+let run_benchmarks () =
+  print_string
+    (Ft_harness.Report.section "Bechamel benchmarks (ns per run, OLS)");
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ x ] -> x
+            | _ -> nan
+          in
+          Printf.printf "%-28s %14.0f ns/run  (%d samples)\n"
+            (Test.Elt.name elt) ns raw.Benchmark.stats.Benchmark.samples)
+        (Test.elements test))
+    tests
+
+let () =
+  regenerate ();
+  run_benchmarks ();
+  print_endline "\nbench: done."

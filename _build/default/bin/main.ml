@@ -1,0 +1,282 @@
+(* ft — command-line driver for the failure-transparency experiments.
+
+   Subcommands regenerate each table and figure of the paper's
+   evaluation; `ft all` produces the complete report used to fill in
+   EXPERIMENTS.md. *)
+
+open Cmdliner
+
+let print_space () =
+  print_string (Ft_harness.Report.section "Figure 3: the protocol space");
+  print_string (Ft_core.Protocol_space.render Ft_core.Protocol_space.all);
+  print_newline ();
+  print_endline
+    "Protocols on the horizontal axis (visible-effort 0) prevent recovery";
+  print_endline "from propagation failures (Lose-work, Section 2.6):";
+  List.iter
+    (fun p ->
+      if Ft_core.Protocol_space.prevents_propagation_recovery p then
+        Printf.printf "  - %s\n" p.Ft_core.Protocol_space.name)
+    Ft_core.Protocol_space.all
+
+let run_figure8 apps scale seed =
+  List.iter
+    (fun app ->
+      let r = Ft_harness.Figure8.measure ~scale ~seed app in
+      print_string (Ft_harness.Figure8.render r))
+    apps;
+  `Ok ()
+
+let table1_app_of_string = function
+  | "nvi" -> Ok Ft_harness.Table1.Nvi
+  | "postgres" -> Ok Ft_harness.Table1.Postgres
+  | s -> Error (Printf.sprintf "unknown app %S (nvi or postgres)" s)
+
+let run_table1 apps crashes =
+  List.iter
+    (fun app ->
+      let rows = Ft_harness.Table1.run ~target_crashes:crashes ~app () in
+      print_string (Ft_harness.Table1.render ~app rows))
+    apps;
+  `Ok ()
+
+let run_table2 apps crashes =
+  List.iter
+    (fun app ->
+      let rows = Ft_harness.Table2.run ~target_crashes:crashes ~app () in
+      print_string (Ft_harness.Table2.render ~app rows))
+    apps;
+  `Ok ()
+
+let run_analysis crashes =
+  let t1 = Ft_harness.Table1.run ~target_crashes:crashes
+      ~app:Ft_harness.Table1.Nvi () in
+  let v = Ft_harness.Table1.average t1 /. 100. in
+  print_string (Ft_harness.Table1.render ~app:Ft_harness.Table1.Nvi t1);
+  print_string
+    (Ft_harness.Analysis.render_conflict
+       (Ft_harness.Analysis.conflict ~violation_rate:v ()));
+  let t2 = Ft_harness.Table2.run ~target_crashes:crashes
+      ~app:Ft_harness.Table1.Nvi () in
+  print_string (Ft_harness.Table2.render ~app:Ft_harness.Table1.Nvi t2);
+  print_string
+    (Ft_harness.Analysis.render_propagation ~app:"nvi"
+       ~os_failure_rate:(Ft_harness.Table2.average t2 /. 100.)
+       ~violation_rate:v);
+  `Ok ()
+
+let run_all scale crashes seed =
+  print_space ();
+  ignore (run_figure8 Ft_harness.Figure8.all_apps scale seed);
+  let both = [ Ft_harness.Table1.Nvi; Ft_harness.Table1.Postgres ] in
+  let t1s =
+    List.map
+      (fun app ->
+        let rows = Ft_harness.Table1.run ~target_crashes:crashes ~app () in
+        print_string (Ft_harness.Table1.render ~app rows);
+        (app, rows))
+      both
+  in
+  let t2s =
+    List.map
+      (fun app ->
+        let rows = Ft_harness.Table2.run ~target_crashes:crashes ~app () in
+        print_string (Ft_harness.Table2.render ~app rows);
+        (app, rows))
+      both
+  in
+  let v_nvi = Ft_harness.Table1.average (List.assoc Ft_harness.Table1.Nvi t1s) /. 100. in
+  print_string
+    (Ft_harness.Analysis.render_conflict
+       (Ft_harness.Analysis.conflict ~violation_rate:v_nvi ()));
+  List.iter
+    (fun (app, rows) ->
+      let v =
+        Ft_harness.Table1.average (List.assoc app t1s) /. 100.
+      in
+      print_string
+        (Ft_harness.Analysis.render_propagation
+           ~app:(Ft_harness.Table1.app_name app)
+           ~os_failure_rate:(Ft_harness.Table2.average rows /. 100.)
+           ~violation_rate:v))
+    t2s;
+  `Ok ()
+
+let run_ablation () =
+  print_string (Ft_harness.Ablation.run_all ());
+  `Ok ()
+
+(* Run one application under one protocol and print the run's vitals. *)
+let run_single app_name proto_name medium_name seed scale kills_ms =
+  match
+    ( Ft_harness.Figure8.app_of_name app_name,
+      Ft_core.Protocols.by_name proto_name )
+  with
+  | None, _ -> `Error (false, "unknown app " ^ app_name)
+  | _, None -> `Error (false, "unknown protocol " ^ proto_name)
+  | Some app, Some protocol ->
+      let medium =
+        match String.lowercase_ascii medium_name with
+        | "disk" -> Ft_runtime.Checkpointer.Disk Ft_stablemem.Disk.default
+        | _ -> Ft_runtime.Checkpointer.Reliable_memory
+      in
+      let w = Ft_harness.Figure8.workload ~scale app in
+      let kills = List.map (fun ms -> (ms * 1_000_000, 0)) kills_ms in
+      let cfg =
+        Ft_apps.Workload.engine_config w
+          { Ft_runtime.Engine.default_config with protocol; medium; kills }
+      in
+      let kernel = Ft_apps.Workload.kernel ~seed w in
+      let _, r =
+        Ft_runtime.Engine.execute ~cfg ~kernel ~programs:w.programs ()
+      in
+      Printf.printf "app        : %s (%d process%s)\n" app_name w.nprocs
+        (if w.nprocs = 1 then "" else "es");
+      Printf.printf "protocol   : %s on %s\n" protocol.Ft_core.Protocol.spec_name
+        (match medium with
+        | Ft_runtime.Checkpointer.Reliable_memory -> "reliable memory"
+        | Ft_runtime.Checkpointer.Disk _ -> "synchronous disk");
+      Printf.printf "outcome    : %s\n"
+        (match r.Ft_runtime.Engine.outcome with
+        | Ft_runtime.Engine.Completed -> "completed"
+        | Ft_runtime.Engine.Deadline -> "deadline"
+        | Ft_runtime.Engine.Recovery_failed -> "recovery failed"
+        | Ft_runtime.Engine.Deadlocked -> "deadlocked"
+        | Ft_runtime.Engine.Instruction_budget -> "instruction budget");
+      Printf.printf "sim time   : %.3f s\n"
+        (float_of_int r.Ft_runtime.Engine.sim_time_ns /. 1e9);
+      Printf.printf "commits    : %s (total %d)\n"
+        (String.concat "/"
+           (Array.to_list
+              (Array.map string_of_int r.Ft_runtime.Engine.commit_counts)))
+        (Array.fold_left ( + ) 0 r.Ft_runtime.Engine.commit_counts);
+      Printf.printf "nd events  : %d (%d logged)\n"
+        (Array.fold_left ( + ) 0 r.Ft_runtime.Engine.nd_counts)
+        (Array.fold_left ( + ) 0 r.Ft_runtime.Engine.logged_counts);
+      Printf.printf "visible    : %d events\n"
+        (List.length r.Ft_runtime.Engine.visible);
+      Printf.printf "crashes    : %d (recoveries %d)\n"
+        r.Ft_runtime.Engine.crashes r.Ft_runtime.Engine.recoveries;
+      Printf.printf "save-work  : %s\n"
+        (if Ft_core.Save_work.holds r.Ft_runtime.Engine.trace then "upheld"
+         else "VIOLATED");
+      if app = Ft_harness.Figure8.Xpilot then
+        Printf.printf "frame rate : %.1f fps\n" (Ft_apps.Xpilot.fps r);
+      `Ok ()
+
+(* Disassemble a workload's compiled code (a development aid: the fault
+   model operates at this level). *)
+let run_disasm app_name pid =
+  match Ft_harness.Figure8.app_of_name app_name with
+  | None -> `Error (false, "unknown app " ^ app_name)
+  | Some app ->
+      let w = Ft_harness.Figure8.workload ~scale:0.05 app in
+      if pid < 0 || pid >= Array.length w.Ft_apps.Workload.programs then
+        `Error (false, "no such process")
+      else begin
+        print_endline (Ft_vm.Asm.disassemble w.Ft_apps.Workload.programs.(pid));
+        `Ok ()
+      end
+
+(* --- cmdliner plumbing --------------------------------------------------- *)
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Workload scale (0,1].")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Kernel RNG seed.")
+
+let crashes_arg =
+  Arg.(value & opt int 50 & info [ "crashes" ]
+         ~doc:"Target crash count per fault type.")
+
+let fig8_apps_arg =
+  let conv_app =
+    Arg.conv
+      ( (fun s ->
+          match Ft_harness.Figure8.app_of_name s with
+          | Some a -> Ok a
+          | None -> Error (`Msg ("unknown app " ^ s))),
+        fun fmt a ->
+          Format.pp_print_string fmt (Ft_harness.Figure8.app_name a) )
+  in
+  Arg.(value & opt_all conv_app Ft_harness.Figure8.all_apps
+       & info [ "app" ] ~doc:"Application (repeatable).")
+
+let t_apps_arg =
+  let parse s = Result.map_error (fun m -> `Msg m) (table1_app_of_string s) in
+  let print fmt a =
+    Format.pp_print_string fmt (Ft_harness.Table1.app_name a)
+  in
+  Arg.(value & opt_all (Arg.conv (parse, print))
+         [ Ft_harness.Table1.Nvi; Ft_harness.Table1.Postgres ]
+       & info [ "app" ] ~doc:"Application: nvi or postgres (repeatable).")
+
+let space_cmd =
+  Cmd.v (Cmd.info "space" ~doc:"Print the Figure 3 protocol space.")
+    Term.(const (fun () -> `Ok (print_space ())) $ const () |> ret)
+
+let figure8_cmd =
+  Cmd.v (Cmd.info "figure8" ~doc:"Regenerate Figure 8 (a-d).")
+    Term.(ret (const run_figure8 $ fig8_apps_arg $ scale_arg $ seed_arg))
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate Table 1.")
+    Term.(ret (const run_table1 $ t_apps_arg $ crashes_arg))
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2.")
+    Term.(ret (const run_table2 $ t_apps_arg $ crashes_arg))
+
+let analysis_cmd =
+  Cmd.v (Cmd.info "analysis" ~doc:"Run the Section 4 composed analysis.")
+    Term.(ret (const run_analysis $ crashes_arg))
+
+let ablation_cmd =
+  Cmd.v (Cmd.info "ablation" ~doc:"Run the DESIGN.md ablations (2.6).")
+    Term.(ret (const (fun () -> run_ablation ()) $ const ()))
+
+let run_cmd =
+  let app_arg =
+    Arg.(value & opt string "nvi" & info [ "app" ] ~doc:"Application.")
+  in
+  let proto_arg =
+    Arg.(value & opt string "CPVS" & info [ "protocol" ] ~doc:"Protocol.")
+  in
+  let medium_arg =
+    Arg.(value & opt string "memory"
+         & info [ "medium" ] ~doc:"memory or disk.")
+  in
+  let kills_arg =
+    Arg.(value & opt_all int []
+         & info [ "kill-at" ] ~doc:"Stop failure at this millisecond.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one application under one protocol.")
+    Term.(ret (const run_single $ app_arg $ proto_arg $ medium_arg $ seed_arg
+               $ scale_arg $ kills_arg))
+
+let disasm_cmd =
+  let app_arg =
+    Arg.(value & opt string "nvi" & info [ "app" ] ~doc:"Application.")
+  in
+  let pid_arg =
+    Arg.(value & opt int 0 & info [ "pid" ] ~doc:"Process index.")
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a workload's compiled code.")
+    Term.(ret (const run_disasm $ app_arg $ pid_arg))
+
+let all_cmd =
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure.")
+    Term.(ret (const run_all $ scale_arg $ crashes_arg $ seed_arg))
+
+let () =
+  let info =
+    Cmd.info "ft" ~version:"1.0"
+      ~doc:"Failure transparency and the limits of generic recovery"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ space_cmd; figure8_cmd; table1_cmd; table2_cmd; analysis_cmd;
+            ablation_cmd; run_cmd; disasm_cmd; all_cmd ]))

@@ -1,0 +1,1 @@
+examples/editor_recovery.ml: Array Ft_apps Ft_core Ft_runtime Ft_stablemem List Printf String

@@ -1,0 +1,1 @@
+examples/fault_study.ml: Array Format Ft_apps Ft_core Ft_faults Ft_runtime Lazy List Printf Random

@@ -1,0 +1,1 @@
+examples/mitigations.ml: Ft_harness Ft_os Ft_runtime Ft_vm List Printf

@@ -1,0 +1,1 @@
+examples/mitigations.mli:

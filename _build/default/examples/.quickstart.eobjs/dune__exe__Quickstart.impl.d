@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Ft_core Ft_os Ft_runtime Ft_vm List Printf String

@@ -1,0 +1,1 @@
+lib/apps/magic.ml: Ft_os Ft_vm List Random Workload

@@ -1,0 +1,1 @@
+lib/apps/magic.mli: Ft_vm Workload

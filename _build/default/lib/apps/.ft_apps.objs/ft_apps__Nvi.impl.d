@@ -1,0 +1,1 @@
+lib/apps/nvi.ml: Ft_os Ft_vm List Random Workload

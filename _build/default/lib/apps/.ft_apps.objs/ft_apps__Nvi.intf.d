@@ -1,0 +1,1 @@
+lib/apps/nvi.mli: Ft_vm Workload

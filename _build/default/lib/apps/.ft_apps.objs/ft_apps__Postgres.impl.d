@@ -1,0 +1,1 @@
+lib/apps/postgres.ml: Ft_os Ft_vm List Random Workload

@@ -1,0 +1,1 @@
+lib/apps/postgres.mli: Ft_vm Workload

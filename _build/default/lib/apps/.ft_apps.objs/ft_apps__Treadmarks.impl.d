@@ -1,0 +1,1 @@
+lib/apps/treadmarks.ml: Array Ft_os Ft_vm List Workload

@@ -1,0 +1,1 @@
+lib/apps/treadmarks.mli: Ft_vm Workload

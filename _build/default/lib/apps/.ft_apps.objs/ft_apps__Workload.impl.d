@@ -1,0 +1,1 @@
+lib/apps/workload.ml: Ft_os Ft_runtime Ft_vm List Random

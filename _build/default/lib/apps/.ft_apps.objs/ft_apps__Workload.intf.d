@@ -1,0 +1,1 @@
+lib/apps/workload.mli: Ft_os Ft_runtime Ft_vm Random

@@ -1,0 +1,1 @@
+lib/apps/xpilot.ml: Array Ft_runtime Ft_vm Workload

@@ -1,0 +1,1 @@
+lib/apps/xpilot.mli: Ft_runtime Ft_vm Workload

@@ -1,0 +1,245 @@
+(** magic: a VLSI CAD layout tool (paper §3, Figure 8b).
+
+    The user issues a command about once per second; each command edits or
+    inspects a cell grid, touching a large region of the heap (so magic's
+    checkpoints carry more dirty pages than nvi's), brackets its work
+    with [gettimeofday] calls for its command timer (transient, unloggable
+    ND — the reason CAND-LOG still commits hundreds of times in
+    Figure 8b), and prints one status line (visible).
+
+    Command tokens: [op * 100_000 + x * 100 + y] with
+    op 1 = PLACE an 8x8 cell block at (x, y), 2 = ROUTE a wire from
+    (x, y) going right, 3 = ERASE an 8x8 region, 4 = QUERY region
+    statistics, 5 = DRC check (walk the whole grid). *)
+
+open Ft_vm.Asm
+
+let grid_w = 96
+let grid_h = 96
+let h_ncmds = 0
+let h_timer = 1     (* accumulated command microseconds *)
+let h_placed = 2
+let h_sig = 3
+let grid_base = 16
+let fb_base = 16_384   (* the rendered layout view *)
+let fb_words = 24_576
+let heap_words = 49_152
+let block = 8
+
+type params = {
+  commands : int;
+  interval_ns : int;
+  signal_period_ns : int;
+  seed : int;
+}
+
+let default_params =
+  { commands = 190;
+    interval_ns = 1_000_000_000;
+    signal_period_ns = 4_000_000_000;
+    seed = 23 }
+
+let small_params =
+  { commands = 40;
+    interval_ns = 10_000_000;
+    signal_period_ns = 50_000_000;
+    seed = 23 }
+
+let cell x y = Int grid_base +: ((y *: Int grid_w) +: x)
+
+let program =
+  let fns =
+    [
+      func ~is_handler:true "on_signal" []
+        [ Set_heap (Int h_sig, Deref (Int h_sig) +: Int 1) ];
+      func "clamp" [ "v"; "hi" ]
+        [
+          If (Var "v" <: Int 0, [ Return (Int 0) ], []);
+          If (Var "v" >=: Var "hi", [ Return (Var "hi" -: Int 1) ], []);
+          Return (Var "v");
+        ];
+      (* PLACE: stamp an 8x8 block of cell ids. *)
+      func "place" [ "x"; "y"; "id" ]
+        [
+          Let ("i", Int 0);
+          While
+            ( Var "i" <: Int block,
+              [
+                Let ("j", Int 0);
+                While
+                  ( Var "j" <: Int block,
+                    [
+                      Let ("cx", Call ("clamp",
+                                       [ Var "x" +: Var "j"; Int grid_w ]));
+                      Let ("cy", Call ("clamp",
+                                       [ Var "y" +: Var "i"; Int grid_h ]));
+                      Set_heap (cell (Var "cx") (Var "cy"), Var "id");
+                      Set ("j", Var "j" +: Int 1);
+                    ] );
+                Set ("i", Var "i" +: Int 1);
+              ] );
+          Set_heap (Int h_placed, Deref (Int h_placed) +: Int 1);
+        ];
+      (* ROUTE: draw a horizontal wire until it hits occupied cells. *)
+      func "route" [ "x"; "y" ]
+        [
+          Let ("cx", Call ("clamp", [ Var "x"; Int grid_w ]));
+          Let ("cy", Call ("clamp", [ Var "y"; Int grid_h ]));
+          Let ("steps", Int 0);
+          While
+            ( (Var "cx" <: Int grid_w) &&: (Var "steps" <: Int grid_w),
+              [
+                Set_heap (cell (Var "cx") (Var "cy"), Int 9999);
+                Set ("cx", Var "cx" +: Int 1);
+                Set ("steps", Var "steps" +: Int 1);
+              ] );
+        ];
+      func "erase" [ "x"; "y" ]
+        [
+          Let ("i", Int 0);
+          While
+            ( Var "i" <: Int block,
+              [
+                Let ("j", Int 0);
+                While
+                  ( Var "j" <: Int block,
+                    [
+                      Let ("cx", Call ("clamp",
+                                       [ Var "x" +: Var "j"; Int grid_w ]));
+                      Let ("cy", Call ("clamp",
+                                       [ Var "y" +: Var "i"; Int grid_h ]));
+                      Set_heap (cell (Var "cx") (Var "cy"), Int 0);
+                      Set ("j", Var "j" +: Int 1);
+                    ] );
+                Set ("i", Var "i" +: Int 1);
+              ] );
+        ];
+      (* QUERY: count and checksum a 16x16 region. *)
+      func "query" [ "x"; "y" ]
+        [
+          Let ("sum", Int 0);
+          Let ("i", Int 0);
+          While
+            ( Var "i" <: Int 16,
+              [
+                Let ("j", Int 0);
+                While
+                  ( Var "j" <: Int 16,
+                    [
+                      Let ("cx", Call ("clamp",
+                                       [ Var "x" +: Var "j"; Int grid_w ]));
+                      Let ("cy", Call ("clamp",
+                                       [ Var "y" +: Var "i"; Int grid_h ]));
+                      Set ("sum",
+                           ((Var "sum" *: Int 7)
+                            +: Deref (cell (Var "cx") (Var "cy")))
+                           %: Int 1_000_003);
+                      Set ("j", Var "j" +: Int 1);
+                    ] );
+                Set ("i", Var "i" +: Int 1);
+              ] );
+          Return (Var "sum");
+        ];
+      (* DRC: walk the whole grid, checking invariants as it goes. *)
+      func "drc" []
+        [
+          Let ("sum", Int 0);
+          Let ("i", Int 0);
+          While
+            ( Var "i" <: Int (grid_w * grid_h),
+              [
+                Let ("v", Deref (Int grid_base +: Var "i"));
+                Check (Var "v" >=: Int 0);
+                Set ("sum", (Var "sum" +: Var "v") %: Int 1_000_003);
+                Set ("i", Var "i" +: Int 1);
+              ] );
+          Return (Var "sum");
+        ];
+      (* Redraw the layout view: magic re-renders after every command,
+         dirtying a large region — the dominant term in its checkpoint
+         size (and thus its DC-disk overhead, Figure 8b). *)
+      func "render" [ "stamp" ]
+        [
+          Let ("i", Int 0);
+          While
+            ( Var "i" <: Int fb_words,
+              [
+                Set_heap (Int fb_base +: Var "i",
+                          (Var "stamp" *: Int 31) +: Var "i");
+                Set ("i", Var "i" +: Int 1);
+              ] );
+        ];
+      func "main" []
+        [
+          Sigaction "on_signal";
+          Let ("tok", Int 0);
+          Let ("quit", Int 0);
+          Let ("t0", Int 0);
+          Let ("result", Int 0);
+          While
+            ( Not (Var "quit"),
+              [
+                Set ("tok", Input);
+                If
+                  ( Var "tok" <: Int 0,
+                    [ Set ("quit", Int 1) ],
+                    [
+                      (* the command timer brackets every command *)
+                      Set ("t0", Time);
+                      Let ("op", Var "tok" /: Int 100_000);
+                      Let ("x", (Var "tok" /: Int 100) %: Int 1000);
+                      Let ("y", Var "tok" %: Int 100);
+                      Set ("result", Int 0);
+                      If (Var "op" =: Int 1,
+                          [ Expr (Call ("place",
+                                        [ Var "x"; Var "y";
+                                          Deref (Int h_ncmds) +: Int 1 ])) ],
+                          []);
+                      If (Var "op" =: Int 2,
+                          [ Expr (Call ("route", [ Var "x"; Var "y" ])) ],
+                          []);
+                      If (Var "op" =: Int 3,
+                          [ Expr (Call ("erase", [ Var "x"; Var "y" ])) ],
+                          []);
+                      If (Var "op" =: Int 4,
+                          [ Set ("result",
+                                 Call ("query", [ Var "x"; Var "y" ])) ],
+                          []);
+                      If (Var "op" =: Int 5,
+                          [ Set ("result", Call ("drc", [])) ], []);
+                      Expr (Call ("render", [ Deref (Int h_ncmds) ]));
+                      Set_heap (Int h_timer,
+                                Deref (Int h_timer) +: (Time -: Var "t0"));
+                      Set_heap (Int h_ncmds, Deref (Int h_ncmds) +: Int 1);
+                      Check (Deref (Int h_ncmds) >: Int 0);
+                      Output ((Deref (Int h_ncmds) *: Int 1_000)
+                              +: (Var "result" %: Int 997));
+                    ] );
+              ] );
+          Output (Deref (Int h_placed));
+        ];
+    ]
+  in
+  Ft_vm.Asm.program fns
+
+let input_script p =
+  let rng = Random.State.make [| p.seed |] in
+  List.init p.commands (fun _ ->
+      let op =
+        Workload.weighted rng [ (35, 1); (25, 2); (10, 3); (20, 4); (10, 5) ]
+      in
+      let x = Random.State.int rng grid_w
+      and y = Random.State.int rng grid_h in
+      (op * 100_000) + (x * 100) + y)
+
+let workload ?(params = default_params) () =
+  let code = Ft_vm.Asm.compile program in
+  Workload.make ~name:"magic" ~nprocs:1 ~programs:[| code |]
+    ~heap_words
+    ~configure:(fun k ->
+      Ft_os.Kernel.set_input k 0
+        (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:params.interval_ns
+           (input_script params));
+      Ft_os.Kernel.set_timer_signal k 0 ~period_ns:params.signal_period_ns
+        ~first_at:(params.signal_period_ns / 2))
+    ()

@@ -1,0 +1,360 @@
+(** nvi: a visual text editor (paper §3, §4).
+
+    A real line editor for the simulated machine: a bounded array of
+    lines, each a bounded character buffer, with a cursor.  Every
+    keystroke is a fixed ND event (user input); every keystroke redraws
+    the status line (a visible event); [:w] walks the buffer and writes a
+    summary of every line to a file (fixed ND events).  A rare timer
+    signal models nvi's asynchronous redraw/resize handling — the handful
+    of unloggable ND events that dominate CAND-LOG's commit count in
+    Figure 8a.
+
+    The editor performs the paper's §2.6 "crash soon" consistency checks
+    after every command: cursor within the buffer, line count within
+    range, line lengths within capacity.  Injected faults that corrupt
+    editor state therefore crash it instead of letting it emit wrong
+    output. *)
+
+open Ft_vm.Asm
+
+(* Heap layout.  Like the real editor, the buffer is pointer-rich: a
+   table of pointers to per-line character buffers allocated from a bump
+   arena.  Corrupting a pointer (a heap bit flip, or a faulty kernel
+   copyout) lies dormant until the cursor visits that line — the long
+   fault-to-crash latency that makes heap corruption so hostile to
+   Lose-work in Table 1. *)
+let h_nlines = 0
+let h_curl = 1     (* cursor line *)
+let h_curc = 2     (* cursor column *)
+let h_sig = 3      (* redraw-signal counter *)
+let h_saves = 4
+let h_ops = 5
+let h_alloc = 6    (* bump allocator cursor for line buffers *)
+let lines_max = 200
+let line_cap = 48
+let ptr_base = 16                      (* line -> buffer address *)
+let len_base = ptr_base + lines_max    (* line -> length *)
+let arena_base = len_base + lines_max
+let heap_words = 16_384
+let wal_file = 7   (* the file name id used by :w *)
+
+type params = {
+  keystrokes : int;
+  interval_ns : int;     (* think time between keystrokes: 100 ms *)
+  signal_period_ns : int;
+  check_every : int;     (* consistency-check cadence, in keystrokes;
+                            1 = the paranoid crash-early mode of §2.6 *)
+  seed : int;
+}
+
+let default_params =
+  { keystrokes = 1_500;
+    interval_ns = 100_000_000;
+    signal_period_ns = 40_000_000_000;
+    check_every = 1_000_000;
+    seed = 7 }
+
+(* Fast params for unit tests and fault-injection campaigns. *)
+let small_params =
+  { keystrokes = 220;
+    interval_ns = 100_000;   (* the fast non-interactive nvi of the paper's
+                                crash tests: ~10x postgres's syscall rate *)
+    signal_period_ns = 5_000_000;
+    check_every = 1_000_000;
+    seed = 7 }
+
+let line_ptr i = Int ptr_base +: i
+let line_addr i = Deref (line_ptr i)
+let line_len i = Deref (Int len_base +: i)
+let set_line_len i v = Set_heap (Int len_base +: i, v)
+
+let program ?(check_every = 24) () =
+  let fns =
+    [
+      (* Timer signal: count a redraw request. *)
+      func ~is_handler:true "on_signal" []
+        [ Set_heap (Int h_sig, Deref (Int h_sig) +: Int 1) ];
+      (* Allocate a fresh line buffer from the arena. *)
+      func "alloc_line" []
+        [
+          Let ("a", Deref (Int h_alloc));
+          Check (Var "a" >=: Int arena_base);
+          Check (Var "a" <=: Int (heap_words - line_cap));
+          Set_heap (Int h_alloc, Var "a" +: Int line_cap);
+          Return (Var "a");
+        ];
+      (* Checksum of line [i], used by the status line and by :w. *)
+      func "line_checksum" [ "i" ]
+        [
+          Let ("a", line_addr (Var "i"));
+          Let ("n", line_len (Var "i"));
+          Let ("j", Int 0);
+          Let ("sum", Int 0);
+          While
+            ( Var "j" <: Var "n",
+              [
+                Set ("sum",
+                     ((Var "sum" *: Int 31) +: Deref (Var "a" +: Var "j"))
+                     %: Int 1_000_003);
+                Set ("j", Var "j" +: Int 1);
+              ] );
+          Return (Var "sum");
+        ];
+      (* Insert character [c] at the cursor, shifting the tail right. *)
+      func "insert_char" [ "c" ]
+        [
+          Let ("l", Deref (Int h_curl));
+          Let ("n", line_len (Var "l"));
+          If
+            ( Var "n" <: Int (line_cap - 1),
+              [
+                Let ("a", line_addr (Var "l"));
+                Let ("j", Var "n");
+                Let ("col", Deref (Int h_curc));
+                While
+                  ( Var "j" >: Var "col",
+                    [
+                      Set_heap (Var "a" +: Var "j",
+                                Deref ((Var "a" +: Var "j") -: Int 1));
+                      Set ("j", Var "j" -: Int 1);
+                    ] );
+                Set_heap (Var "a" +: Var "col", Var "c");
+                set_line_len (Var "l") (Var "n" +: Int 1);
+                Set_heap (Int h_curc, Var "col" +: Int 1);
+              ],
+              [] );
+        ];
+      (* Delete the character under the cursor. *)
+      func "delete_char" []
+        [
+          Let ("l", Deref (Int h_curl));
+          Let ("n", line_len (Var "l"));
+          Let ("col", Deref (Int h_curc));
+          If
+            ( Var "col" <: Var "n",
+              [
+                Let ("a", line_addr (Var "l"));
+                Let ("j", Var "col");
+                While
+                  ( Var "j" <: Var "n" -: Int 1,
+                    [
+                      Set_heap (Var "a" +: Var "j",
+                                Deref ((Var "a" +: Var "j") +: Int 1));
+                      Set ("j", Var "j" +: Int 1);
+                    ] );
+                set_line_len (Var "l") (Var "n" -: Int 1);
+              ],
+              [] );
+        ];
+      (* Cursor movement, clamped to the buffer. *)
+      func "move" [ "dir" ]
+        [
+          Let ("l", Deref (Int h_curl));
+          Let ("c", Deref (Int h_curc));
+          If (Var "dir" =: Int 1,
+              [ If (Var "c" >: Int 0,
+                    [ Set_heap (Int h_curc, Var "c" -: Int 1) ], []) ], []);
+          If (Var "dir" =: Int 2,
+              [ If (Var "c" <: line_len (Var "l"),
+                    [ Set_heap (Int h_curc, Var "c" +: Int 1) ], []) ], []);
+          If (Var "dir" =: Int 3,
+              [ If (Var "l" >: Int 0,
+                    [ Set_heap (Int h_curl, Var "l" -: Int 1) ], []) ], []);
+          If (Var "dir" =: Int 4,
+              [ If (Var "l" <: Deref (Int h_nlines) -: Int 1,
+                    [ Set_heap (Int h_curl, Var "l" +: Int 1) ], []) ], []);
+          (* Re-clamp the column to the (possibly shorter) new line. *)
+          Let ("n", line_len (Deref (Int h_curl)));
+          If (Deref (Int h_curc) >: Var "n",
+              [ Set_heap (Int h_curc, Var "n") ], []);
+        ];
+      (* Open a new empty line below the cursor: shift the pointer table
+         down and hand the new slot a fresh buffer. *)
+      func "new_line" []
+        [
+          Let ("nl", Deref (Int h_nlines));
+          If
+            ( Var "nl" <: Int lines_max,
+              [
+                Let ("l", Deref (Int h_curl));
+                Let ("i", Var "nl");
+                While
+                  ( Var "i" >: Var "l" +: Int 1,
+                    [
+                      Set_heap (line_ptr (Var "i"),
+                                Deref (line_ptr (Var "i" -: Int 1)));
+                      set_line_len (Var "i") (line_len (Var "i" -: Int 1));
+                      Set ("i", Var "i" -: Int 1);
+                    ] );
+                Set_heap (line_ptr (Var "l" +: Int 1),
+                          Call ("alloc_line", []));
+                set_line_len (Var "l" +: Int 1) (Int 0);
+                Set_heap (Int h_nlines, Var "nl" +: Int 1);
+                Set_heap (Int h_curl, Var "l" +: Int 1);
+                Set_heap (Int h_curc, Int 0);
+              ],
+              [] );
+        ];
+      (* Delete the current line: shift the pointer table up (the freed
+         buffer leaks from the bump arena, as cheap editors do). *)
+      func "delete_line" []
+        [
+          Let ("nl", Deref (Int h_nlines));
+          If
+            ( Var "nl" >: Int 1,
+              [
+                Let ("l", Deref (Int h_curl));
+                Let ("i", Var "l");
+                While
+                  ( Var "i" <: Var "nl" -: Int 1,
+                    [
+                      Set_heap (line_ptr (Var "i"),
+                                Deref (line_ptr (Var "i" +: Int 1)));
+                      set_line_len (Var "i") (line_len (Var "i" +: Int 1));
+                      Set ("i", Var "i" +: Int 1);
+                    ] );
+                Set_heap (Int h_nlines, Var "nl" -: Int 1);
+                If (Deref (Int h_curl) >=: Deref (Int h_nlines),
+                    [ Set_heap (Int h_curl, Deref (Int h_nlines) -: Int 1) ],
+                    []);
+                Set_heap (Int h_curc, Int 0);
+              ],
+              [] );
+        ];
+      (* :w — write line count then (length, checksum) per line. *)
+      func "save_file" []
+        [
+          Let ("fd", Open_file (Int wal_file));
+          If
+            ( Var "fd" >=: Int 0,
+              [
+                Expr (Write_file (Var "fd", Deref (Int h_nlines)));
+                Let ("i", Int 0);
+                While
+                  ( Var "i" <: Deref (Int h_nlines),
+                    [
+                      Expr (Write_file (Var "fd", line_len (Var "i")));
+                      Expr (Write_file (Var "fd",
+                                        Call ("line_checksum", [ Var "i" ])));
+                      Set ("i", Var "i" +: Int 1);
+                    ] );
+                Close_file (Var "fd");
+                Set_heap (Int h_saves, Deref (Int h_saves) +: Int 1);
+              ],
+              [] );
+        ];
+      (* §2.6 crash-early integrity pass: walk every line's pointer and
+         length, the expensive whole-structure check whose cadence the
+         crash-early ablation varies. *)
+      func "full_sanity" []
+        [
+          Let ("i", Int 0);
+          While
+            ( Var "i" <: Deref (Int h_nlines),
+              [
+                Check (Deref (line_ptr (Var "i")) >=: Int arena_base);
+                Check (Deref (line_ptr (Var "i"))
+                       <=: Int (heap_words - line_cap));
+                Check (line_len (Var "i") >=: Int 0);
+                Check (line_len (Var "i") <: Int line_cap);
+                Set ("i", Var "i" +: Int 1);
+              ] );
+        ];
+      (* §2.6 consistency checks: fail fast on corrupted editor state. *)
+      func "sanity" []
+        [
+          Check (Deref (Int h_nlines) >: Int 0);
+          Check (Deref (Int h_nlines) <=: Int lines_max);
+          Check (Deref (Int h_curl) >=: Int 0);
+          Check (Deref (Int h_curl) <: Deref (Int h_nlines));
+          Check (Deref (Int h_curc) >=: Int 0);
+          Check (Deref (Int h_curc) <=: line_len (Deref (Int h_curl)));
+          Check (line_len (Deref (Int h_curl)) <: Int line_cap);
+          Check (line_addr (Deref (Int h_curl)) >=: Int arena_base);
+          Check (line_addr (Deref (Int h_curl))
+                 <=: Int (heap_words - line_cap));
+        ];
+      (* The status line the user watches: deterministic in the input. *)
+      func "screen_hash" []
+        [
+          Return
+            ((Deref (Int h_curl) *: Int 1_000_000)
+             +: (Deref (Int h_curc) *: Int 10_000)
+             +: (Deref (Int h_nlines) *: Int 100)
+             +: (Call ("line_checksum", [ Deref (Int h_curl) ]) %: Int 97));
+        ];
+      func "main" []
+        [
+          Sigaction "on_signal";
+          Set_heap (Int h_alloc, Int arena_base);
+          Set_heap (Int h_nlines, Int 1);
+          Set_heap (line_ptr (Int 0), Call ("alloc_line", []));
+          set_line_len (Int 0) (Int 0);
+          Let ("c", Int 0);
+          Let ("quit", Int 0);
+          While
+            ( Not (Var "quit"),
+              [
+                Set ("c", Input);
+                If
+                  ( Var "c" <: Int 0,
+                    [ Set ("quit", Int 1) ],
+                    [
+                      Set_heap (Int h_ops, Deref (Int h_ops) +: Int 1);
+                      If (Var "c" >=: Int 1000,
+                          [ Expr (Call ("insert_char",
+                                        [ Var "c" -: Int 1000 ])) ],
+                          []);
+                      If ((Var "c" >=: Int 1) &&: (Var "c" <=: Int 4),
+                          [ Expr (Call ("move", [ Var "c" ])) ], []);
+                      If (Var "c" =: Int 5,
+                          [ Expr (Call ("delete_char", [])) ], []);
+                      If (Var "c" =: Int 6,
+                          [ Expr (Call ("new_line", [])) ], []);
+                      If (Var "c" =: Int 7,
+                          [ Expr (Call ("delete_line", [])) ], []);
+                      If (Var "c" =: Int 8,
+                          [ Expr (Call ("save_file", [])) ], []);
+                      Expr (Call ("sanity", []));
+                      If ((Deref (Int h_ops) %: Int check_every) =: Int 0,
+                          [ Expr (Call ("full_sanity", [])) ], []);
+                      Output (Call ("screen_hash", []));
+                    ] );
+              ] );
+          Output (Int 424242);  (* the final "goodbye" screen *)
+        ];
+    ]
+  in
+  Ft_vm.Asm.program fns
+
+(* Seeded keystroke stream: mostly insertions, some navigation, rare
+   structural edits and saves — an editing session. *)
+let input_script p =
+  let rng = Random.State.make [| p.seed |] in
+  List.init p.keystrokes (fun _ ->
+      Workload.weighted rng
+        [
+          (62, 1000 + 32 + Random.State.int rng 94);  (* insert a char *)
+          (8, 2);   (* right *)
+          (6, 1);   (* left *)
+          (5, 4);   (* down *)
+          (4, 3);   (* up *)
+          (6, 5);   (* delete char *)
+          (5, 6);   (* open line *)
+          (2, 7);   (* delete line *)
+          (2, 8);   (* :w *)
+        ])
+
+let workload ?(params = default_params) () =
+  let code =
+    Ft_vm.Asm.compile (program ~check_every:params.check_every ())
+  in
+  Workload.make ~name:"nvi" ~nprocs:1 ~programs:[| code |]
+    ~heap_words
+    ~configure:(fun k ->
+      Ft_os.Kernel.set_input k 0
+        (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:params.interval_ns
+           (input_script params));
+      Ft_os.Kernel.set_timer_signal k 0 ~period_ns:params.signal_period_ns
+        ~first_at:(params.signal_period_ns / 2))
+    ()

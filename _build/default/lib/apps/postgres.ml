@@ -1,0 +1,256 @@
+(** postgres: a relational-database stand-in (paper §4).
+
+    A key-value storage engine with the memory behaviour the paper's
+    fault study needs from postgres: a large heap footprint (hash
+    directory, chained nodes from a bump-plus-free-list allocator),
+    pointer-linked structures whose corruption surfaces far from the
+    corrupting store, a write-ahead log appended on every mutation (fixed
+    ND file writes), and query results as visible output.
+
+    Queries arrive on the input stream encoded as
+    [op * 1_000_000 + key * 1_000 + value]:
+    op 1 = INSERT, 2 = SELECT (visible result), 3 = UPDATE, 4 = DELETE,
+    5 = SCAN a bucket (visible checksum).
+
+    Chain walks are bounded and checked (§2.6 fail-fast): a corrupted
+    next-pointer crashes the walk instead of looping or answering
+    wrongly. *)
+
+open Ft_vm.Asm
+
+(* Heap layout. *)
+let h_alloc = 1      (* bump allocator cursor *)
+let h_free = 2       (* free-list head (0 = nil) *)
+let h_nqueries = 3
+let h_wal_fd = 4
+let h_size = 5       (* live tuples *)
+let nbuckets = 256
+let buckets_base = 32
+let nodes_base = buckets_base + nbuckets
+let heap_words = 32_768
+let wal_file = 11
+let node_words = 3   (* key, value, next *)
+let max_chain = 4_096
+
+type params = {
+  queries : int;
+  keyspace : int;
+  interval_ns : int;
+  check_every : int;  (* consistency-check cadence, in queries *)
+  seed : int;
+}
+
+let default_params =
+  { queries = 1_200; keyspace = 400; interval_ns = 1_000_000;
+    check_every = 1; seed = 11 }
+
+let small_params =
+  { queries = 250; keyspace = 120; interval_ns = 1_000_000;
+    check_every = 1; seed = 11 }
+
+let program ?(check_every = 16) () =
+  let fns =
+    [
+      func "hash" [ "k" ]
+        [ Return (((Var "k" *: Int 2654435761) %: Int 1_000_000_007)
+                  %: Int nbuckets) ];
+      (* Allocate a node: free list first, else bump.  Crashes (Check) if
+         the arena is exhausted or corrupted. *)
+      func "alloc_node" []
+        [
+          Let ("n", Deref (Int h_free));
+          If
+            ( Var "n" <>: Int 0,
+              [
+                Set_heap (Int h_free, Deref (Var "n" +: Int 2));
+                Return (Var "n");
+              ],
+              [] );
+          Let ("a", Deref (Int h_alloc));
+          Check (Var "a" >=: Int nodes_base);
+          Check (Var "a" <: Int (heap_words - node_words));
+          Set_heap (Int h_alloc, Var "a" +: Int node_words);
+          Return (Var "a");
+        ];
+      (* Find node with [k] in its bucket; 0 if absent.  Bounded walk. *)
+      func "find" [ "k" ]
+        [
+          Let ("b", Int buckets_base +: Call ("hash", [ Var "k" ]));
+          Let ("n", Deref (Var "b"));
+          Let ("steps", Int 0);
+          Let ("res", Int 0);
+          While
+            ( Var "n" <>: Int 0,
+              [
+                Check (Var "steps" <: Int max_chain);
+                If
+                  ( Deref (Var "n") =: Var "k",
+                    [ Set ("res", Var "n"); Break ],
+                    [] );
+                Set ("n", Deref (Var "n" +: Int 2));
+                Set ("steps", Var "steps" +: Int 1);
+              ] );
+          Return (Var "res");
+        ];
+      func "wal" [ "tok" ]
+        [ Expr (Write_file (Deref (Int h_wal_fd), Var "tok")) ];
+      func "insert" [ "k"; "v"; "tok" ]
+        [
+          Let ("n", Call ("find", [ Var "k" ]));
+          If
+            ( Var "n" <>: Int 0,
+              [ Set_heap (Var "n" +: Int 1, Var "v") ],
+              [
+                Let ("m", Call ("alloc_node", []));
+                Let ("b", Int buckets_base +: Call ("hash", [ Var "k" ]));
+                Set_heap (Var "m", Var "k");
+                Set_heap (Var "m" +: Int 1, Var "v");
+                Set_heap (Var "m" +: Int 2, Deref (Var "b"));
+                Set_heap (Var "b", Var "m");
+                Set_heap (Int h_size, Deref (Int h_size) +: Int 1);
+              ] );
+          Expr (Call ("wal", [ Var "tok" ]));
+        ];
+      func "select" [ "k" ]
+        [
+          Let ("n", Call ("find", [ Var "k" ]));
+          If
+            ( Var "n" <>: Int 0,
+              [ Output (Var "k" *: Int 1000 +: Deref (Var "n" +: Int 1)) ],
+              [ Output (Int 0 -: Var "k") ] );
+        ];
+      func "update" [ "k"; "v"; "tok" ]
+        [
+          Let ("n", Call ("find", [ Var "k" ]));
+          If (Var "n" <>: Int 0,
+              [ Set_heap (Var "n" +: Int 1, Var "v");
+                Expr (Call ("wal", [ Var "tok" ])) ],
+              []);
+        ];
+      func "delete" [ "k"; "tok" ]
+        [
+          Let ("b", Int buckets_base +: Call ("hash", [ Var "k" ]));
+          Let ("n", Deref (Var "b"));
+          Let ("prev", Int 0);
+          Let ("steps", Int 0);
+          While
+            ( Var "n" <>: Int 0,
+              [
+                Check (Var "steps" <: Int max_chain);
+                If
+                  ( Deref (Var "n") =: Var "k",
+                    [
+                      If
+                        ( Var "prev" =: Int 0,
+                          [ Set_heap (Var "b", Deref (Var "n" +: Int 2)) ],
+                          [ Set_heap (Var "prev" +: Int 2,
+                                      Deref (Var "n" +: Int 2)) ] );
+                      (* push onto the free list *)
+                      Set_heap (Var "n" +: Int 2, Deref (Int h_free));
+                      Set_heap (Int h_free, Var "n");
+                      Set_heap (Int h_size, Deref (Int h_size) -: Int 1);
+                      Expr (Call ("wal", [ Var "tok" ]));
+                      Break;
+                    ],
+                    [] );
+                Set ("prev", Var "n");
+                Set ("n", Deref (Var "n" +: Int 2));
+                Set ("steps", Var "steps" +: Int 1);
+              ] );
+        ];
+      (* SCAN: checksum one bucket's chain — touches a lot of data. *)
+      func "scan" [ "k" ]
+        [
+          Let ("b", Int buckets_base +: Call ("hash", [ Var "k" ]));
+          Let ("n", Deref (Var "b"));
+          Let ("sum", Int 0);
+          Let ("steps", Int 0);
+          While
+            ( Var "n" <>: Int 0,
+              [
+                Check (Var "steps" <: Int max_chain);
+                Set ("sum",
+                     ((Var "sum" *: Int 131) +: Deref (Var "n")
+                      +: Deref (Var "n" +: Int 1))
+                     %: Int 1_000_003);
+                Set ("n", Deref (Var "n" +: Int 2));
+                Set ("steps", Var "steps" +: Int 1);
+              ] );
+          Output (Var "sum");
+        ];
+      func "sanity" []
+        [
+          Check (Deref (Int h_size) >=: Int 0);
+          Check (Deref (Int h_alloc) >=: Int nodes_base);
+          Check (Deref (Int h_alloc) <=: Int heap_words);
+        ];
+      func "main" []
+        [
+          Set_heap (Int h_alloc, Int nodes_base);
+          Set_heap (Int h_wal_fd, Open_file (Int wal_file));
+          Check (Deref (Int h_wal_fd) >=: Int 0);
+          Let ("tok", Int 0);
+          Let ("quit", Int 0);
+          While
+            ( Not (Var "quit"),
+              [
+                Set ("tok", Input);
+                If
+                  ( Var "tok" <: Int 0,
+                    [ Set ("quit", Int 1) ],
+                    [
+                      Set_heap (Int h_nqueries,
+                                Deref (Int h_nqueries) +: Int 1);
+                      Let ("op", Var "tok" /: Int 1_000_000);
+                      Let ("k", (Var "tok" /: Int 1000) %: Int 1000);
+                      Let ("v", Var "tok" %: Int 1000);
+                      If (Var "op" =: Int 1,
+                          [ Expr (Call ("insert",
+                                        [ Var "k"; Var "v"; Var "tok" ])) ],
+                          []);
+                      If (Var "op" =: Int 2,
+                          [ Expr (Call ("select", [ Var "k" ])) ], []);
+                      If (Var "op" =: Int 3,
+                          [ Expr (Call ("update",
+                                        [ Var "k"; Var "v"; Var "tok" ])) ],
+                          []);
+                      If (Var "op" =: Int 4,
+                          [ Expr (Call ("delete", [ Var "k"; Var "tok" ])) ],
+                          []);
+                      If (Var "op" =: Int 5,
+                          [ Expr (Call ("scan", [ Var "k" ])) ], []);
+                      If ((Deref (Int h_nqueries) %: Int check_every)
+                          =: Int 0,
+                          [ Expr (Call ("sanity", [])) ], []);
+                    ] );
+              ] );
+          Close_file (Deref (Int h_wal_fd));
+          Output (Deref (Int h_size));  (* final table size report *)
+        ];
+    ]
+  in
+  Ft_vm.Asm.program fns
+
+(* Seeded query stream: a write-heavy OLTP mix with occasional reads. *)
+let input_script p =
+  let rng = Random.State.make [| p.seed |] in
+  List.init p.queries (fun _ ->
+      let op =
+        Workload.weighted rng
+          [ (40, 1); (20, 2); (20, 3); (10, 4); (10, 5) ]
+      in
+      let k = Random.State.int rng p.keyspace in
+      let v = Random.State.int rng 1000 in
+      (op * 1_000_000) + (k * 1000) + v)
+
+let workload ?(params = default_params) () =
+  let code =
+    Ft_vm.Asm.compile (program ~check_every:params.check_every ())
+  in
+  Workload.make ~name:"postgres" ~nprocs:1 ~programs:[| code |]
+    ~heap_words
+    ~configure:(fun k ->
+      Ft_os.Kernel.set_input k 0
+        (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:params.interval_ns
+           (input_script params)))
+    ()

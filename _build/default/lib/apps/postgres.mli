@@ -1,0 +1,26 @@
+(** postgres: a relational-database stand-in (paper §4) — a hash-table
+    storage engine with chained nodes, a free-list allocator, a
+    write-ahead log, and query results as visible output. *)
+
+type params = {
+  queries : int;
+  keyspace : int;
+  interval_ns : int;
+  check_every : int;  (** consistency-check cadence, in queries *)
+  seed : int;
+}
+
+val default_params : params
+val small_params : params
+
+val heap_words : int
+val wal_file : int
+val nbuckets : int
+
+val program : ?check_every:int -> unit -> Ft_vm.Asm.program
+
+val input_script : params -> int list
+(** Query tokens: [op * 1_000_000 + key * 1_000 + value]; op 1 INSERT,
+    2 SELECT, 3 UPDATE, 4 DELETE, 5 SCAN. *)
+
+val workload : ?params:params -> unit -> Workload.t

@@ -1,0 +1,1 @@
+lib/core/conformance.ml: Event List Protocol Save_work Trace

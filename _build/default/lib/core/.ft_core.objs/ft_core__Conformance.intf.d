@@ -1,0 +1,1 @@
+lib/core/conformance.mli: Protocol Save_work Trace

@@ -1,0 +1,1 @@
+lib/core/dangerous_paths.ml: Array Event List State_graph Trace

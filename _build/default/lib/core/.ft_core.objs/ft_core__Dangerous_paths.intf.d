@@ -1,0 +1,1 @@
+lib/core/dangerous_paths.mli: Event State_graph Trace

@@ -1,0 +1,1 @@
+lib/core/lose_work.ml: Array Dangerous_paths Event List Trace

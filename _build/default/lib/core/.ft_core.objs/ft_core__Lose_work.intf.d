@@ -1,0 +1,1 @@
+lib/core/lose_work.mli: Event State_graph Trace

@@ -1,0 +1,1 @@
+lib/core/protocol_space.ml: Array Buffer List Protocol Protocols String

@@ -1,0 +1,1 @@
+lib/core/protocols.ml: Array Event List Protocol String

@@ -1,0 +1,1 @@
+lib/core/protocols.mli: Protocol

@@ -1,0 +1,1 @@
+lib/core/save_work.ml: Event Format Lazy List Trace

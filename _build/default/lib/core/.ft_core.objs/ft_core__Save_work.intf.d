@@ -1,0 +1,1 @@
+lib/core/save_work.mli: Event Format Trace

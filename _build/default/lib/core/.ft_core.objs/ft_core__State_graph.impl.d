@@ -1,0 +1,1 @@
+lib/core/state_graph.ml: Array Buffer List Printf

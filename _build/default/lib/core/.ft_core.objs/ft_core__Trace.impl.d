@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Event Format Hashtbl List Printf Vclock

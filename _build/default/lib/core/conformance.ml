@@ -1,0 +1,102 @@
+(** Generic Save-work conformance checking.
+
+    Drives a protocol instance with an abstract stream of events — no
+    virtual machine, no kernel — records the commits and logs the
+    protocol dictates into a {!Trace}, and asks {!Save_work} whether the
+    invariant held.  This is how the repository proves, by property
+    testing over random multi-process streams, that every protocol in
+    {!Protocols.figure8} upholds the Save-work Theorem: any of them can
+    be handed to the engine and guarantee consistent recovery from stop
+    failures. *)
+
+(* One scripted step: process [pid] is about to execute an event with
+   the given classification. *)
+type step = { pid : int; info : Protocol.event_info }
+
+let step ~pid info = { pid; info }
+
+(* Fresh message tags for scripted sends; receives consume the oldest
+   pending (dest, tag, src) for their destination, mirroring FIFO
+   delivery. *)
+type mailbox = {
+  mutable pending : (int * int * int) list;
+  mutable next_tag : int;
+}
+
+(* Replay the script through the protocol, materializing commits into
+   the trace exactly where the protocol asks for them. *)
+let run spec ~nprocs script =
+  let proto = Protocol.instantiate spec ~nprocs in
+  let trace = Trace.create ~nprocs in
+  let mail = { pending = []; next_tag = 0 } in
+  (* Synthetic tags for 2PC acknowledgement messages: negative so they
+     never collide with application message tags. *)
+  let ack_tag = ref (-1) in
+  let round = ref 0 in
+  let commit_scope ~pid = function
+    | None -> ()
+    | Some Protocol.Local ->
+        ignore (Trace.record trace ~pid Event.Commit);
+        proto.Protocol.note_commit ~pid
+    | Some Protocol.Global ->
+        (* Two-phase commit: the participants commit and acknowledge
+           first; the coordinator commits last, after all acks.  Every
+           commit of the round carries the same round id — they are
+           atomic with each other, the Save-work Theorem's "(or atomic
+           with)" case. *)
+        let r = !round in
+        incr round;
+        for q = 0 to nprocs - 1 do
+          if q <> pid then begin
+            ignore (Trace.record trace ~pid:q (Event.Commit_round r));
+            proto.Protocol.note_commit ~pid:q;
+            let tag = !ack_tag in
+            decr ack_tag;
+            ignore (Trace.record trace ~pid:q (Event.Send { dest = pid; tag }));
+            ignore
+              (Trace.record trace ~pid ~logged:true
+                 (Event.Receive { src = q; tag }))
+          end
+        done;
+        ignore (Trace.record trace ~pid (Event.Commit_round r));
+        proto.Protocol.note_commit ~pid
+  in
+  List.iter
+    (fun { pid; info } ->
+      (* resolve the concrete kind: sends mint a tag, receives consume
+         the oldest message addressed to this process *)
+      let kind =
+        match info.Protocol.kind with
+        | Event.Send { dest; _ } ->
+            let tag = mail.next_tag in
+            mail.next_tag <- tag + 1;
+            mail.pending <- mail.pending @ [ (dest, tag, pid) ];
+            Event.Send { dest; tag }
+        | Event.Receive _ -> (
+            match
+              List.find_opt (fun (dest, _, _) -> dest = pid) mail.pending
+            with
+            | Some ((_, tag, src) as m) ->
+                mail.pending <- List.filter (fun m' -> m' <> m) mail.pending;
+                Event.Receive { src; tag }
+            | None -> Event.Internal (* nothing to receive: skip *))
+        | k -> k
+      in
+      match kind with
+      | Event.Internal when Protocol.info_is_nd info ->
+          () (* dropped receive *)
+      | _ ->
+          let reaction = proto.Protocol.react ~pid info in
+          commit_scope ~pid reaction.Protocol.commit_before;
+          let logged = reaction.Protocol.log && info.Protocol.loggable in
+          ignore (Trace.record trace ~pid ~logged kind);
+          commit_scope ~pid reaction.Protocol.commit_after)
+    script;
+  trace
+
+(* Does the protocol uphold Save-work on this script? *)
+let upholds_save_work spec ~nprocs script =
+  Save_work.holds (run spec ~nprocs script)
+
+let violations spec ~nprocs script =
+  Save_work.violations (run spec ~nprocs script)

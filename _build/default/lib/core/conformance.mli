@@ -1,0 +1,17 @@
+(** Generic Save-work conformance checking: drive a protocol with an
+    abstract multi-process event stream, materialize the commits and
+    logs it dictates into a {!Trace}, and verify the Save-work invariant
+    held.  Used by the property-test suite to prove every executable
+    protocol correct over random streams. *)
+
+type step = { pid : int; info : Protocol.event_info }
+
+val step : pid:int -> Protocol.event_info -> step
+
+val run : Protocol.spec -> nprocs:int -> step list -> Trace.t
+(** Replay the script; a [Receive] with nothing pending is skipped, so
+    arbitrary scripts are safe. *)
+
+val upholds_save_work : Protocol.spec -> nprocs:int -> step list -> bool
+val violations : Protocol.spec -> nprocs:int -> step list ->
+  Save_work.violation list

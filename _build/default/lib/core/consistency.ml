@@ -1,0 +1,45 @@
+(** Consistent recovery (paper §2.3).
+
+    Recovery is consistent iff there exists a complete failure-free
+    execution whose sequence of visible events is equivalent to the
+    sequence actually output in the failed-and-recovered run.  Two
+    sequences are equivalent when the only events in the observed sequence
+    [v] that differ from the reference [v'] are {e repeats} of earlier
+    events from [v] (duplicates are tolerated because exactly-once output
+    is unattainable; users can overlook duplicated output). *)
+
+type verdict =
+  | Consistent
+  | Extra of { position : int; value : int }
+      (* observed a value that is neither expected next nor a repeat *)
+  | Truncated of { missing : int }
+      (* the observed run stopped short of a complete reference run *)
+
+(* Greedy scan: each observed value either matches the next reference
+   value, or is a repeat of an already-output value (duplicate after a
+   rollback).  The whole reference must be consumed: consistent recovery
+   is defined over complete executions (the no-orphan constraint). *)
+let check ~reference ~observed =
+  let seen = Hashtbl.create 64 in
+  let rec go pos obs ref_ =
+    match (obs, ref_) with
+    | [], [] -> Consistent
+    | [], r -> Truncated { missing = List.length r }
+    | o :: obs', r :: ref' when o = r ->
+        Hashtbl.replace seen o ();
+        go (pos + 1) obs' ref'
+    | o :: obs', _ when Hashtbl.mem seen o -> go (pos + 1) obs' ref_
+    | o :: _, _ -> Extra { position = pos; value = o }
+  in
+  go 0 observed reference
+
+let is_consistent ~reference ~observed =
+  check ~reference ~observed = Consistent
+
+let pp_verdict fmt = function
+  | Consistent -> Format.pp_print_string fmt "consistent"
+  | Extra { position; value } ->
+      Format.fprintf fmt "inconsistent: value %d at position %d is neither \
+                          expected nor a duplicate" value position
+  | Truncated { missing } ->
+      Format.fprintf fmt "incomplete: %d visible events missing" missing

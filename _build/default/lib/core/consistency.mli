@@ -1,0 +1,17 @@
+(** Consistent recovery (paper §2.3): the visible output of a failed and
+    recovered run must be equivalent to that of some complete
+    failure-free execution, where the only tolerated differences are
+    repeats of earlier output (duplicates after a rollback). *)
+
+type verdict =
+  | Consistent
+  | Extra of { position : int; value : int }
+      (** a value that is neither the expected next output nor a repeat *)
+  | Truncated of { missing : int }
+      (** the observed run stopped short of a complete execution *)
+
+val check : reference:int list -> observed:int list -> verdict
+
+val is_consistent : reference:int list -> observed:int list -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

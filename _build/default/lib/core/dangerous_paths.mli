@@ -1,0 +1,35 @@
+(** The dangerous-paths coloring algorithms (paper §2.5).
+
+    Single-process rules: color all crash events; color [e] if all events
+    out of [e]'s end state are colored; color [e] if at least one colored
+    event out of [e]'s end state is a {e fixed} ND event.  Committing on
+    a colored path can prevent recovery (Lose-work Theorem). *)
+
+val dangerous_edges :
+  ?receive_class:(State_graph.edge -> Event.nd_class) ->
+  State_graph.t ->
+  bool array
+(** Per-edge-id coloring.  [receive_class] resolves [Receive_nd] edges
+    (default: treat them as transient). *)
+
+val doomed_states :
+  ?receive_class:(State_graph.edge -> Event.nd_class) ->
+  State_graph.t ->
+  bool array
+(** States at which a commit can prevent recovery: every exit colored, or
+    some colored exit is fixed ND (Figure 6C), or the state is itself a
+    crash state. *)
+
+val receive_class_of_trace : Trace.t -> Event.t -> Event.nd_class
+(** Multi-Process Dangerous Paths Algorithm (§2.5): a receive is
+    transient iff the sender's last commit preceded the send and the
+    sender executed a transient ND event in between; otherwise the
+    sender deterministically regenerates the message, so the receive is
+    fixed. *)
+
+val multi_process_dangerous_edges :
+  State_graph.t ->
+  trace:Trace.t ->
+  recv_event_of_edge:(State_graph.edge -> Event.t option) ->
+  bool array
+(** [dangerous_edges] with receive edges classified from the trace. *)

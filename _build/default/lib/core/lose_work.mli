@@ -1,0 +1,36 @@
+(** The Lose-work invariant (paper §2.5, §4): application-generic
+    recovery from propagation failures is possible iff no commit lands
+    on a dangerous path. *)
+
+type analysis = {
+  crash : Event.t;
+  bohrbug : bool;
+      (** no transient ND event precedes the crash: the dangerous path
+          reaches the initial (always committed) state *)
+  dangerous_from : int;  (** first event index on the dangerous path *)
+  commits_on_path : Event.t list;
+  violated : bool;
+}
+
+val analyze : Trace.t -> crash:Event.t -> analysis
+(** Analyze the crashed process's linear history: the dangerous suffix
+    starts just after the last transient ND event before the crash
+    (committing before that event is safe, Figure 6B). *)
+
+val committed_after_activation :
+  Trace.t -> activation:Event.t -> crash:Event.t -> bool
+(** The Table-1 criterion: a commit between fault activation and the
+    crash.  The paper verifies end-to-end that recovery fails iff such a
+    commit exists. *)
+
+val safe_to_commit :
+  ?receive_class:(State_graph.edge -> Event.nd_class) ->
+  State_graph.t ->
+  state:int ->
+  bool
+(** Graph-level check: is the given state outside every dangerous path? *)
+
+val conflict : Trace.t -> crash:Event.t -> bool
+(** Save-work and Lose-work conflict for this failure (Figure 9): the
+    dangerous path contains a visible event (so Save-work forces a
+    commit on it), or the bug is a Bohrbug. *)

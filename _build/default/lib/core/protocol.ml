@@ -1,0 +1,67 @@
+(** Recovery-protocol decision interface (paper §2.4).
+
+    A protocol upholds Save-work by deciding, at each event a process is
+    about to execute, whether to log the event's result (rendering it
+    deterministic) and whether to commit — locally or via a coordinated
+    two-phase commit.  The execution engine ({!Ft_runtime.Engine})
+    interprets the decisions, charges their cost, and records the
+    resulting commit events in the trace.
+
+    Protocols are instantiated per run ({!spec.instantiate}) so they can
+    keep per-process state such as "has executed an unlogged ND event
+    since its last commit". *)
+
+type commit_scope =
+  | Local   (* commit just this process *)
+  | Global  (* two-phase commit: all processes commit *)
+
+(* What the engine tells the protocol about the event about to execute. *)
+type event_info = {
+  kind : Event.kind;
+  loggable : bool;
+      (* true when the recovery system is able to log this ND event's
+         result and replay it (Discount Checking logs user input and
+         message receives; scheduling, signals and time remain ND) *)
+}
+
+type reaction = {
+  log : bool;                           (* log the ND result *)
+  commit_before : commit_scope option;  (* commit before executing *)
+  commit_after : commit_scope option;   (* commit right after executing *)
+}
+
+let no_reaction = { log = false; commit_before = None; commit_after = None }
+
+type t = {
+  name : string;
+  react : pid:int -> event_info -> reaction;
+  note_commit : pid:int -> unit;
+      (* the engine performed a commit of [pid] (for any reason,
+         including as a 2PC participant); protocols clear their
+         nd-since-commit bookkeeping here *)
+}
+
+type spec = {
+  spec_name : string;
+  nd_effort : float;       (* protocol-space x coordinate, 0..1 (Fig. 3) *)
+  visible_effort : float;  (* protocol-space y coordinate, 0..1 (Fig. 3) *)
+  uses_2pc : bool;
+  instantiate : nprocs:int -> t;
+}
+
+let instantiate spec ~nprocs = spec.instantiate ~nprocs
+
+(* An event is treated as non-deterministic by protocols unless the
+   protocol itself decides to log it. *)
+let info_is_nd (i : event_info) =
+  match i.kind with
+  | Event.Nd _ | Event.Receive _ -> true
+  | Event.Internal | Event.Visible _ | Event.Send _ | Event.Commit
+  | Event.Commit_round _ | Event.Crash ->
+      false
+
+let info_is_visible (i : event_info) =
+  match i.kind with Event.Visible _ -> true | _ -> false
+
+let info_is_send (i : event_info) =
+  match i.kind with Event.Send _ -> true | _ -> false

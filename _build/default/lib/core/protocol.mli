@@ -1,0 +1,49 @@
+(** Recovery-protocol decision interface (paper §2.4).
+
+    A protocol upholds Save-work by reacting to each event a process is
+    about to execute: log the result (rendering the event deterministic)
+    and/or commit, locally or through a coordinated two-phase commit.
+    The execution engine interprets reactions and charges their cost. *)
+
+type commit_scope =
+  | Local  (** commit just this process *)
+  | Global  (** two-phase commit: every process commits *)
+
+type event_info = {
+  kind : Event.kind;
+  loggable : bool;
+      (** the recovery system can log this ND event's result and replay
+          it (Discount Checking logs user input and message receives) *)
+}
+
+type reaction = {
+  log : bool;
+  commit_before : commit_scope option;
+  commit_after : commit_scope option;
+}
+
+val no_reaction : reaction
+
+(** A per-run protocol instance. *)
+type t = {
+  name : string;
+  react : pid:int -> event_info -> reaction;
+  note_commit : pid:int -> unit;
+      (** called whenever the engine commits [pid], including as a 2PC
+          participant: protocols clear nd-since-commit bookkeeping *)
+}
+
+(** A protocol definition with its protocol-space coordinates. *)
+type spec = {
+  spec_name : string;
+  nd_effort : float;  (** Figure-3 x coordinate, 0..1 *)
+  visible_effort : float;  (** Figure-3 y coordinate, 0..1 *)
+  uses_2pc : bool;
+  instantiate : nprocs:int -> t;
+}
+
+val instantiate : spec -> nprocs:int -> t
+
+val info_is_nd : event_info -> bool
+val info_is_visible : event_info -> bool
+val info_is_send : event_info -> bool

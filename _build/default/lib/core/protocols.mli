@@ -1,0 +1,52 @@
+(** The concrete Save-work protocols of the paper (§2.4, §3). *)
+
+val commit_all : Protocol.spec
+(** Commit after every event: the origin of the protocol space. *)
+
+val no_commit : Protocol.spec
+(** Never commit: trivially upholds Lose-work, forfeits Save-work
+    (§2.6). *)
+
+val cand : Protocol.spec
+(** Commit After Non-Deterministic. *)
+
+val cand_log : Protocol.spec
+(** CAND with user input and receives logged: commits only for the
+    remaining (unloggable) non-determinism. *)
+
+val cpvs : Protocol.spec
+(** Commit Prior to Visible or Send: needs no knowledge of
+    non-determinism. *)
+
+val cbndvs : Protocol.spec
+(** Commit Between Non-Deterministic and Visible or Send. *)
+
+val cbndvs_log : Protocol.spec
+(** CBNDVS with logging. *)
+
+val cpv_2pc : Protocol.spec
+(** All processes commit (two-phase) whenever any process executes a
+    visible event; no commits before sends. *)
+
+val cbndv_2pc : Protocol.spec
+(** CPV-2PC gated on some process having executed unlogged ND since the
+    last commit. *)
+
+val coordinated_checkpointing : Protocol.spec
+(** Koo-Toueg-style coordinated checkpointing, for the space map. *)
+
+val sender_based_logging : Protocol.spec
+(** SBL: receives logged at the sender; other ND events commit.  On the
+    horizontal axis — it prevents surviving propagation failures. *)
+
+val manetho : Protocol.spec
+(** Manetho-style: log all capturable ND; coordinated output commit at
+    visible events only. *)
+
+val figure8 : Protocol.spec list
+(** The seven protocols measured in Figure 8. *)
+
+val all : Protocol.spec list
+
+val by_name : string -> Protocol.spec option
+(** Case-insensitive lookup. *)

@@ -1,0 +1,117 @@
+(** The Save-work invariant (paper §2.3).
+
+    Save-work Theorem: a computation is guaranteed consistent recovery from
+    stop failures iff for each executed non-deterministic event [e_p^i]
+    that causally precedes a visible or commit event [e], process [p]
+    executes a commit [e_p^j] such that [e_p^j] happens-before (or is
+    atomic with) [e], and [i < j].
+
+    The invariant splits in two: {e Save-work-visible} (targets are visible
+    events; enforces the visible constraint) and {e Save-work-orphan}
+    (targets are commit events; enforces the no-orphan constraint).  This
+    module checks both over a recorded {!Trace.t}. *)
+
+type violation = {
+  nd : Event.t;      (* the uncommitted non-deterministic event *)
+  target : Event.t;  (* the visible or commit event it causally precedes *)
+}
+
+let pp_violation fmt v =
+  Format.fprintf fmt "nd %a causally precedes %a without an intervening commit"
+    Event.pp v.nd Event.pp v.target
+
+(* Does some commit on [nd.pid], later than [nd], happen-before — or sit
+   atomic with — [target]?  "Atomic with" (the theorem's parenthetical)
+   covers the commit being the target itself, the two events belonging
+   to the same coordinated (2PC) round, and — since every commit of a
+   round is atomic with every other — a round-mate commit that
+   happens-before the target. *)
+let covered trace ~(nd : Event.t) ~(target : Event.t) =
+  let commits = Trace.commits_of trace nd.pid in
+  let all_commits =
+    lazy (List.filter Event.is_commit (Trace.events trace))
+  in
+  let reaches (c : Event.t) =
+    Event.equal c target
+    || Event.atomic_with c target
+    || Trace.happens_before c target
+    ||
+    match Event.commit_round c with
+    | None -> false
+    | Some _ ->
+        List.exists
+          (fun (c' : Event.t) ->
+            Event.atomic_with c c'
+            && (Event.equal c' target || Trace.happens_before c' target))
+          (Lazy.force all_commits)
+  in
+  List.exists (fun (c : Event.t) -> c.index > nd.index && reaches c) commits
+
+let violations_against trace ~targets =
+  let evs = Trace.events trace in
+  let nds = List.filter Event.is_nd evs in
+  List.concat_map
+    (fun nd ->
+      List.filter_map
+        (fun target ->
+          let precedes =
+            Trace.causally_precedes nd target && not (Event.equal nd target)
+          in
+          if precedes && not (covered trace ~nd ~target) then
+            Some { nd; target }
+          else None)
+        targets)
+    nds
+
+(* Violations of Save-work-visible: uncommitted ND events that causally
+   precede a visible event. *)
+let visible_violations trace =
+  violations_against trace
+    ~targets:(List.filter Event.is_visible (Trace.events trace))
+
+(* Violations of Save-work-orphan: uncommitted ND events that causally
+   precede a commit on another process (an orphan-creating dependence).
+   Same-process commits can never be orphan-creating: a later commit on
+   the same process commits the ND event itself. *)
+let orphan_violations trace =
+  let targets =
+    List.filter Event.is_commit (Trace.events trace)
+  in
+  List.filter
+    (fun v -> v.nd.Event.pid <> v.target.Event.pid)
+    (violations_against trace ~targets)
+
+let violations trace = visible_violations trace @ orphan_violations trace
+
+let holds trace = violations trace = []
+
+(* A process is an orphan (§2.3, Figure 2) if it has committed a dependence
+   on another process's non-deterministic event that has been lost: here,
+   the ND event is "lost" when its process crashed without committing it. *)
+let orphans trace =
+  let crashed_pids =
+    List.map (fun e -> e.Event.pid) (Trace.crashes trace)
+  in
+  let lost_nd =
+    List.filter
+      (fun (e : Event.t) ->
+        Event.is_nd e
+        && List.mem e.pid crashed_pids
+        && not
+             (List.exists
+                (fun (c : Event.t) -> c.index > e.index)
+                (Trace.commits_of trace e.pid)))
+      (Trace.events trace)
+  in
+  let commits = List.filter Event.is_commit (Trace.events trace) in
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (c : Event.t) ->
+         if
+           List.exists
+             (fun nd ->
+               nd.Event.pid <> c.pid && Trace.causally_precedes nd c)
+             lost_nd
+         then Some c.pid
+         else None)
+       commits)

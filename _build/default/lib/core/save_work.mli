@@ -1,0 +1,33 @@
+(** The Save-work invariant checker (paper §2.3).
+
+    Save-work Theorem: a computation is guaranteed consistent recovery
+    from stop failures iff for each executed non-deterministic event
+    [e_p^i] that causally precedes a visible or commit event [e],
+    process [p] executes a commit [e_p^j] such that [e_p^j]
+    happens-before (or is atomic with) [e] and [i < j]. *)
+
+type violation = {
+  nd : Event.t;  (** the uncommitted non-deterministic event *)
+  target : Event.t;  (** the visible or commit event it causally precedes *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val visible_violations : Trace.t -> violation list
+(** Violations of Save-work-visible: uncommitted ND events causally
+    preceding a visible event (the visible constraint). *)
+
+val orphan_violations : Trace.t -> violation list
+(** Violations of Save-work-orphan: uncommitted ND events causally
+    preceding another process's commit (the no-orphan constraint). *)
+
+val violations : Trace.t -> violation list
+(** Both kinds. *)
+
+val holds : Trace.t -> bool
+(** No violations: the Save-work invariant was upheld. *)
+
+val orphans : Trace.t -> int list
+(** Processes that committed a dependence on a crashed process's
+    uncommitted ND event (Figure 2): they can block the computation from
+    ever completing. *)

@@ -1,0 +1,90 @@
+(** Recorded event traces.
+
+    A trace accumulates the events executed by every process of a
+    computation, maintaining vector clocks so that happens-before (and
+    thus the causally-precedes approximation of §2.2) can be queried
+    afterwards.  Message sends and receives are matched by [tag]. *)
+
+type t = {
+  nprocs : int;
+  mutable events_rev : Event.t list;
+  mutable count : int;
+  clocks : Vclock.t array;                  (* live clock per process *)
+  send_clocks : (int, Vclock.t) Hashtbl.t;  (* tag -> clock at send *)
+}
+
+let create ~nprocs =
+  {
+    nprocs;
+    events_rev = [];
+    count = 0;
+    clocks = Array.init nprocs (fun _ -> Vclock.create nprocs);
+    send_clocks = Hashtbl.create 64;
+  }
+
+let nprocs t = t.nprocs
+let length t = t.count
+
+let next_index t pid =
+  (* Own component counts this process's events; index is 0-based. *)
+  Vclock.get t.clocks.(pid) pid
+
+let record t ~pid ?(logged = false) kind =
+  if pid < 0 || pid >= t.nprocs then
+    invalid_arg (Printf.sprintf "Trace.record: bad pid %d" pid);
+  let index = next_index t pid in
+  (match kind with
+  | Event.Receive { tag; _ } -> (
+      match Hashtbl.find_opt t.send_clocks tag with
+      | Some sc -> Vclock.merge_into ~into:t.clocks.(pid) sc
+      | None -> ())
+  | _ -> ());
+  Vclock.tick t.clocks.(pid) pid;
+  let vc = Vclock.copy t.clocks.(pid) in
+  (match kind with
+  | Event.Send { tag; _ } -> Hashtbl.replace t.send_clocks tag vc
+  | _ -> ());
+  let e = { Event.pid; index; kind; logged; vc } in
+  t.events_rev <- e :: t.events_rev;
+  t.count <- t.count + 1;
+  e
+
+let events t = List.rev t.events_rev
+
+let events_of t pid = List.filter (fun e -> e.Event.pid = pid) (events t)
+
+(* e1 happens-before e2.  With per-event clock snapshots taken just after
+   the tick, strict pointwise comparison is exactly Lamport's relation. *)
+let happens_before (e1 : Event.t) (e2 : Event.t) = Vclock.lt e1.vc e2.vc
+
+(* The paper uses happens-before as an approximation of causality; we keep
+   a distinct name for readability at call sites. *)
+let causally_precedes = happens_before
+
+let find t ~pid ~index =
+  List.find_opt (fun e -> e.Event.pid = pid && e.Event.index = index) (events t)
+
+let commits_of t pid =
+  List.filter Event.is_commit (events_of t pid)
+
+let visible_values t =
+  List.filter_map
+    (fun e -> match e.Event.kind with Event.Visible v -> Some v | _ -> None)
+    (events t)
+
+let crashes t = List.filter Event.is_crash (events t)
+
+(* The matching send of a receive event, if it was recorded. *)
+let matching_send t (recv : Event.t) =
+  match recv.kind with
+  | Event.Receive { tag; _ } ->
+      List.find_opt
+        (fun e ->
+          match e.Event.kind with
+          | Event.Send { tag = tag'; _ } -> tag = tag'
+          | _ -> false)
+        (events t)
+  | _ -> None
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." Event.pp e) (events t)

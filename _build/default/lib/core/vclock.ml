@@ -1,0 +1,37 @@
+(** Vector clocks, used to approximate Lamport's happens-before relation
+    (paper §2.2) over the events of a multi-process computation. *)
+
+type t = int array
+
+let create n = Array.make n 0
+
+let copy = Array.copy
+
+let size = Array.length
+
+let get t i = t.(i)
+
+(* Advance process [pid]'s own component. *)
+let tick t pid = t.(pid) <- t.(pid) + 1
+
+(* Pointwise maximum, used when a receive merges the sender's clock. *)
+let merge_into ~into src =
+  for i = 0 to Array.length into - 1 do
+    if src.(i) > into.(i) then into.(i) <- src.(i)
+  done
+
+let leq a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let equal a b = a = b
+
+(* Strict happens-before between event snapshots: a < b pointwise-leq and
+   not equal. *)
+let lt a b = leq a b && not (equal a b)
+
+let to_string t =
+  "<" ^ String.concat "," (Array.to_list (Array.map string_of_int t)) ^ ">"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

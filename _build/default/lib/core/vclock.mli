@@ -1,0 +1,30 @@
+(** Vector clocks, the implementation of Lamport's happens-before
+    relation used to approximate causality (paper §2.2). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the zero clock for an [n]-process computation. *)
+
+val copy : t -> t
+
+val size : t -> int
+val get : t -> int -> int
+
+val tick : t -> int -> unit
+(** [tick t pid] advances process [pid]'s own component. *)
+
+val merge_into : into:t -> t -> unit
+(** Pointwise maximum; a receive merges the sender's clock. *)
+
+val leq : t -> t -> bool
+(** Pointwise less-or-equal. *)
+
+val equal : t -> t -> bool
+
+val lt : t -> t -> bool
+(** Strict happens-before between per-event snapshots: [leq] and not
+    [equal]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/faults/app_injector.ml: Array Fault_type Format Ft_runtime Ft_vm List Option Random

@@ -1,0 +1,1 @@
+lib/faults/app_injector.mli: Fault_type Format Ft_runtime Ft_vm Random

@@ -1,0 +1,1 @@
+lib/faults/fault_type.ml: List String

@@ -1,0 +1,1 @@
+lib/faults/os_injector.ml: Array Fault_type Ft_os Ft_vm List Random

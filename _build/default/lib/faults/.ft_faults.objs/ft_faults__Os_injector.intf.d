@@ -1,0 +1,1 @@
+lib/faults/os_injector.mli: Fault_type Ft_os Ft_vm Random

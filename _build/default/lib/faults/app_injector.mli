@@ -1,0 +1,36 @@
+(** Application fault injection (paper §4.1): plan a fault from a seeded
+    RNG, arm it on a process inside the engine.  Code mutations change
+    the program before the run; bit flips fire at a planned dynamic
+    instruction count.  Activation — the first moment the mutation
+    changes the execution — is recorded with the engine so the Lose-work
+    analyses can ask whether a commit followed it. *)
+
+type plan =
+  | Code_mutation of { at : int; replacement : Ft_vm.Instr.t }
+  | Bit_flip of {
+      at_icount : int;  (** dynamic instruction at which to flip *)
+      target : [ `Stack | `Heap ];
+      bit : int;
+      loc_seed : int;  (** picks the word at flip time among live state *)
+    }
+
+val pp_plan : Format.formatter -> plan -> unit
+
+val candidates : Fault_type.t -> Ft_vm.Instr.t array -> int list
+(** Instruction indices eligible for a code-mutation fault of the given
+    type. *)
+
+val plan :
+  Random.State.t ->
+  Fault_type.t ->
+  code:Ft_vm.Instr.t array ->
+  horizon:int ->
+  plan option
+(** [horizon] is the expected dynamic instruction count of a fault-free
+    run, used to place bit flips uniformly in time.  [None] when the
+    program offers no suitable site. *)
+
+val arm : Ft_runtime.Engine.t -> pid:int -> plan -> unit
+(** Install the fault.  Activation is semantic: an off-by-one comparison
+    activates only on operands where the operators disagree, a deleted
+    branch only when it would have been taken. *)

@@ -1,0 +1,153 @@
+(** Operating-system fault injection (paper §4.2).
+
+    The paper injects the same seven fault types into the running kernel.
+    Not all OS faults cause propagation failures: some crash the system
+    before they affect application state (stop failures, from which
+    commits at any time are safe); others corrupt the results the kernel
+    hands to the application before the eventual panic.
+
+    We model each injected kernel fault by (a) which syscall subsystem it
+    breaks, (b) whether it corrupts results served from that subsystem or
+    merely destabilizes the kernel, and (c) how many syscalls the kernel
+    survives before panicking.  The per-fault-type profiles encode the
+    empirical tendencies of the paper's fault model: control-flow faults
+    (deleted branches/instructions) tend to corrupt data structures that
+    syscalls read, while stack bit flips in the kernel usually panic
+    quickly and cleanly. *)
+
+type profile = {
+  corrupt_probability : float;  (* chance the fault corrupts results *)
+  panic_min_ms : int;           (* time until the kernel panics, uniform *)
+  panic_max_ms : int;
+  poke_probability : float;     (* per touched syscall: memory corruption *)
+}
+
+(* The corruption window is a *time* interval: an application that makes
+   more syscalls per second (the paper's nvi runs ~10x postgres's rate)
+   meets the broken kernel paths proportionally more often (§4.2). *)
+let profile (ft : Fault_type.t) =
+  match ft with
+  | Fault_type.Stack_bit_flip ->
+      (* Kernel stack corruption: quick, usually clean panic. *)
+      { corrupt_probability = 0.25; panic_min_ms = 2; panic_max_ms = 80;
+        poke_probability = 0.06 }
+  | Fault_type.Heap_bit_flip ->
+      (* Kernel heap corruption: data structures serve bad values for a
+         while before the panic. *)
+      { corrupt_probability = 0.5; panic_min_ms = 40; panic_max_ms = 800;
+        poke_probability = 0.15 }
+  | Fault_type.Destination_reg ->
+      { corrupt_probability = 0.3; panic_min_ms = 4; panic_max_ms = 200;
+        poke_probability = 0.06 }
+  | Fault_type.Initialization ->
+      { corrupt_probability = 0.25; panic_min_ms = 4; panic_max_ms = 240;
+        poke_probability = 0.05 }
+  | Fault_type.Delete_branch ->
+      { corrupt_probability = 0.45; panic_min_ms = 20; panic_max_ms = 600;
+        poke_probability = 0.11 }
+  | Fault_type.Delete_instruction ->
+      { corrupt_probability = 0.35; panic_min_ms = 10; panic_max_ms = 400;
+        poke_probability = 0.08 }
+  | Fault_type.Off_by_one ->
+      { corrupt_probability = 0.3; panic_min_ms = 10; panic_max_ms = 400;
+        poke_probability = 0.06 }
+
+(* The kernel subsystem the fault lands in decides which syscalls serve
+   corrupted results. *)
+type subsystem = Input | Network | Clock | Filesystem
+
+let subsystems = [| Input; Network; Clock; Filesystem |]
+
+let touches subsystem (s : Ft_vm.Syscall.t) =
+  match (subsystem, s) with
+  | Input, (Ft_vm.Syscall.Read_input | Ft_vm.Syscall.Poll_input) -> true
+  | Network, (Ft_vm.Syscall.Recv | Ft_vm.Syscall.Try_recv) -> true
+  | Clock, (Ft_vm.Syscall.Gettimeofday | Ft_vm.Syscall.Random) -> true
+  | Filesystem,
+    ( Ft_vm.Syscall.Open_file | Ft_vm.Syscall.Write_file
+    | Ft_vm.Syscall.Read_file ) ->
+      true
+  | _ -> false
+
+(* Syscalls belonging to each subsystem, used to weight the choice of the
+   broken subsystem by the workload's actual kernel usage: an injected
+   fault lands in kernel code the application is executing. *)
+let member_syscalls = function
+  | Input -> [ Ft_vm.Syscall.Read_input; Ft_vm.Syscall.Poll_input ]
+  | Network -> [ Ft_vm.Syscall.Recv; Ft_vm.Syscall.Try_recv ]
+  | Clock -> [ Ft_vm.Syscall.Gettimeofday; Ft_vm.Syscall.Random ]
+  | Filesystem ->
+      [ Ft_vm.Syscall.Open_file; Ft_vm.Syscall.Write_file;
+        Ft_vm.Syscall.Read_file ]
+
+(* Subsystem weights from a profiled kernel (e.g. the reference run). *)
+let usage_weights kernel =
+  Array.map
+    (fun sub ->
+      ( sub,
+        1
+        + List.fold_left
+            (fun acc s -> acc + Ft_os.Kernel.syscall_count kernel s)
+            0 (member_syscalls sub) ))
+    subsystems
+
+type plan = {
+  fault_type : Fault_type.t;
+  subsystem : subsystem;
+  corrupts : bool;
+  panic_at_ns : int;
+  corrupt_bit : int;
+  poke_probability : float;
+}
+
+let pick_weighted rng weights =
+  let total = Array.fold_left (fun a (_, w) -> a + w) 0 weights in
+  let roll = Random.State.int rng (max 1 total) in
+  let acc = ref 0 and chosen = ref (fst weights.(0)) in
+  Array.iter
+    (fun (sub, w) ->
+      if roll >= !acc && roll < !acc + w then chosen := sub;
+      acc := !acc + w)
+    weights;
+  !chosen
+
+let plan ?weights rng ft =
+  let p = profile ft in
+  let subsystem =
+    match weights with
+    | Some w -> pick_weighted rng w
+    | None -> subsystems.(Random.State.int rng (Array.length subsystems))
+  in
+  let delay_ms =
+    p.panic_min_ms
+    + Random.State.int rng (max 1 (p.panic_max_ms - p.panic_min_ms))
+  in
+  {
+    fault_type = ft;
+    subsystem;
+    corrupts = Random.State.float rng 1.0 < p.corrupt_probability;
+    panic_at_ns = delay_ms * 1_000_000;
+    corrupt_bit = Random.State.int rng 16;
+    poke_probability = p.poke_probability;
+  }
+
+(* Arm the planned kernel fault.  A non-corrupting fault still panics
+   after its delay — a pure stop failure.  Returns the live fault record:
+   its [propagated] flag remains readable after the reboot clears the
+   fault from the kernel. *)
+let arm kernel p =
+  let touches_sys s = p.corrupts && touches p.subsystem s in
+  let fault =
+    {
+      Ft_os.Kernel.panic_at = p.panic_at_ns;
+      touches = touches_sys;
+      corrupt_bit = p.corrupt_bit;
+      poke_probability = (if p.corrupts then p.poke_probability else 0.);
+      propagated = false;
+    }
+  in
+  Ft_os.Kernel.set_os_fault kernel fault;
+  fault
+
+(* Did the corruption actually reach the application before the panic? *)
+let propagated (fault : Ft_os.Kernel.os_fault) = fault.Ft_os.Kernel.propagated

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Array Ft_apps Ft_core Ft_faults Ft_runtime Ft_stablemem List Printf Random Report Table1

@@ -1,0 +1,1 @@
+lib/harness/analysis.ml: Printf Report

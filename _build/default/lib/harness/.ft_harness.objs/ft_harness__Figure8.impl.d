@@ -1,0 +1,1 @@
+lib/harness/figure8.ml: Array Ft_apps Ft_core Ft_runtime Ft_stablemem List Printf Report String

@@ -1,0 +1,1 @@
+lib/harness/figure8.mli: Ft_apps Ft_core Ft_runtime

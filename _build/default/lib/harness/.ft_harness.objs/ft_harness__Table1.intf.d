@@ -1,0 +1,1 @@
+lib/harness/table1.mli: Ft_apps Ft_faults Ft_runtime

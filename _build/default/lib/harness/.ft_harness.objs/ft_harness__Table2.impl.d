@@ -1,0 +1,1 @@
+lib/harness/table2.ml: Ft_apps Ft_core Ft_faults Ft_runtime List Printf Random Report Table1

@@ -1,0 +1,1 @@
+lib/harness/table2.mli: Ft_apps Ft_faults Ft_runtime Table1

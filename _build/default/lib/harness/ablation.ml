@@ -1,0 +1,240 @@
+(** Ablations of the design choices DESIGN.md calls out, each one a
+    measured version of a §2.6 claim:
+
+    - {e crash early}: checking consistency more often shortens dangerous
+      paths and lowers the Lose-work violation rate;
+    - {e commit less state}: excluding recomputable pages from
+      checkpoints shrinks commits (at the price of recomputation after
+      recovery);
+    - {e page size}: smaller COW pages shrink checkpoint payloads but pay
+      more protection traps;
+    - {e disk model}: how much of DC-disk's overhead is the synchronous
+      access latency. *)
+
+(* --- crash early ---------------------------------------------------------- *)
+
+type crash_early_row = {
+  check_every : int;
+  crashes : int;
+  violations : int;
+  violation_pct : float;
+}
+
+(* Violation rate of heap bit flips in nvi as a function of the
+   consistency-check cadence. *)
+let crash_early ?(cadences = [ 1; 16; 1_000_000 ]) ?(target_crashes = 25)
+    ?(max_attempts = 700) () =
+  List.map
+    (fun check_every ->
+      let mk_workload () =
+        Ft_apps.Nvi.workload
+          ~params:{ Ft_apps.Nvi.small_params with Ft_apps.Nvi.check_every }
+          ()
+      in
+      (* run a Table-1-style campaign against this variant *)
+      let w = mk_workload () in
+      let cfg = Table1.base_cfg w in
+      let kernel = Ft_apps.Workload.kernel w in
+      let _, ref_run =
+        Ft_runtime.Engine.execute ~cfg ~kernel ~programs:w.programs ()
+      in
+      let horizon = ref_run.Ft_runtime.Engine.wall_instructions in
+      let crashes = ref 0 and violations = ref 0 and attempt = ref 0 in
+      while !crashes < target_crashes && !attempt < max_attempts do
+        let w = mk_workload () in
+        let cfg =
+          { (Table1.base_cfg w) with
+            Ft_runtime.Engine.max_instructions = (40 * horizon) + 200_000 }
+        in
+        let kernel = Ft_apps.Workload.kernel w in
+        let engine =
+          Ft_runtime.Engine.create ~cfg ~kernel ~programs:w.programs ()
+        in
+        let rng = Random.State.make [| 31_000 + !attempt |] in
+        (match
+           Ft_faults.App_injector.plan rng Ft_faults.Fault_type.Heap_bit_flip
+             ~code:w.programs.(0) ~horizon
+         with
+        | Some plan ->
+            Ft_faults.App_injector.arm engine ~pid:0 plan;
+            let r = Ft_runtime.Engine.run engine in
+            if
+              r.Ft_runtime.Engine.first_crash <> None
+              && r.Ft_runtime.Engine.outcome
+                 <> Ft_runtime.Engine.Instruction_budget
+            then begin
+              incr crashes;
+              if r.Ft_runtime.Engine.commit_after_activation then
+                incr violations
+            end
+        | None -> ());
+        incr attempt
+      done;
+      {
+        check_every;
+        crashes = !crashes;
+        violations = !violations;
+        violation_pct =
+          (if !crashes = 0 then 0.
+           else 100. *. float_of_int !violations /. float_of_int !crashes);
+      })
+    cadences
+
+let render_crash_early rows =
+  Report.section
+    "Ablation: crash-early consistency checks vs Lose-work (2.6)"
+  ^ Report.table
+      ~headers:[ "check cadence"; "crashes"; "violations"; "%" ]
+      ~rows:
+        (List.map
+           (fun r ->
+             [
+               (if r.check_every >= 1_000_000 then "never"
+                else Printf.sprintf "every %d keystrokes" r.check_every);
+               string_of_int r.crashes;
+               string_of_int r.violations;
+               Report.pct r.violation_pct;
+             ])
+           rows)
+  ^ "Checking more often crashes the editor sooner after corruption,\n\
+     leaving fewer commits on the dangerous path.\n"
+
+(* --- commit less state ----------------------------------------------------- *)
+
+type exclusion_row = {
+  label : string;
+  sim_time_ns : int;
+  overhead_pct : float;
+}
+
+(* magic's framebuffer (pages >= fb_base/page) is fully re-rendered every
+   command: excluding it from checkpoints loses nothing. *)
+let exclusion ?(commands = 40) () =
+  let params =
+    { Ft_apps.Magic.small_params with Ft_apps.Magic.commands }
+  in
+  let fb_first_page = Ft_apps.Magic.fb_base / 64 in
+  let run ~excluded ~protocol =
+    let w = Ft_apps.Magic.workload ~params () in
+    let cfg =
+      Ft_apps.Workload.engine_config w
+        { Ft_runtime.Engine.default_config with
+          protocol;
+          medium = Ft_runtime.Checkpointer.Disk Ft_stablemem.Disk.default;
+          excluded_pages =
+            (if excluded then fun p -> p >= fb_first_page
+             else fun _ -> false) }
+    in
+    let kernel = Ft_apps.Workload.kernel w in
+    let _, r =
+      Ft_runtime.Engine.execute ~cfg ~kernel ~programs:w.programs ()
+    in
+    r.Ft_runtime.Engine.sim_time_ns
+  in
+  let base = run ~excluded:false ~protocol:Ft_core.Protocols.no_commit in
+  let full = run ~excluded:false ~protocol:Ft_core.Protocols.cpvs in
+  let slim = run ~excluded:true ~protocol:Ft_core.Protocols.cpvs in
+  let pct t =
+    100. *. (float_of_int t -. float_of_int base) /. float_of_int base
+  in
+  [
+    { label = "full checkpoints"; sim_time_ns = full; overhead_pct = pct full };
+    { label = "framebuffer excluded"; sim_time_ns = slim;
+      overhead_pct = pct slim };
+  ]
+
+let render_exclusion rows =
+  Report.section "Ablation: excluding recomputable state from commits (2.6)"
+  ^ Report.table
+      ~headers:[ "configuration"; "sim time (ms)"; "DC-disk overhead" ]
+      ~rows:
+        (List.map
+           (fun r ->
+             [
+               r.label;
+               string_of_int (r.sim_time_ns / 1_000_000);
+               Report.pct1 r.overhead_pct;
+             ])
+           rows)
+
+(* --- page size -------------------------------------------------------------- *)
+
+type page_row = { page_size : int; sim_time_ns : int }
+
+let page_size ?(sizes = [ 16; 64; 256 ]) () =
+  List.map
+    (fun page_size ->
+      let w =
+        Ft_apps.Magic.workload
+          ~params:{ Ft_apps.Magic.small_params with Ft_apps.Magic.commands = 25 }
+          ()
+      in
+      let cfg =
+        Ft_apps.Workload.engine_config w
+          { Ft_runtime.Engine.default_config with
+            page_size;
+            medium = Ft_runtime.Checkpointer.Disk Ft_stablemem.Disk.default }
+      in
+      let kernel = Ft_apps.Workload.kernel w in
+      let _, r =
+        Ft_runtime.Engine.execute ~cfg ~kernel ~programs:w.programs ()
+      in
+      { page_size; sim_time_ns = r.Ft_runtime.Engine.sim_time_ns })
+    sizes
+
+let render_page_size rows =
+  Report.section "Ablation: COW page size (checkpoint payload vs traps)"
+  ^ Report.table
+      ~headers:[ "page (words)"; "sim time (ms)" ]
+      ~rows:
+        (List.map
+           (fun r ->
+             [ string_of_int r.page_size;
+               string_of_int (r.sim_time_ns / 1_000_000) ])
+           rows)
+
+(* --- disk model --------------------------------------------------------------- *)
+
+let disk_model () =
+  let run disk =
+    let w =
+      Ft_apps.Nvi.workload
+        ~params:
+          { Ft_apps.Nvi.small_params with
+            Ft_apps.Nvi.keystrokes = 150; interval_ns = 20_000_000 }
+        ()
+    in
+    let cfg =
+      Ft_apps.Workload.engine_config w
+        { Ft_runtime.Engine.default_config with
+          medium =
+            (match disk with
+            | None -> Ft_runtime.Checkpointer.Reliable_memory
+            | Some d -> Ft_runtime.Checkpointer.Disk d) }
+    in
+    let kernel = Ft_apps.Workload.kernel w in
+    let _, r =
+      Ft_runtime.Engine.execute ~cfg ~kernel ~programs:w.programs ()
+    in
+    r.Ft_runtime.Engine.sim_time_ns
+  in
+  [
+    ("reliable memory (Rio)", run None);
+    ("1998 SCSI disk", run (Some Ft_stablemem.Disk.default));
+    ("fast disk", run (Some Ft_stablemem.Disk.fast));
+  ]
+
+let render_disk_model rows =
+  Report.section "Ablation: commit medium (why Rio matters)"
+  ^ Report.table
+      ~headers:[ "medium"; "sim time (ms)" ]
+      ~rows:
+        (List.map
+           (fun (label, t) -> [ label; string_of_int (t / 1_000_000) ])
+           rows)
+
+let run_all () =
+  render_crash_early (crash_early ())
+  ^ render_exclusion (exclusion ())
+  ^ render_page_size (page_size ())
+  ^ render_disk_model (disk_model ())

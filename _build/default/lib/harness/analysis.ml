@@ -1,0 +1,55 @@
+(** The composed analyses of §4: how often Save-work and Lose-work
+    conflict, and how often OS failures manifest as propagation
+    failures. *)
+
+(* §4.1: the measured Lose-work violation rate applies only to
+   Heisenbugs; Bohrbugs (the dangerous path reaches the initial state,
+   which is always committed) violate Lose-work unconditionally.  Prior
+   studies (Chandra & Chen on Apache, GNOME, MySQL) put Heisenbugs at
+   5-15% of field bugs. *)
+type conflict = {
+  heisenbug_fraction : float;      (* e.g. 0.15 *)
+  violation_rate : float;          (* Table 1 average, e.g. 0.35 *)
+  upheld_fraction : float;         (* Lose-work upheld overall *)
+  conflict_fraction : float;       (* failures with no transparent recovery *)
+}
+
+let conflict ?(heisenbug_fraction = 0.15) ~violation_rate () =
+  let upheld = (1. -. violation_rate) *. heisenbug_fraction in
+  {
+    heisenbug_fraction;
+    violation_rate;
+    upheld_fraction = upheld;
+    conflict_fraction = 1. -. upheld;
+  }
+
+let render_conflict c =
+  Report.section "Section 4.1: Save-work / Lose-work conflict"
+  ^ Printf.sprintf
+      "Heisenbug fraction (prior studies)      : %.0f%%\n\
+       Lose-work violations among Heisenbugs   : %.0f%% (Table 1)\n\
+       Application faults with Lose-work upheld: %.1f%%\n\
+       => Save-work and Lose-work conflict for : %.1f%% of application \
+       faults\n"
+      (100. *. c.heisenbug_fraction)
+      (100. *. c.violation_rate)
+      (100. *. c.upheld_fraction)
+      (100. *. c.conflict_fraction)
+
+(* §4.2: assuming propagation failures violate Lose-work at the Table-1
+   rate regardless of where they began, the fraction of OS failures that
+   were propagation failures is (failed recovery rate) / (violation
+   rate). *)
+let inferred_propagation ~os_failure_rate ~violation_rate =
+  if violation_rate <= 0. then 0. else os_failure_rate /. violation_rate
+
+let render_propagation ~app ~os_failure_rate ~violation_rate =
+  Report.section
+    (Printf.sprintf "Section 4.2: inferred propagation failures (%s)" app)
+  ^ Printf.sprintf
+      "OS faults with failed recovery : %.1f%% (Table 2)\n\
+       Lose-work violation rate       : %.1f%% (Table 1)\n\
+       => inferred propagation share  : %.1f%% of OS failures\n"
+      (100. *. os_failure_rate)
+      (100. *. violation_rate)
+      (100. *. inferred_propagation ~os_failure_rate ~violation_rate)

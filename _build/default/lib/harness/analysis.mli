@@ -1,0 +1,25 @@
+(** The composed analyses of paper §4. *)
+
+type conflict = {
+  heisenbug_fraction : float;
+  violation_rate : float;
+  upheld_fraction : float;
+  conflict_fraction : float;
+      (** application faults for which Save-work and Lose-work conflict:
+          1 - (1 - violations) * heisenbugs; >90% at the paper's
+          numbers *)
+}
+
+val conflict :
+  ?heisenbug_fraction:float -> violation_rate:float -> unit -> conflict
+
+val render_conflict : conflict -> string
+
+val inferred_propagation :
+  os_failure_rate:float -> violation_rate:float -> float
+(** §4.2: failures / violation-rate = the inferred share of OS failures
+    that manifested as propagation failures (41% nvi, 10% postgres in
+    the paper). *)
+
+val render_propagation :
+  app:string -> os_failure_rate:float -> violation_rate:float -> string

@@ -1,0 +1,174 @@
+(** Figure 8: performance of the seven protocols for the four
+    applications, on Discount Checking (reliable memory) and DC-disk.
+
+    For each protocol we report the number of checkpoints in the complete
+    run and the runtime overhead relative to an unrecoverable version of
+    the application (the NO-COMMIT baseline costs nothing).  For xpilot,
+    following the paper, we report checkpoints per second and sustainable
+    frame rate instead. *)
+
+type app = Nvi | Magic | Xpilot | Treadmarks
+
+let app_name = function
+  | Nvi -> "nvi"
+  | Magic -> "magic"
+  | Xpilot -> "xpilot"
+  | Treadmarks -> "treadmarks"
+
+let app_of_name s =
+  match String.lowercase_ascii s with
+  | "nvi" -> Some Nvi
+  | "magic" -> Some Magic
+  | "xpilot" -> Some Xpilot
+  | "treadmarks" | "barnes-hut" -> Some Treadmarks
+  | _ -> None
+
+let all_apps = [ Nvi; Magic; Xpilot; Treadmarks ]
+
+(* Scale in (0, 1]: shrinks the workloads for quick runs and benches. *)
+let workload ?(scale = 1.0) app =
+  let s x = max 1 (int_of_float (float_of_int x *. scale)) in
+  match app with
+  | Nvi ->
+      Ft_apps.Nvi.workload
+        ~params:
+          { Ft_apps.Nvi.default_params with
+            Ft_apps.Nvi.keystrokes = s Ft_apps.Nvi.default_params.keystrokes }
+        ()
+  | Magic ->
+      Ft_apps.Magic.workload
+        ~params:
+          { Ft_apps.Magic.default_params with
+            Ft_apps.Magic.commands = s Ft_apps.Magic.default_params.commands }
+        ()
+  | Xpilot ->
+      Ft_apps.Xpilot.workload
+        ~params:
+          { Ft_apps.Xpilot.default_params with
+            Ft_apps.Xpilot.frames = s Ft_apps.Xpilot.default_params.frames }
+        ()
+  | Treadmarks ->
+      Ft_apps.Treadmarks.workload
+        ~params:
+          { Ft_apps.Treadmarks.default_params with
+            Ft_apps.Treadmarks.iters =
+              s Ft_apps.Treadmarks.default_params.iters }
+        ()
+
+(* The protocols each application's protocol space shows in Figure 8:
+   2PC variants only make sense for the distributed applications. *)
+let protocols_for = function
+  | Nvi | Magic ->
+      Ft_core.Protocols.
+        [ cand; cand_log; cpvs; cbndvs; cbndvs_log ]
+  | Xpilot | Treadmarks -> Ft_core.Protocols.figure8
+
+type cell = {
+  protocol : string;
+  checkpoints : int;          (* total over the run, all processes *)
+  ckps_per_sec : float;       (* largest per-process rate (xpilot metric) *)
+  dc_overhead : float;        (* percent *)
+  dcdisk_overhead : float;    (* percent *)
+  dc_fps : float;
+  dcdisk_fps : float;
+  nd_events : int;
+  logged_events : int;
+}
+
+type app_result = {
+  app : app;
+  baseline_ns : int;
+  cells : cell list;
+}
+
+let run_once ~(w : Ft_apps.Workload.t) ~protocol ~medium ~seed =
+  let cfg =
+    Ft_apps.Workload.engine_config w
+      { Ft_runtime.Engine.default_config with protocol; medium }
+  in
+  let kernel = Ft_apps.Workload.kernel ~seed w in
+  let _, r = Ft_runtime.Engine.execute ~cfg ~kernel ~programs:w.programs () in
+  r
+
+let overhead ~baseline t =
+  if baseline <= 0 then 0.
+  else 100. *. (float_of_int t -. float_of_int baseline) /. float_of_int baseline
+
+let measure ?(scale = 1.0) ?(seed = 42) app =
+  let w = workload ~scale app in
+  let base = run_once ~w ~protocol:Ft_core.Protocols.no_commit
+      ~medium:Ft_runtime.Checkpointer.Reliable_memory ~seed in
+  let baseline_ns = base.Ft_runtime.Engine.sim_time_ns in
+  let cells =
+    List.map
+      (fun proto ->
+        let dc = run_once ~w ~protocol:proto
+            ~medium:Ft_runtime.Checkpointer.Reliable_memory ~seed in
+        let dk = run_once ~w ~protocol:proto
+            ~medium:(Ft_runtime.Checkpointer.Disk Ft_stablemem.Disk.default)
+            ~seed in
+        let total r =
+          Array.fold_left ( + ) 0 r.Ft_runtime.Engine.commit_counts
+        in
+        let secs r = float_of_int r.Ft_runtime.Engine.sim_time_ns /. 1e9 in
+        let max_rate r =
+          if secs r <= 0. then 0.
+          else
+            float_of_int
+              (Array.fold_left max 0 r.Ft_runtime.Engine.commit_counts)
+            /. secs r
+        in
+        {
+          protocol = proto.Ft_core.Protocol.spec_name;
+          checkpoints = total dc;
+          ckps_per_sec = max_rate dc;
+          dc_overhead = overhead ~baseline:baseline_ns
+              dc.Ft_runtime.Engine.sim_time_ns;
+          dcdisk_overhead = overhead ~baseline:baseline_ns
+              dk.Ft_runtime.Engine.sim_time_ns;
+          dc_fps = (if app = Xpilot then Ft_apps.Xpilot.fps dc else 0.);
+          dcdisk_fps = (if app = Xpilot then Ft_apps.Xpilot.fps dk else 0.);
+          nd_events =
+            Array.fold_left ( + ) 0 dc.Ft_runtime.Engine.nd_counts;
+          logged_events =
+            Array.fold_left ( + ) 0 dc.Ft_runtime.Engine.logged_counts;
+        })
+      (protocols_for app)
+  in
+  { app; baseline_ns; cells }
+
+let render (r : app_result) =
+  let headers, rows =
+    if r.app = Xpilot then
+      ( [ "protocol"; "ckps"; "DC fps"; "DC-disk fps"; "nd"; "logged" ],
+        List.map
+          (fun c ->
+            [
+              c.protocol;
+              Printf.sprintf "%.0f/s" c.ckps_per_sec;
+              Printf.sprintf "%.1f" c.dc_fps;
+              Printf.sprintf "%.1f" c.dcdisk_fps;
+              string_of_int c.nd_events;
+              string_of_int c.logged_events;
+            ])
+          r.cells )
+    else
+      ( [ "protocol"; "checkpoints"; "DC ovh"; "DC-disk ovh"; "nd"; "logged" ],
+        List.map
+          (fun c ->
+            [
+              c.protocol;
+              string_of_int c.checkpoints;
+              Report.pct c.dc_overhead;
+              Report.pct c.dcdisk_overhead;
+              string_of_int c.nd_events;
+              string_of_int c.logged_events;
+            ])
+          r.cells )
+  in
+  Report.section
+    (Printf.sprintf "Figure 8%s: %s protocol space"
+       (match r.app with
+       | Nvi -> "a" | Magic -> "b" | Xpilot -> "c" | Treadmarks -> "d")
+       (app_name r.app))
+  ^ Report.table ~headers ~rows

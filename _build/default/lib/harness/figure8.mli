@@ -1,0 +1,41 @@
+(** Figure 8: protocol-space performance of the four applications on
+    Discount Checking and DC-disk. *)
+
+type app = Nvi | Magic | Xpilot | Treadmarks
+
+val app_name : app -> string
+val app_of_name : string -> app option
+val all_apps : app list
+
+val workload : ?scale:float -> app -> Ft_apps.Workload.t
+(** [scale] in (0, 1] shrinks the workload for quick runs. *)
+
+val protocols_for : app -> Ft_core.Protocol.spec list
+(** The 2PC variants only appear for the distributed applications. *)
+
+type cell = {
+  protocol : string;
+  checkpoints : int;  (** total over the run, all processes *)
+  ckps_per_sec : float;  (** largest per-process rate (xpilot metric) *)
+  dc_overhead : float;  (** percent over the unrecoverable baseline *)
+  dcdisk_overhead : float;
+  dc_fps : float;
+  dcdisk_fps : float;
+  nd_events : int;
+  logged_events : int;
+}
+
+type app_result = { app : app; baseline_ns : int; cells : cell list }
+
+val run_once :
+  w:Ft_apps.Workload.t ->
+  protocol:Ft_core.Protocol.spec ->
+  medium:Ft_runtime.Checkpointer.medium ->
+  seed:int ->
+  Ft_runtime.Engine.result
+
+val overhead : baseline:int -> int -> float
+
+val measure : ?scale:float -> ?seed:int -> app -> app_result
+
+val render : app_result -> string

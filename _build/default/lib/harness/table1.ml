@@ -1,0 +1,161 @@
+(** Table 1: fraction of application faults that violate Lose-work by
+    committing after the fault is activated (paper §4.1).
+
+    For each fault type we inject a planned fault into nvi or postgres
+    running under Discount Checking with CPVS (the best uniprocess
+    protocol for not violating Lose-work), keep only runs that crash,
+    and measure whether a commit landed between fault activation and the
+    crash.  The end-to-end check mirrors the paper's: recovery suppresses
+    the fault activation; the run must then complete with consistent
+    output iff no commit followed activation. *)
+
+type app = Nvi | Postgres
+
+let app_name = function Nvi -> "nvi" | Postgres -> "postgres"
+
+let workload = function
+  | Nvi -> Ft_apps.Nvi.workload ~params:Ft_apps.Nvi.small_params ()
+  | Postgres -> Ft_apps.Postgres.workload ~params:Ft_apps.Postgres.small_params ()
+
+type run_class =
+  | No_effect           (* completed with correct output: discarded *)
+  | Wrong_output        (* completed but output diverged: discarded *)
+  | Hung                (* fault caused an endless loop: discarded *)
+  | Crashed of {
+      violation : bool;         (* commit between activation and crash *)
+      recovered : bool;         (* end-to-end: consistent completion *)
+    }
+
+type row = {
+  fault_type : Ft_faults.Fault_type.t;
+  crashes : int;
+  violations : int;
+  wrong_output : int;
+  no_effect : int;
+  end_to_end_mismatches : int;
+      (* runs where recovery success did not equal no-violation: the
+         paper observed zero of these *)
+}
+
+let base_cfg w =
+  Ft_apps.Workload.engine_config w
+    { Ft_runtime.Engine.default_config with
+      protocol = Ft_core.Protocols.cpvs;
+      suppress_faults_on_recovery = true;
+      max_recovery_attempts = 2 }
+
+let reference app =
+  let w = workload app in
+  let cfg = base_cfg w in
+  let kernel = Ft_apps.Workload.kernel w in
+  let _, r = Ft_runtime.Engine.execute ~cfg ~kernel ~programs:w.programs () in
+  (r.Ft_runtime.Engine.visible, r.Ft_runtime.Engine.wall_instructions)
+
+(* One injected run.  Returns its classification.  Runs are bounded by a
+   multiple of the fault-free instruction count: an injected fault that
+   loops forever is a hang, not a crash, and is discarded like the
+   paper's non-crashing runs. *)
+let run_one ~app ~fault_type ~reference_visible ~horizon ~seed =
+  let w = workload app in
+  let cfg = base_cfg w in
+  let cfg =
+    { cfg with Ft_runtime.Engine.max_instructions = (40 * horizon) + 200_000 }
+  in
+  let kernel = Ft_apps.Workload.kernel w in
+  let engine = Ft_runtime.Engine.create ~cfg ~kernel ~programs:w.programs () in
+  let rng = Random.State.make [| seed |] in
+  match
+    Ft_faults.App_injector.plan rng fault_type ~code:w.programs.(0) ~horizon
+  with
+  | None -> No_effect
+  | Some plan ->
+      Ft_faults.App_injector.arm engine ~pid:0 plan;
+      let r = Ft_runtime.Engine.run engine in
+      let consistent =
+        Ft_core.Consistency.is_consistent ~reference:reference_visible
+          ~observed:r.Ft_runtime.Engine.visible
+      in
+      if r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Instruction_budget
+      then
+        (* Either an endless loop, or a slow-burn crash whose recovery ran
+           out of patience: indeterminate, so discarded. *)
+        Hung
+      else if r.Ft_runtime.Engine.first_crash = None then
+        if consistent then No_effect else Wrong_output
+      else
+        Crashed
+          {
+            violation = r.Ft_runtime.Engine.commit_after_activation;
+            recovered =
+              r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed
+              && consistent;
+          }
+
+let campaign ?(target_crashes = 50) ?(max_attempts = 900) ?(seed0 = 1000)
+    ~app fault_type =
+  let reference_visible, horizon = reference app in
+  let crashes = ref 0 and violations = ref 0 and wrong = ref 0
+  and benign = ref 0 and mismatches = ref 0 in
+  let attempt = ref 0 in
+  while !crashes < target_crashes && !attempt < max_attempts do
+    (match
+       run_one ~app ~fault_type ~reference_visible ~horizon
+         ~seed:(seed0 + !attempt)
+     with
+    | No_effect | Hung -> incr benign
+    | Wrong_output -> incr wrong
+    | Crashed { violation; recovered } ->
+        incr crashes;
+        if violation then incr violations;
+        (* The paper found runs recovered iff they did not commit after
+           activation; any mismatch indicates a checkpointing bug. *)
+        if recovered = violation then incr mismatches);
+    incr attempt
+  done;
+  {
+    fault_type;
+    crashes = !crashes;
+    violations = !violations;
+    wrong_output = !wrong;
+    no_effect = !benign;
+    end_to_end_mismatches = !mismatches;
+  }
+
+let run ?(target_crashes = 50) ?(max_attempts = 900) ?(seed0 = 1000) ~app () =
+  List.map
+    (fun ft -> campaign ~target_crashes ~max_attempts ~seed0 ~app ft)
+    Ft_faults.Fault_type.all
+
+let violation_pct row =
+  if row.crashes = 0 then 0.
+  else 100. *. float_of_int row.violations /. float_of_int row.crashes
+
+let average rows =
+  let crashed = List.filter (fun r -> r.crashes > 0) rows in
+  if crashed = [] then 0.
+  else
+    List.fold_left (fun a r -> a +. violation_pct r) 0. crashed
+    /. float_of_int (List.length crashed)
+
+let render ~app rows =
+  Report.section
+    (Printf.sprintf
+       "Table 1 (%s): application faults violating Lose-work" (app_name app))
+  ^ Report.table
+      ~headers:
+        [ "Fault type"; "crashes"; "violations"; "%"; "wrong-out"; "benign";
+          "e2e-mism" ]
+      ~rows:
+        (List.map
+           (fun r ->
+             [
+               Ft_faults.Fault_type.to_string r.fault_type;
+               string_of_int r.crashes;
+               string_of_int r.violations;
+               Report.pct (violation_pct r);
+               string_of_int r.wrong_output;
+               string_of_int r.no_effect;
+               string_of_int r.end_to_end_mismatches;
+             ])
+           rows
+        @ [ [ "Average"; ""; ""; Report.pct (average rows); ""; ""; "" ] ])

@@ -1,0 +1,46 @@
+(** Table 1: fraction of application faults that violate Lose-work by
+    committing between fault activation and the crash (paper §4.1),
+    measured by injection campaigns over nvi and postgres under
+    Discount Checking with CPVS, with the paper's end-to-end
+    recovery-suppression check. *)
+
+type app = Nvi | Postgres
+
+val app_name : app -> string
+val workload : app -> Ft_apps.Workload.t
+
+val base_cfg : Ft_apps.Workload.t -> Ft_runtime.Engine.config
+
+type run_class =
+  | No_effect
+  | Wrong_output
+  | Hung  (** endless loop or out-of-patience run: indeterminate *)
+  | Crashed of { violation : bool; recovered : bool }
+
+type row = {
+  fault_type : Ft_faults.Fault_type.t;
+  crashes : int;
+  violations : int;
+  wrong_output : int;
+  no_effect : int;
+  end_to_end_mismatches : int;
+      (** crashes where recovery success did not equal no-violation; the
+          residue is commits that captured no corrupted state *)
+}
+
+val campaign :
+  ?target_crashes:int ->
+  ?max_attempts:int ->
+  ?seed0:int ->
+  app:app ->
+  Ft_faults.Fault_type.t ->
+  row
+
+val run :
+  ?target_crashes:int -> ?max_attempts:int -> ?seed0:int -> app:app ->
+  unit -> row list
+(** One campaign per fault type. *)
+
+val violation_pct : row -> float
+val average : row list -> float
+val render : app:app -> row list -> string

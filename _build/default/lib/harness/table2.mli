@@ -1,0 +1,33 @@
+(** Table 2: fraction of operating-system faults after which the
+    application fails to come back up (paper §4.2). *)
+
+type row = {
+  fault_type : Ft_faults.Fault_type.t;
+  crashes : int;  (** runs where the system or the application crashed *)
+  failed_recoveries : int;
+  propagated : int;  (** corruption reached the application *)
+  no_effect : int;
+}
+
+val base_cfg : Ft_apps.Workload.t -> Ft_runtime.Engine.config
+
+val workload : Table1.app -> Ft_apps.Workload.t
+(** Table-2 sessions: comparable durations, with nvi at ~10x postgres's
+    syscall rate (the paper's non-interactive nvi). *)
+
+val run :
+  ?target_crashes:int ->
+  ?max_attempts:int ->
+  ?seed0:int ->
+  app:Table1.app ->
+  unit ->
+  row list
+
+val failure_pct : row -> float
+val average : row list -> float
+
+val propagation_fraction : row list -> float
+(** Fraction of crashed runs in which kernel corruption reached the
+    application (the §4.2 propagation-failure share). *)
+
+val render : app:Table1.app -> row list -> string

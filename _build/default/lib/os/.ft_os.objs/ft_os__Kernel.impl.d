@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Array Ft_core Ft_vm Hashtbl List Option Queue Random

@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Ft_core Ft_vm

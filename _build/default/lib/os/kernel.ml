@@ -1,0 +1,426 @@
+(** The kernel model.
+
+    Services the machine's system calls and classifies each one by the
+    paper's event taxonomy: [gettimeofday], [random], signal delivery and
+    message receives are {e transient} ND events; user input and the
+    fullness-dependent [open]/[write] results are {e fixed} ND events
+    (§2.5); [write_output] is visible; sends and receives move messages
+    through a network with delivery jitter (message order is the
+    transient non-determinism of distributed runs).
+
+    Per-process kernel state — input position, open-file table, private
+    file system, send sequence numbers and the duplicate filter — is
+    snapshottable: Discount Checking preserves kernel state at commit and
+    reconstructs it during recovery (paper §3).
+
+    The kernel also hosts the OS-fault machinery for the Table-2
+    experiment: an injected fault either panics the kernel after a delay
+    (a stop failure) or corrupts the results of syscalls touching the
+    broken subsystem until the panic (a propagation failure). *)
+
+type costs = {
+  instr_ns : int;            (* cost of one VM instruction *)
+  syscall_ns : int;          (* base cost of a syscall *)
+  network_latency_ns : int;  (* one-way message latency *)
+  network_jitter_ns : int;   (* max extra random delay (message order ND) *)
+}
+
+let default_costs =
+  {
+    instr_ns = 2;               (* ~400 MIPS, the paper's Pentium II *)
+    syscall_ns = 2_000;
+    network_latency_ns = 120_000;  (* 100 Mb/s switched Ethernet *)
+    network_jitter_ns = 60_000;
+  }
+
+(* What servicing a syscall produced.  [ev] drives protocol reaction and
+   trace recording; [new_time] lets blocking input advance the process's
+   local clock (think time). *)
+type ev =
+  | Ev_none
+  | Ev_nd of Ft_core.Event.nd_class * bool  (* class, loggable *)
+  | Ev_visible of int
+  | Ev_send of { dest : int; tag : int }
+  | Ev_receive of { src : int; tag : int }
+
+type served = {
+  r0 : int option;
+  r1 : int option;
+  cost_ns : int;
+  new_time : int option;
+  ev : ev;
+  poke : int option;
+      (* when an injected kernel fault corrupts process memory through
+         this syscall, a random seed the engine uses to pick the word *)
+}
+
+type result =
+  | Served of served
+  | Block_recv   (* no message available; retry when one arrives *)
+  | Panic        (* injected kernel fault reached its crash point *)
+
+type message = {
+  msg_src : int;
+  msg_dest : int;
+  msg_payload : int;
+  msg_seq : int;          (* per-sender sequence, for duplicate filtering *)
+  msg_tag : int;          (* stable trace tag: src * tag_stride + seq *)
+  msg_deliver_at : int;
+}
+
+let tag_stride = 1_000_000
+let tag ~src ~seq = (src * tag_stride) + seq
+
+type file = { mutable contents : int array; mutable len : int }
+
+type proc_kstate = {
+  mutable input_pos : int;
+  mutable last_input_at : int;  (* completion time of the previous read *)
+  mutable send_seq : int;
+  mutable last_seen : (int * int) list;  (* per-sender highest seq consumed *)
+  mutable open_files : (int * (int * int)) list;  (* fd -> (name, offset) *)
+  mutable next_fd : int;
+  mutable fs_used : int;          (* words written, against capacity *)
+  mutable sig_period : int;       (* ns; 0 = no timer signal *)
+  mutable next_signal : int;
+}
+
+type kstate_snapshot = proc_kstate
+
+(* Injected OS fault (configured by Ft_faults.Os_injector). *)
+type os_fault = {
+  mutable panic_at : int;        (* absolute time of the kernel panic;
+                                    the corruption window scales with the
+                                    application's syscall *rate* (§4.2) *)
+  touches : Ft_vm.Syscall.t -> bool;   (* syscalls reading the broken subsystem *)
+  corrupt_bit : int;             (* which result bit the corruption flips *)
+  poke_probability : float;      (* chance a touched syscall also corrupts
+                                    process memory (a bad copyout) *)
+  mutable propagated : bool;     (* corruption reached the application *)
+}
+
+type t = {
+  nprocs : int;
+  costs : costs;
+  rng : Random.State.t;
+  inputs : (int * int) array array;        (* per pid: (ready_ns, token) *)
+  kstates : proc_kstate array;
+  mailboxes : message Queue.t array;
+  (* messages consumed since the receiver's last commit, oldest first *)
+  uncommitted_recv : message list ref array;
+  files : (int, file) Hashtbl.t array;     (* private FS per process *)
+  mutable fs_capacity : int;
+  mutable max_open_files : int;
+  mutable os_fault : os_fault option;
+  mutable panicked : bool;
+  syscall_tally : (Ft_vm.Syscall.t, int) Hashtbl.t;
+      (* how often each syscall was serviced: OS fault injection targets
+         the kernel paths the workload actually exercises *)
+}
+
+let create ?(costs = default_costs) ?(seed = 42) ?(fs_capacity = 1 lsl 20)
+    ?(max_open_files = 16) ~nprocs () =
+  {
+    nprocs;
+    costs;
+    rng = Random.State.make [| seed |];
+    inputs = Array.make nprocs [||];
+    kstates =
+      Array.init nprocs (fun _ ->
+          {
+            input_pos = 0;
+            last_input_at = 0;
+            send_seq = 0;
+            last_seen = [];
+            open_files = [];
+            next_fd = 3;
+            fs_used = 0;
+            sig_period = 0;
+            next_signal = max_int;
+          });
+    mailboxes = Array.init nprocs (fun _ -> Queue.create ());
+    uncommitted_recv = Array.init nprocs (fun _ -> ref []);
+    files = Array.init nprocs (fun _ -> Hashtbl.create 8);
+    fs_capacity;
+    max_open_files;
+    os_fault = None;
+    panicked = false;
+    syscall_tally = Hashtbl.create 16;
+  }
+
+let costs t = t.costs
+let nprocs t = t.nprocs
+
+(* Scripted user input.  Each entry is (gap, token): the token becomes
+   available [gap] after the previous read completed — the paper's
+   interactive cadence (100 ms between keystrokes in nvi, 1 s between
+   commands in magic), where the user types the next key after seeing
+   the response, so commit latency shows up in elapsed time. *)
+let set_input t pid pairs = t.inputs.(pid) <- pairs
+
+let scripted_input ~start ~interval_ns tokens =
+  Array.of_list
+    (List.mapi
+       (fun i tok -> ((if i = 0 then start else interval_ns), tok))
+       tokens)
+
+let set_timer_signal t pid ~period_ns ~first_at =
+  let k = t.kstates.(pid) in
+  k.sig_period <- period_ns;
+  k.next_signal <- first_at
+
+(* A timer signal due?  Consumes the occurrence. *)
+let poll_signal t pid ~now =
+  let k = t.kstates.(pid) in
+  if k.sig_period > 0 && now >= k.next_signal then begin
+    k.next_signal <- k.next_signal + k.sig_period;
+    true
+  end
+  else false
+
+let set_os_fault t f = t.os_fault <- Some f
+let os_fault t = t.os_fault
+let panicked t = t.panicked
+
+(* Reboot: the injected fault is gone; panic state cleared. *)
+let clear_os_fault t =
+  t.os_fault <- None;
+  t.panicked <- false
+
+(* §2.6: the operating system can turn some fixed non-deterministic
+   events into transient ones by increasing resource limits after a
+   failure — a disk-full or table-full result need not repeat during
+   recovery if the reboot grows the resource. *)
+let expand_resources t =
+  t.fs_capacity <- 2 * t.fs_capacity;
+  t.max_open_files <- t.max_open_files + 8
+
+(* --- per-process kernel state snapshot/restore ------------------------- *)
+
+let snapshot_kstate t pid =
+  let k = t.kstates.(pid) in
+  { k with input_pos = k.input_pos }  (* all-immutable-field copy *)
+
+let restore_kstate t pid (s : kstate_snapshot) =
+  let k = t.kstates.(pid) in
+  k.input_pos <- s.input_pos;
+  k.last_input_at <- s.last_input_at;
+  k.send_seq <- s.send_seq;
+  k.last_seen <- s.last_seen;
+  k.open_files <- s.open_files;
+  k.next_fd <- s.next_fd;
+  k.fs_used <- s.fs_used;
+  k.sig_period <- s.sig_period;
+  k.next_signal <- s.next_signal
+
+(* File contents are kept simple: they are not rolled back (the paper's
+   workloads treat file writes as redo-logged output; our applications
+   only append).  Offsets and the open-file table are rolled back. *)
+
+(* The receiver committed: its consumed messages need never be redelivered. *)
+let note_commit t pid = t.uncommitted_recv.(pid) := []
+
+(* The receiver rolled back: requeue the messages it consumed since its
+   last commit, in original order, ahead of anything else pending. *)
+let requeue_uncommitted t pid =
+  let pending = Queue.create () in
+  Queue.transfer t.mailboxes.(pid) pending;
+  List.iter (fun m -> Queue.add m t.mailboxes.(pid)) !(t.uncommitted_recv.(pid));
+  Queue.transfer pending t.mailboxes.(pid);
+  t.uncommitted_recv.(pid) := []
+
+let mailbox_nonempty t pid = not (Queue.is_empty t.mailboxes.(pid))
+
+(* --- syscall servicing -------------------------------------------------- *)
+
+let apply_os_fault t ~now s (served : served) =
+  match t.os_fault with
+  | None -> served
+  | Some f ->
+      if now >= f.panic_at then served (* caller checks panic *)
+      else if f.touches s then begin
+        f.propagated <- true;
+        let flip v = v lxor (1 lsl f.corrupt_bit) in
+        let poke =
+          if Random.State.float t.rng 1.0 < f.poke_probability then
+            Some (Random.State.bits t.rng)
+          else None
+        in
+        { served with r0 = Option.map flip served.r0; poke }
+      end
+      else served
+
+let check_panic t ~now =
+  match t.os_fault with
+  | Some f when now >= f.panic_at ->
+      t.panicked <- true;
+      true
+  | _ -> false
+
+let fresh_fd k = let fd = k.next_fd in k.next_fd <- fd + 1; fd
+
+let find_file t pid name =
+  match Hashtbl.find_opt t.files.(pid) name with
+  | Some f -> f
+  | None ->
+      let f = { contents = Array.make 64 0; len = 0 } in
+      Hashtbl.add t.files.(pid) name f;
+      f
+
+let file_append f v =
+  if f.len >= Array.length f.contents then begin
+    let bigger = Array.make (2 * Array.length f.contents) 0 in
+    Array.blit f.contents 0 bigger 0 f.len;
+    f.contents <- bigger
+  end;
+  f.contents.(f.len) <- v;
+  f.len <- f.len + 1
+
+(* Service one syscall for [pid] at local time [now] with argument
+   registers [a0], [a1]. *)
+let service t ~pid ~now ~a0 ~a1 s =
+  let k = t.kstates.(pid) in
+  Hashtbl.replace t.syscall_tally s
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.syscall_tally s));
+  let base = t.costs.syscall_ns in
+  let done_ ?r0 ?r1 ?(cost = base) ?new_time ev =
+    let served = { r0; r1; cost_ns = cost; new_time; ev; poke = None } in
+    let served = apply_os_fault t ~now s served in
+    if check_panic t ~now then Panic else Served served
+  in
+  match s with
+  | Ft_vm.Syscall.Gettimeofday ->
+      (* Microseconds; depends on scheduling, hence transient ND. *)
+      done_ ~r0:(now / 1_000) (Ev_nd (Ft_core.Event.Transient, false))
+  | Ft_vm.Syscall.Random ->
+      done_ ~r0:(Random.State.int t.rng 1_000_000)
+        (Ev_nd (Ft_core.Event.Transient, false))
+  | Ft_vm.Syscall.Read_input ->
+      let script = t.inputs.(pid) in
+      if k.input_pos >= Array.length script then
+        (* End of input: a fixed ND result (the user went home). *)
+        done_ ~r0:(-1) (Ev_nd (Ft_core.Event.Fixed, true))
+      else begin
+        (* The user reads the response, then types the next key [gap]
+           later: processing and commit latency serialize with think
+           time, as in the paper's interactive runs. *)
+        let gap, tok = script.(k.input_pos) in
+        let ready = now + gap in
+        k.input_pos <- k.input_pos + 1;
+        k.last_input_at <- ready;
+        done_ ~r0:tok ~new_time:ready (Ev_nd (Ft_core.Event.Fixed, true))
+      end
+  | Ft_vm.Syscall.Poll_input ->
+      let script = t.inputs.(pid) in
+      let ready =
+        k.input_pos < Array.length script
+        && k.last_input_at + fst script.(k.input_pos) <= now
+      in
+      done_ ~r0:(if ready then 1 else 0)
+        (Ev_nd (Ft_core.Event.Transient, false))
+  | Ft_vm.Syscall.Write_output -> done_ ~cost:(base * 2) (Ev_visible a0)
+  | Ft_vm.Syscall.Send ->
+      let dest = a0 land max_int mod max 1 t.nprocs in
+      let seq = k.send_seq in
+      k.send_seq <- seq + 1;
+      let jitter =
+        if t.costs.network_jitter_ns = 0 then 0
+        else Random.State.int t.rng t.costs.network_jitter_ns
+      in
+      let m =
+        {
+          msg_src = pid;
+          msg_dest = dest;
+          msg_payload = a1;
+          msg_seq = seq;
+          msg_tag = tag ~src:pid ~seq;
+          msg_deliver_at = now + t.costs.network_latency_ns + jitter;
+        }
+      in
+      Queue.add m t.mailboxes.(dest);
+      done_ ~cost:(base * 3) (Ev_send { dest; tag = m.msg_tag })
+  | Ft_vm.Syscall.Recv | Ft_vm.Syscall.Try_recv -> (
+      (* Pop the next message, skipping duplicates already consumed
+         before the sender was rolled back (§2.1: receivers must filter
+         duplicate messages for sends to be redoable). *)
+      let rec next () =
+        if Queue.is_empty t.mailboxes.(pid) then None
+        else
+          let m = Queue.pop t.mailboxes.(pid) in
+          let seen =
+            match List.assoc_opt m.msg_src k.last_seen with
+            | Some s -> s
+            | None -> -1
+          in
+          if m.msg_seq <= seen then next () else Some m
+      in
+      match next () with
+      | None ->
+          if s = Ft_vm.Syscall.Try_recv then
+            done_ ~r0:(-1) ~r1:(-1) (Ev_nd (Ft_core.Event.Transient, false))
+          else Block_recv
+      | Some m ->
+          k.last_seen <-
+            (m.msg_src, m.msg_seq)
+            :: List.remove_assoc m.msg_src k.last_seen;
+          t.uncommitted_recv.(pid) :=
+            !(t.uncommitted_recv.(pid)) @ [ m ];
+          let new_time =
+            if m.msg_deliver_at > now then Some m.msg_deliver_at else None
+          in
+          done_ ~r0:m.msg_payload ~r1:m.msg_src ~cost:(base * 3) ?new_time
+            (Ev_receive { src = m.msg_src; tag = m.msg_tag }))
+  | Ft_vm.Syscall.Open_file ->
+      (* Success depends on the fullness of the open-file table (§2.5).
+         Given the kernel state a checkpoint preserves, a successful open
+         replays deterministically; only the table-full failure is a
+         fixed ND event the recovery system cannot rely on changing. *)
+      if List.length k.open_files >= t.max_open_files then
+        done_ ~r0:(-1) (Ev_nd (Ft_core.Event.Fixed, false))
+      else begin
+        let file = find_file t pid a0 in
+        let fd = fresh_fd k in
+        k.open_files <- (fd, (a0, file.len)) :: k.open_files;
+        done_ ~r0:fd Ev_none
+      end
+  | Ft_vm.Syscall.Write_file -> (
+      match List.assoc_opt a0 k.open_files with
+      | None -> done_ ~r0:(-1) Ev_none
+      | Some (name, _) ->
+          (* Disk-full failures are fixed ND (§2.5); successful appends
+             replay deterministically from checkpointed kernel state. *)
+          if k.fs_used >= t.fs_capacity then
+            done_ ~r0:(-1) (Ev_nd (Ft_core.Event.Fixed, false))
+          else begin
+            file_append (find_file t pid name) a1;
+            k.fs_used <- k.fs_used + 1;
+            done_ ~r0:1 ~cost:(base * 4) Ev_none
+          end)
+  | Ft_vm.Syscall.Read_file -> (
+      match List.assoc_opt a0 k.open_files with
+      | None -> done_ ~r0:(-1) Ev_none
+      | Some (name, _) ->
+          let f = find_file t pid name in
+          let v = if a1 >= 0 && a1 < f.len then f.contents.(a1) else -1 in
+          done_ ~r0:v Ev_none)
+  | Ft_vm.Syscall.Close_file ->
+      k.open_files <- List.remove_assoc a0 k.open_files;
+      done_ Ev_none
+  | Ft_vm.Syscall.Sigaction -> done_ Ev_none (* handler address kept by machine *)
+  | Ft_vm.Syscall.Sleep ->
+      done_ ~new_time:(now + max 0 (a0 * 1_000)) ~cost:0 Ev_none
+  | Ft_vm.Syscall.Yield -> done_ ~cost:0 Ev_none
+
+let syscall_count t s =
+  Option.value ~default:0 (Hashtbl.find_opt t.syscall_tally s)
+
+(* File observation, for tests and app assertions. *)
+let file_length t pid name =
+  match Hashtbl.find_opt t.files.(pid) name with
+  | Some f -> f.len
+  | None -> 0
+
+let file_word t pid name i =
+  match Hashtbl.find_opt t.files.(pid) name with
+  | Some f when i >= 0 && i < f.len -> Some f.contents.(i)
+  | _ -> None

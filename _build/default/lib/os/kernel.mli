@@ -1,0 +1,121 @@
+(** The kernel model: services syscalls, classifies each as an event of
+    the paper's taxonomy, and owns the clock, scripted input sources,
+    timer signals, per-process file systems, the network (with delivery
+    jitter, duplicate filtering and the receive recovery buffer), and
+    the OS-fault machinery of the Table-2 experiment. *)
+
+type costs = {
+  instr_ns : int;  (** cost of one VM instruction *)
+  syscall_ns : int;  (** base cost of a syscall *)
+  network_latency_ns : int;  (** one-way message latency *)
+  network_jitter_ns : int;  (** max extra random delay (message-order ND) *)
+}
+
+val default_costs : costs
+(** Approximately the paper's testbed: 400 MHz Pentium II on 100 Mb/s
+    switched Ethernet. *)
+
+(** Event classification of a serviced syscall. *)
+type ev =
+  | Ev_none  (** deterministic *)
+  | Ev_nd of Ft_core.Event.nd_class * bool  (** class, loggable *)
+  | Ev_visible of int
+  | Ev_send of { dest : int; tag : int }
+  | Ev_receive of { src : int; tag : int }
+
+type served = {
+  r0 : int option;  (** result register 0 *)
+  r1 : int option;
+  cost_ns : int;
+  new_time : int option;  (** blocking advanced the local clock here *)
+  ev : ev;
+  poke : int option;
+      (** an injected kernel fault corrupted process memory through this
+          syscall: a seed the engine uses to pick the word *)
+}
+
+type result =
+  | Served of served
+  | Block_recv  (** no message available; retry when one arrives *)
+  | Panic  (** the injected kernel fault reached its crash point *)
+
+(** An injected OS fault (configured by {!Ft_faults.Os_injector}). *)
+type os_fault = {
+  mutable panic_at : int;
+      (** absolute panic time: the corruption window is a time interval,
+          so exposure scales with the application's syscall rate (§4.2) *)
+  touches : Ft_vm.Syscall.t -> bool;
+      (** syscalls served from the broken subsystem *)
+  corrupt_bit : int;  (** result bit flipped by the corruption *)
+  poke_probability : float;
+      (** chance a touched syscall also corrupts process memory *)
+  mutable propagated : bool;  (** corruption reached the application *)
+}
+
+type t
+type kstate_snapshot
+
+val create :
+  ?costs:costs ->
+  ?seed:int ->
+  ?fs_capacity:int ->
+  ?max_open_files:int ->
+  nprocs:int ->
+  unit ->
+  t
+
+val costs : t -> costs
+val nprocs : t -> int
+
+val set_input : t -> int -> (int * int) array -> unit
+(** Scripted user input: [(gap_ns, token)] pairs; each token becomes
+    available [gap] after the previous read's response (think time
+    serializes with processing, as in the paper's interactive runs). *)
+
+val scripted_input :
+  start:int -> interval_ns:int -> int list -> (int * int) array
+
+val set_timer_signal : t -> int -> period_ns:int -> first_at:int -> unit
+
+val poll_signal : t -> int -> now:int -> bool
+(** Is a timer signal due?  Consumes the occurrence. *)
+
+val set_os_fault : t -> os_fault -> unit
+val os_fault : t -> os_fault option
+val panicked : t -> bool
+
+val clear_os_fault : t -> unit
+(** Reboot: the injected fault is gone. *)
+
+val expand_resources : t -> unit
+(** §2.6: grow the disk and the open-file table, turning the fixed ND
+    resource-exhaustion results into transient ones for recovery. *)
+
+val snapshot_kstate : t -> int -> kstate_snapshot
+(** Per-process kernel state (input position, open files, send sequence,
+    duplicate filter, signal timers): Discount Checking preserves it at
+    commit time and reconstructs it during recovery (§3). *)
+
+val restore_kstate : t -> int -> kstate_snapshot -> unit
+
+val note_commit : t -> int -> unit
+(** The process committed: consumed messages need never be redelivered. *)
+
+val requeue_uncommitted : t -> int -> unit
+(** The process rolled back: redeliver the messages it consumed since
+    its last commit, in order (the §2.1 recovery buffer). *)
+
+val mailbox_nonempty : t -> int -> bool
+
+val service :
+  t -> pid:int -> now:int -> a0:int -> a1:int -> Ft_vm.Syscall.t -> result
+(** Service one syscall at local time [now] with argument registers. *)
+
+val syscall_count : t -> Ft_vm.Syscall.t -> int
+(** How often a syscall was serviced; OS fault injection targets the
+    kernel paths the workload exercises. *)
+
+val file_length : t -> int -> int -> int
+(** [file_length t pid name] — words written to the named file. *)
+
+val file_word : t -> int -> int -> int -> int option

@@ -1,0 +1,1 @@
+lib/runtime/checkpointer.ml: Array Ft_os Ft_stablemem Ft_vm List

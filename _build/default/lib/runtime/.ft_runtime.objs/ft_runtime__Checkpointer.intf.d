@@ -1,0 +1,1 @@
+lib/runtime/checkpointer.mli: Ft_os Ft_stablemem Ft_vm

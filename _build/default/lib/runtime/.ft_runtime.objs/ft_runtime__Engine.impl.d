@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Checkpointer Event Ft_core Ft_os Ft_vm List Protocol Random

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Checkpointer Ft_core Ft_os Ft_vm

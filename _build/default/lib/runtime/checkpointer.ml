@@ -1,0 +1,184 @@
+(** Discount Checking: transparent full-process checkpoints (paper §3).
+
+    Each process's address space lives (logically) in a Vista segment
+    backed by Rio reliable memory.  Vista traps updates copy-on-write and
+    keeps before-images in a persistent undo log; taking a checkpoint
+    amounts to copying the register file, atomically discarding the undo
+    log, and resetting page protections.  We charge exactly those costs:
+    a per-checkpoint base, a trap-plus-copy cost per page dirtied since
+    the last checkpoint, and a per-word copy cost for the register file,
+    live stack and kernel state.
+
+    DC-disk is the same mechanism with the committed image written as a
+    redo log synchronously to disk; its per-checkpoint cost is dominated
+    by the disk access time ({!Ft_stablemem.Disk}). *)
+
+type medium =
+  | Reliable_memory            (* Rio: memory-speed commits *)
+  | Disk of Ft_stablemem.Disk.t  (* DC-disk: synchronous redo log *)
+
+type cost_model = {
+  base_ns : int;        (* fixed per checkpoint: register copy, log reset *)
+  page_trap_ns : int;   (* COW page-protection trap, per dirty page *)
+  word_copy_ns : int;   (* memory copy, per word *)
+  kstate_words : int;   (* accounted size of saved kernel state *)
+}
+
+let default_cost = {
+  base_ns = 25_000;
+  page_trap_ns = 4_000;
+  word_copy_ns = 2;
+  kstate_words = 64;
+}
+
+(* Per-process persistent area: committed heap image, committed stack,
+   machine metadata, plus the kernel-state snapshot kept alongside. *)
+type slot = {
+  vista : Ft_stablemem.Vista.t;
+  heap_words : int;
+  stack_base : int;          (* offset of the stack area in the region *)
+  meta_base : int;
+  mutable committed_sp : int;
+  mutable committed : bool;  (* at least one checkpoint taken *)
+  mutable kstate : Ft_os.Kernel.kstate_snapshot option;
+  mutable count : int;       (* checkpoints taken *)
+}
+
+type t = {
+  medium : medium;
+  cost : cost_model;
+  slots : slot array;
+  excluded : int -> bool;
+      (* §2.6: pages of recomputable state the application chose not to
+         checkpoint; their contents are lost at recovery *)
+}
+
+let meta_words = Ft_vm.Instr.num_regs + 6
+
+let create ?(cost = default_cost) ?(excluded = fun _ -> false) ~medium
+    ~nprocs ~heap_words ~stack_words () =
+  let make_slot _ =
+    let size = heap_words + stack_words + meta_words in
+    let region = Ft_stablemem.Rio.create ~size in
+    {
+      vista = Ft_stablemem.Vista.create region;
+      heap_words;
+      stack_base = heap_words;
+      meta_base = heap_words + stack_words;
+      committed_sp = 0;
+      committed = false;
+      kstate = None;
+      count = 0;
+    }
+  in
+  { medium; cost; slots = Array.init nprocs make_slot; excluded }
+
+let checkpoints t ~pid = t.slots.(pid).count
+
+let has_checkpoint t ~pid = t.slots.(pid).committed
+
+(* Take a checkpoint of [machine] (incremental in its dirty pages) and the
+   kernel state; returns the simulated cost in nanoseconds. *)
+let commit t ~pid ~(machine : Ft_vm.Machine.t) ~kstate =
+  let s = t.slots.(pid) in
+  let heap = Ft_vm.Machine.heap machine in
+  let page_size = Ft_vm.Memory.page_size heap in
+  let dirty =
+    List.filter (fun p -> not (t.excluded p)) (Ft_vm.Memory.dirty_pages heap)
+  in
+  let snap = Ft_vm.Machine.snapshot machine in
+  let v = s.vista in
+  Ft_stablemem.Vista.begin_tx v;
+  (* Heap: only pages dirtied since the last checkpoint. *)
+  List.iter
+    (fun p ->
+      Ft_stablemem.Vista.write_range v ~off:(p * page_size)
+        (Ft_vm.Memory.snapshot_page heap p))
+    dirty;
+  (* Live stack prefix and machine metadata. *)
+  if Array.length snap.Ft_vm.Machine.s_stack > 0 then
+    Ft_stablemem.Vista.write_range v ~off:s.stack_base
+      snap.Ft_vm.Machine.s_stack;
+  let meta =
+    Array.append snap.Ft_vm.Machine.s_regs
+      [|
+        snap.Ft_vm.Machine.s_pc;
+        snap.Ft_vm.Machine.s_sp;
+        snap.Ft_vm.Machine.s_fp;
+        snap.Ft_vm.Machine.s_icount;
+        snap.Ft_vm.Machine.s_signal_handler;
+        (if snap.Ft_vm.Machine.s_in_signal then 1 else 0);
+      |]
+  in
+  Ft_stablemem.Vista.write_range v ~off:s.meta_base meta;
+  Ft_stablemem.Vista.commit v;
+  Ft_vm.Memory.clear_dirty heap;
+  s.committed_sp <- snap.Ft_vm.Machine.s_sp;
+  s.committed <- true;
+  s.kstate <- Some kstate;
+  s.count <- s.count + 1;
+  let words =
+    (List.length dirty * page_size)
+    + snap.Ft_vm.Machine.s_sp + meta_words + t.cost.kstate_words
+  in
+  match t.medium with
+  | Reliable_memory ->
+      t.cost.base_ns
+      + (List.length dirty * t.cost.page_trap_ns)
+      + (words * t.cost.word_copy_ns)
+  | Disk d ->
+      (* COW traps still happen; the synchronous log write dominates. *)
+      t.cost.base_ns
+      + (List.length dirty * t.cost.page_trap_ns)
+      + Ft_stablemem.Disk.commit_cost d ~words
+
+(* Pessimistic logging of an ND event's result: the record must be stable
+   before the event's effects can propagate, so on DC-disk each log write
+   is a synchronous disk access (the reason the -LOG protocols still pay
+   double-digit overheads on DC-disk in Figure 8). *)
+let log_cost t ~words =
+  match t.medium with
+  | Reliable_memory -> 1_000 + (words * t.cost.word_copy_ns)
+  | Disk d -> Ft_stablemem.Disk.write_cost d ~words
+
+(* Restore [machine] (and return the kernel state) from the last
+   checkpoint.  Returns the simulated recovery cost. *)
+let restore t ~pid ~(machine : Ft_vm.Machine.t) =
+  let s = t.slots.(pid) in
+  if not s.committed then invalid_arg "Checkpointer.restore: no checkpoint";
+  (* A crash mid-commit leaves an open transaction; Vista recovery rolls
+     it back to the previous checkpoint. *)
+  Ft_stablemem.Vista.recover s.vista;
+  let region = Ft_stablemem.Vista.region s.vista in
+  let heap = Ft_stablemem.Rio.sub region ~off:0 ~len:s.heap_words in
+  let meta = Ft_stablemem.Rio.sub region ~off:s.meta_base ~len:meta_words in
+  let nregs = Ft_vm.Instr.num_regs in
+  let sp = meta.(nregs + 1) in
+  let stack = Ft_stablemem.Rio.sub region ~off:s.stack_base ~len:sp in
+  let snap =
+    {
+      Ft_vm.Machine.s_code_len = 0;
+      s_pc = meta.(nregs);
+      s_regs = Array.sub meta 0 nregs;
+      s_stack = stack;
+      s_sp = sp;
+      s_fp = meta.(nregs + 2);
+      s_heap = heap;
+      s_icount = meta.(nregs + 3);
+      s_signal_handler = meta.(nregs + 4);
+      s_in_signal = meta.(nregs + 5) = 1;
+    }
+  in
+  Ft_vm.Machine.restore machine snap;
+  let kstate =
+    match s.kstate with
+    | Some k -> k
+    | None -> invalid_arg "Checkpointer.restore: missing kernel state"
+  in
+  let words = s.heap_words + sp + meta_words + t.cost.kstate_words in
+  let cost =
+    match t.medium with
+    | Reliable_memory -> t.cost.base_ns + (words * t.cost.word_copy_ns)
+    | Disk d -> Ft_stablemem.Disk.write_cost d ~words
+  in
+  (kstate, cost)

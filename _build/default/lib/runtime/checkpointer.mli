@@ -1,0 +1,54 @@
+(** Discount Checking: transparent full-process checkpoints (paper §3),
+    incremental in the pages dirtied since the last commit, stored
+    through Vista transactions in Rio reliable memory — or written as a
+    synchronous redo log to disk (DC-disk). *)
+
+type medium =
+  | Reliable_memory  (** Rio: memory-speed commits *)
+  | Disk of Ft_stablemem.Disk.t  (** DC-disk: synchronous redo log *)
+
+type cost_model = {
+  base_ns : int;  (** fixed per checkpoint: register copy, log reset *)
+  page_trap_ns : int;  (** COW page-protection trap, per dirty page *)
+  word_copy_ns : int;
+  kstate_words : int;  (** accounted size of saved kernel state *)
+}
+
+val default_cost : cost_model
+
+type t
+
+val create :
+  ?cost:cost_model ->
+  ?excluded:(int -> bool) ->
+  medium:medium ->
+  nprocs:int ->
+  heap_words:int ->
+  stack_words:int ->
+  unit ->
+  t
+
+val checkpoints : t -> pid:int -> int
+val has_checkpoint : t -> pid:int -> bool
+
+(** [excluded] marks heap pages of recomputable state the application
+    chooses not to checkpoint (§2.6: "reducing the comprehensiveness of
+    the state saved"); their contents are lost at recovery and must be
+    rebuilt by the application. *)
+
+val commit :
+  t -> pid:int -> machine:Ft_vm.Machine.t ->
+  kstate:Ft_os.Kernel.kstate_snapshot -> int
+(** Take a checkpoint; returns the simulated cost in nanoseconds. *)
+
+val log_cost : t -> words:int -> int
+(** Pessimistic logging of an ND event's result: the record must be
+    stable before the event's effects propagate — a synchronous disk
+    access on DC-disk, a memory write on Rio. *)
+
+val restore :
+  t -> pid:int -> machine:Ft_vm.Machine.t ->
+  Ft_os.Kernel.kstate_snapshot * int
+(** Roll the machine back to the last checkpoint (running Vista recovery
+    first, in case the crash interrupted a commit); returns the kernel
+    state to reinstall and the simulated recovery cost. *)

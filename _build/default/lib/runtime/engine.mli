@@ -1,0 +1,88 @@
+(** The execution engine: runs VM processes on the kernel model under a
+    recovery protocol, with Discount Checking commits, rollback and
+    replay.  Schedules the runnable process with the smallest local
+    clock (a conservative parallel simulation), consults the protocol at
+    every event, records the {!Ft_core.Trace}, charges simulated time,
+    and recovers crashed processes from their last checkpoint. *)
+
+type config = {
+  protocol : Ft_core.Protocol.spec;
+  medium : Checkpointer.medium;
+  cost : Checkpointer.cost_model;
+  batch : int;  (** max instructions per scheduling slice *)
+  deadline_ns : int option;  (** stop the run at this simulated time *)
+  max_instructions : int;  (** safety net against runaway executions *)
+  auto_recover : bool;
+  suppress_faults_on_recovery : bool;
+      (** the paper's end-to-end check (§4.1): restore pristine code and
+          silence the injector when recovering *)
+  max_recovery_attempts : int;
+  reboot_delay_ns : int;  (** after a kernel panic *)
+  kills : (int * int) list;  (** (time_ns, pid) stop failures to inject *)
+  heap_words : int;
+  stack_words : int;
+  page_size : int;
+  expand_resources_on_recovery : bool;
+      (** §2.6: grow resource limits at reboot, turning fixed ND
+          exhaustion results transient *)
+  excluded_pages : int -> bool;
+      (** §2.6: recomputable heap pages left out of checkpoints; lost at
+          recovery *)
+}
+
+val default_config : config
+
+type outcome =
+  | Completed  (** every process halted *)
+  | Deadline
+  | Recovery_failed  (** a process kept crashing past its last commit *)
+  | Deadlocked
+  | Instruction_budget
+
+type result = {
+  outcome : outcome;
+  trace : Ft_core.Trace.t;
+  visible : int list;  (** values output to the user, in order *)
+  sim_time_ns : int;
+  wall_instructions : int;
+  commit_counts : int array;  (** protocol-triggered commits, per process *)
+  nd_counts : int array;
+  logged_counts : int array;
+  visible_counts : int array;
+  recoveries : int;
+  crashes : int;
+  activation : (int * int) option;  (** pid, trace index at activation *)
+  first_crash : (int * int) option;
+  commit_after_activation : bool;
+      (** a commit landed between fault activation and the first crash:
+          the Table-1 Lose-work violation criterion *)
+  memory_pokes : int;  (** kernel-fault memory corruptions applied *)
+}
+
+type t
+
+val create :
+  ?cfg:config -> kernel:Ft_os.Kernel.t -> programs:Ft_vm.Instr.t array array ->
+  unit -> t
+(** Builds the engine and takes checkpoint zero of every process ("the
+    initial state of any application is always committed", §4). *)
+
+val machine : t -> int -> Ft_vm.Machine.t
+val kernel : t -> Ft_os.Kernel.t
+
+val set_on_recover : t -> (int -> unit) -> unit
+(** Called on each recovery when fault suppression is on; injectors use
+    it to stand down. *)
+
+val record_activation : t -> int -> unit
+(** Fault injectors mark the moment the injected bug first changes the
+    execution. *)
+
+val activation_recorded : t -> bool
+
+val run : t -> result
+
+val execute :
+  ?cfg:config -> kernel:Ft_os.Kernel.t -> programs:Ft_vm.Instr.t array array ->
+  unit -> t * result
+(** [create] then [run]. *)

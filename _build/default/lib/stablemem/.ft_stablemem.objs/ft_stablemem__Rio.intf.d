@@ -1,0 +1,1 @@
+lib/stablemem/rio.mli:

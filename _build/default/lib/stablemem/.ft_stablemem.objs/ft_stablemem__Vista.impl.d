@@ -1,0 +1,1 @@
+lib/stablemem/vista.ml: Array List Rio

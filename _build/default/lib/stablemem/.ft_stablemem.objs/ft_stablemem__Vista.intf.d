@@ -1,0 +1,1 @@
+lib/stablemem/vista.mli: Rio

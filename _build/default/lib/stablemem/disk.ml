@@ -1,0 +1,23 @@
+(** Synchronous-disk cost model for DC-disk (paper §3).
+
+    DC-disk writes a redo log synchronously to disk at checkpoint time.
+    The paper's machines had one IBM Ultrastar DCAS-34330W SCSI disk
+    (~7200 rpm, late-90s): a synchronous small write pays seek plus
+    rotational latency, large writes add transfer time. *)
+
+type t = {
+  access_ns : int;          (* seek + rotational latency *)
+  ns_per_word : int;        (* transfer cost per 8-byte word *)
+}
+
+(* ~8 ms access, ~15 MB/s sustained transfer (8 bytes / 15 MB/s ≈ 530 ns). *)
+let default = { access_ns = 8_000_000; ns_per_word = 530 }
+
+(* An unrealistically fast disk, used by ablation benches. *)
+let fast = { access_ns = 100_000; ns_per_word = 50 }
+
+let write_cost t ~words = t.access_ns + (words * t.ns_per_word)
+
+(* A synchronous checkpoint commit pays two ordered writes: the redo log
+   body and the commit record that makes it durable. *)
+let commit_cost t ~words = (2 * t.access_ns) + (words * t.ns_per_word)

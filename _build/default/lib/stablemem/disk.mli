@@ -1,0 +1,19 @@
+(** Synchronous-disk cost model for DC-disk (paper §3). *)
+
+type t = {
+  access_ns : int;  (** seek plus rotational latency *)
+  ns_per_word : int;  (** transfer cost per 8-byte word *)
+}
+
+val default : t
+(** A late-90s SCSI disk: ~8 ms access, ~15 MB/s transfer. *)
+
+val fast : t
+(** An unrealistically fast disk, for ablation benches. *)
+
+val write_cost : t -> words:int -> int
+(** One synchronous write. *)
+
+val commit_cost : t -> words:int -> int
+(** A checkpoint commit: two ordered writes (redo log body, then the
+    commit record) plus transfer. *)

@@ -1,0 +1,48 @@
+(** A Rio-style reliable memory region.
+
+    The Rio file cache makes ordinary DRAM survive operating-system
+    crashes, so that committing to it costs memory-copy time instead of a
+    synchronous disk write (paper §3).  We model a region as a
+    word-addressable persistent array: simulated process and OS crashes
+    never clear it (the recovery engine only ever resets machines), and
+    every write is accounted so commit costs can be charged. *)
+
+type t = {
+  words : int array;
+  mutable words_written : int;  (* lifetime accounting for cost models *)
+}
+
+let create ~size = { words = Array.make size 0; words_written = 0 }
+
+let size t = Array.length t.words
+
+let read t off =
+  if off < 0 || off >= Array.length t.words then
+    invalid_arg "Rio.read: out of range";
+  t.words.(off)
+
+let write t off v =
+  if off < 0 || off >= Array.length t.words then
+    invalid_arg "Rio.write: out of range";
+  t.words.(off) <- v;
+  t.words_written <- t.words_written + 1
+
+(* Bulk copy into the region (one page of a checkpoint). *)
+let blit_in t ~off src =
+  if off < 0 || off + Array.length src > Array.length t.words then
+    invalid_arg "Rio.blit_in: out of range";
+  Array.blit src 0 t.words off (Array.length src);
+  t.words_written <- t.words_written + Array.length src
+
+(* Bulk copy out of the region (restoring a checkpoint). *)
+let blit_out t ~off dst =
+  if off < 0 || off + Array.length dst > Array.length t.words then
+    invalid_arg "Rio.blit_out: out of range";
+  Array.blit t.words off dst 0 (Array.length dst)
+
+let sub t ~off ~len =
+  let dst = Array.make len 0 in
+  blit_out t ~off dst;
+  dst
+
+let words_written t = t.words_written

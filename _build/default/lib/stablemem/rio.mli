@@ -1,0 +1,20 @@
+(** A Rio-style reliable memory region (paper §3): word-addressable
+    memory that survives simulated process and OS crashes, with write
+    accounting for the commit cost model. *)
+
+type t
+
+val create : size:int -> t
+val size : t -> int
+
+val read : t -> int -> int
+val write : t -> int -> int -> unit
+
+val blit_in : t -> off:int -> int array -> unit
+(** Bulk copy into the region (e.g. one checkpoint page). *)
+
+val blit_out : t -> off:int -> int array -> unit
+val sub : t -> off:int -> len:int -> int array
+
+val words_written : t -> int
+(** Lifetime count of words written, for cost accounting. *)

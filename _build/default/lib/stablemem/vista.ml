@@ -1,0 +1,69 @@
+(** Vista-style lightweight transactions over a {!Rio} region.
+
+    Vista provides atomic, persistent transactions without redo logging
+    or system calls: updates to the mapped region are trapped and their
+    before-images appended to a persistent undo log; commit atomically
+    discards the undo log; recovery (or abort) applies it backwards
+    (paper §3; Lowell & Chen, SOSP'97).  A crash in the middle of a
+    transaction therefore leaves the region recoverable to its state at
+    the last commit — the property Discount Checking's checkpoints rely
+    on, and one our tests exercise directly. *)
+
+type undo_record = { off : int; before : int array }
+
+type t = {
+  region : Rio.t;
+  mutable undo_log : undo_record list;  (* newest first *)
+  mutable in_tx : bool;
+  mutable commits : int;
+  mutable aborts : int;
+}
+
+let create region = { region; undo_log = []; in_tx = false;
+                      commits = 0; aborts = 0 }
+
+let region t = t.region
+
+let begin_tx t =
+  if t.in_tx then invalid_arg "Vista.begin_tx: transaction already open";
+  t.in_tx <- true
+
+let require_tx t name =
+  if not t.in_tx then invalid_arg (name ^ ": no open transaction")
+
+(* Transactional write of a range: log the before-image, then update. *)
+let write_range t ~off src =
+  require_tx t "Vista.write_range";
+  let before = Rio.sub t.region ~off ~len:(Array.length src) in
+  t.undo_log <- { off; before } :: t.undo_log;
+  Rio.blit_in t.region ~off src
+
+let write_word t ~off v = write_range t ~off [| v |]
+
+(* Atomic commit: discarding the undo log is the commit point. *)
+let commit t =
+  require_tx t "Vista.commit";
+  t.undo_log <- [];
+  t.in_tx <- false;
+  t.commits <- t.commits + 1
+
+(* Abort (or crash recovery): apply before-images newest-first. *)
+let abort t =
+  require_tx t "Vista.abort";
+  List.iter
+    (fun { off; before } -> Rio.blit_in t.region ~off before)
+    t.undo_log;
+  t.undo_log <- [];
+  t.in_tx <- false;
+  t.aborts <- t.aborts + 1
+
+(* A simulated crash mid-transaction: recovery runs the undo log just as
+   abort does.  Exposed separately so tests and the engine can model
+   failures during commit. *)
+let recover t =
+  if t.in_tx then abort t
+
+let in_tx t = t.in_tx
+let undo_log_length t = List.length t.undo_log
+let commits t = t.commits
+let aborts t = t.aborts

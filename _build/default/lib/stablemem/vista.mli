@@ -1,0 +1,32 @@
+(** Vista-style lightweight transactions over a {!Rio} region (paper §3):
+    updates are trapped with before-images in a persistent undo log;
+    commit atomically discards the log; abort — or crash recovery —
+    applies it backwards. *)
+
+type t
+
+val create : Rio.t -> t
+val region : t -> Rio.t
+
+val begin_tx : t -> unit
+(** Raises [Invalid_argument] if a transaction is already open. *)
+
+val write_range : t -> off:int -> int array -> unit
+(** Transactional write: logs the before-image, then updates. *)
+
+val write_word : t -> off:int -> int -> unit
+
+val commit : t -> unit
+(** The commit point: atomically discard the undo log. *)
+
+val abort : t -> unit
+(** Apply before-images newest-first. *)
+
+val recover : t -> unit
+(** Crash recovery: abort the open transaction, if any; otherwise a
+    no-op. *)
+
+val in_tx : t -> bool
+val undo_log_length : t -> int
+val commits : t -> int
+val aborts : t -> int

@@ -1,0 +1,1 @@
+lib/vm/instr.ml: Printf Syscall

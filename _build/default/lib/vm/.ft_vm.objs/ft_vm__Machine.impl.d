@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Instr Memory Printf Syscall

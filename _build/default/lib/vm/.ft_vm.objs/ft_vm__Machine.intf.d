@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Instr Memory Syscall

@@ -1,0 +1,106 @@
+(** Instruction set of the simulated word-addressed machine.
+
+    The machine has 16 integer registers, a stack (with stack and frame
+    pointers) and a paged heap.  Programs for the fault-injection study
+    are compiled to this instruction set by {!Asm}; the application fault
+    types of the paper's model (§4.1) are program/state mutations at this
+    level: changed destination registers, deleted branches or
+    instructions, off-by-one comparison operators, lost initializations,
+    and stack/heap bit flips. *)
+
+type reg = int (* 0..15; r13 is the compiler's scratch register *)
+
+let num_regs = 16
+let scratch : reg = 13
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type binop = Add | Sub | Mul | Div | Mod | And | Or | Xor | Shl | Shr
+
+type t =
+  | Nop
+  | Halt
+  | Const of reg * int         (* dst <- imm *)
+  | Mov of reg * reg           (* dst <- src *)
+  | Bin of binop * reg * reg * reg  (* dst <- a op b *)
+  | Cmp of cmp * reg * reg * reg    (* dst <- (a cmp b) ? 1 : 0 *)
+  | Load of reg * reg          (* dst <- heap[addr] *)
+  | Store of reg * reg         (* heap[addr] <- src *)
+  | Push of reg
+  | Pop of reg
+  | Sload of reg * int         (* dst <- stack[fp + off] *)
+  | Sstore of int * reg        (* stack[fp + off] <- src *)
+  | Jmp of int
+  | Jz of reg * int            (* jump if reg = 0 *)
+  | Jnz of reg * int
+  | Call of int
+  | Ret
+  | Enter of int               (* push fp; fp <- sp; sp <- sp + nlocals *)
+  | Leave                      (* sp <- fp; fp <- pop *)
+  | Sys of Syscall.t
+  | Check of reg               (* consistency check: crash if reg = 0 *)
+  | Sigret                     (* return from a signal handler: restore
+                                  the register file pushed at delivery *)
+
+let cmp_to_string = function
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | And -> "&" | Or -> "|" | Xor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let to_string = function
+  | Nop -> "nop"
+  | Halt -> "halt"
+  | Const (d, n) -> Printf.sprintf "r%d <- %d" d n
+  | Mov (d, s) -> Printf.sprintf "r%d <- r%d" d s
+  | Bin (op, d, a, b) ->
+      Printf.sprintf "r%d <- r%d %s r%d" d a (binop_to_string op) b
+  | Cmp (op, d, a, b) ->
+      Printf.sprintf "r%d <- r%d %s r%d" d a (cmp_to_string op) b
+  | Load (d, a) -> Printf.sprintf "r%d <- heap[r%d]" d a
+  | Store (a, s) -> Printf.sprintf "heap[r%d] <- r%d" a s
+  | Push r -> Printf.sprintf "push r%d" r
+  | Pop r -> Printf.sprintf "pop r%d" r
+  | Sload (d, off) -> Printf.sprintf "r%d <- local[%d]" d off
+  | Sstore (off, s) -> Printf.sprintf "local[%d] <- r%d" off s
+  | Jmp a -> Printf.sprintf "jmp %d" a
+  | Jz (r, a) -> Printf.sprintf "jz r%d, %d" r a
+  | Jnz (r, a) -> Printf.sprintf "jnz r%d, %d" r a
+  | Call a -> Printf.sprintf "call %d" a
+  | Ret -> "ret"
+  | Enter n -> Printf.sprintf "enter %d" n
+  | Leave -> "leave"
+  | Sys s -> "sys " ^ Syscall.to_string s
+  | Check r -> Printf.sprintf "check r%d" r
+  | Sigret -> "sigret"
+
+(* Destination register of an instruction, if any: the target of the
+   "destination register" fault type. *)
+let dest_reg = function
+  | Const (d, _) | Mov (d, _) | Bin (_, d, _, _) | Cmp (_, d, _, _)
+  | Load (d, _) | Pop d | Sload (d, _) ->
+      Some d
+  | Nop | Halt | Store _ | Push _ | Sstore _ | Jmp _ | Jz _ | Jnz _
+  | Call _ | Ret | Enter _ | Leave | Sys _ | Check _ | Sigret ->
+      None
+
+let with_dest_reg i d =
+  match i with
+  | Const (_, n) -> Const (d, n)
+  | Mov (_, s) -> Mov (d, s)
+  | Bin (op, _, a, b) -> Bin (op, d, a, b)
+  | Cmp (op, _, a, b) -> Cmp (op, d, a, b)
+  | Load (_, a) -> Load (d, a)
+  | Pop _ -> Pop d
+  | Sload (_, off) -> Sload (d, off)
+  | other -> other
+
+let is_branch = function Jz _ | Jnz _ -> true | _ -> false
+
+let is_cmp = function Cmp _ -> true | _ -> false
+
+(* Off-by-one mutation of a comparison operator (§4.1: errors in
+   conditions like >= and <). *)
+let off_by_one_cmp = function
+  | Lt -> Le | Le -> Lt | Gt -> Ge | Ge -> Gt | Eq -> Le | Ne -> Ge

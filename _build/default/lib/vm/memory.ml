@@ -1,0 +1,80 @@
+(** Paged heap memory with dirty-page tracking.
+
+    Discount Checking traps updates with copy-on-write and logs
+    before-images of updated regions (paper §3).  We track the set of
+    pages written since the last checkpoint; the checkpointer copies
+    exactly those pages and charges a per-page trap-and-copy cost, just
+    as Vista's COW on the process address space would. *)
+
+type t = {
+  mutable data : int array;
+  page_size : int;              (* words per page; power of two *)
+  mutable dirty : bool array;   (* per page, since last clear *)
+  mutable dirty_count : int;
+}
+
+exception Out_of_bounds of int
+
+let create ?(page_size = 64) ~size () =
+  if page_size <= 0 || page_size land (page_size - 1) <> 0 then
+    invalid_arg "Memory.create: page_size must be a power of two";
+  let npages = (size + page_size - 1) / page_size in
+  {
+    data = Array.make (npages * page_size) 0;
+    page_size;
+    dirty = Array.make (max 1 npages) false;
+    dirty_count = 0;
+  }
+
+let size t = Array.length t.data
+let page_size t = t.page_size
+let npages t = Array.length t.dirty
+
+let read t addr =
+  if addr < 0 || addr >= Array.length t.data then raise (Out_of_bounds addr);
+  t.data.(addr)
+
+let write t addr v =
+  if addr < 0 || addr >= Array.length t.data then raise (Out_of_bounds addr);
+  let page = addr / t.page_size in
+  if not t.dirty.(page) then begin
+    t.dirty.(page) <- true;
+    t.dirty_count <- t.dirty_count + 1
+  end;
+  t.data.(addr) <- v
+
+(* Raw poke that bypasses bounds/accounting policy decisions is not
+   offered: fault injectors flip bits through [write] so the corruption
+   is captured by checkpoints exactly as a real stray store would be. *)
+
+let dirty_pages t =
+  let acc = ref [] in
+  for p = Array.length t.dirty - 1 downto 0 do
+    if t.dirty.(p) then acc := p :: !acc
+  done;
+  !acc
+
+let dirty_count t = t.dirty_count
+
+let clear_dirty t =
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  t.dirty_count <- 0
+
+(* Copy out one page (for incremental checkpoints). *)
+let snapshot_page t p =
+  Array.sub t.data (p * t.page_size) t.page_size
+
+let restore_page t p words =
+  Array.blit words 0 t.data (p * t.page_size) t.page_size
+
+let snapshot t = Array.copy t.data
+
+let restore t words =
+  if Array.length words <> Array.length t.data then begin
+    t.data <- Array.copy words;
+    let npages = (Array.length words + t.page_size - 1) / t.page_size in
+    t.dirty <- Array.make (max 1 npages) false;
+    t.dirty_count <- 0
+  end
+  else Array.blit words 0 t.data 0 (Array.length words);
+  clear_dirty t

@@ -1,0 +1,32 @@
+(** Paged heap memory with dirty-page tracking: the substrate for
+    Discount Checking's copy-on-write incremental checkpoints (paper §3). *)
+
+type t
+
+exception Out_of_bounds of int
+
+val create : ?page_size:int -> size:int -> unit -> t
+(** [page_size] must be a power of two (default 64 words). *)
+
+val size : t -> int
+val page_size : t -> int
+val npages : t -> int
+
+val read : t -> int -> int
+(** Raises {!Out_of_bounds}: the crash event of a wild load. *)
+
+val write : t -> int -> int -> unit
+(** Marks the containing page dirty.  Raises {!Out_of_bounds}. *)
+
+val dirty_pages : t -> int list
+(** Pages written since the last {!clear_dirty}, ascending. *)
+
+val dirty_count : t -> int
+val clear_dirty : t -> unit
+
+val snapshot_page : t -> int -> int array
+val restore_page : t -> int -> int array -> unit
+
+val snapshot : t -> int array
+val restore : t -> int array -> unit
+(** Also clears dirty tracking. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Ft_apps Ft_core Ft_os Ft_runtime Ft_stablemem List Printf

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Consistency Dangerous_paths Event Format Ft_core List Lose_work Printf Protocol_space Protocols QCheck QCheck_alcotest Save_work State_graph String Trace Vclock

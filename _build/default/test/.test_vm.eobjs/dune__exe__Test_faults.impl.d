@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Ft_faults Ft_os Ft_runtime Ft_vm List QCheck QCheck_alcotest Random

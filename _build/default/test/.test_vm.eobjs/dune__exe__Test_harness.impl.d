@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Ft_core Ft_faults Ft_harness List String

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Ft_core Ft_os Ft_vm Option

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Conformance Consistency Event Ft_core Ft_os Ft_runtime Ft_stablemem Ft_vm Lazy List Printf Protocol Protocols QCheck QCheck_alcotest Save_work String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Ft_core Ft_os Ft_runtime Ft_stablemem Ft_vm List

@@ -1,0 +1,1 @@
+test/test_stablemem.ml: Alcotest Array Disk Ft_stablemem List QCheck QCheck_alcotest Rio Vista

@@ -1,0 +1,1 @@
+test/test_stablemem.mli:

@@ -1,0 +1,596 @@
+(* Unit tests for the theory library: vector clocks, happens-before,
+   the Save-work checker, the dangerous-paths coloring (including the
+   paper's Figure 6 cases), the Lose-work analyses, consistent-recovery
+   equivalence, and the protocol space. *)
+
+open Ft_core
+
+(* --- vector clocks ------------------------------------------------------ *)
+
+let test_vclock_basics () =
+  let a = Vclock.create 3 and b = Vclock.create 3 in
+  Vclock.tick a 0;
+  Alcotest.(check bool) "a > 0" true (Vclock.lt b a);
+  Vclock.tick b 1;
+  Alcotest.(check bool) "concurrent not lt" false (Vclock.lt a b);
+  Alcotest.(check bool) "concurrent not gt" false (Vclock.lt b a);
+  Vclock.merge_into ~into:b a;
+  Alcotest.(check bool) "after merge a <= b" true (Vclock.leq a b)
+
+let test_happens_before_chain () =
+  let t = Trace.create ~nprocs:2 in
+  let e1 = Trace.record t ~pid:0 (Event.Nd Event.Transient) in
+  let s = Trace.record t ~pid:0 (Event.Send { dest = 1; tag = 1 }) in
+  let r = Trace.record t ~pid:1 (Event.Receive { src = 0; tag = 1 }) in
+  let v = Trace.record t ~pid:1 (Event.Visible 7) in
+  Alcotest.(check bool) "e1 hb s" true (Trace.happens_before e1 s);
+  Alcotest.(check bool) "s hb r" true (Trace.happens_before s r);
+  Alcotest.(check bool) "e1 hb v (transitively, across the message)" true
+    (Trace.happens_before e1 v);
+  Alcotest.(check bool) "v not hb e1" false (Trace.happens_before v e1)
+
+let test_concurrent_events () =
+  let t = Trace.create ~nprocs:2 in
+  let a = Trace.record t ~pid:0 (Event.Nd Event.Transient) in
+  let b = Trace.record t ~pid:1 (Event.Nd Event.Transient) in
+  Alcotest.(check bool) "independent procs concurrent" false
+    (Trace.happens_before a b || Trace.happens_before b a)
+
+(* --- Save-work ----------------------------------------------------------- *)
+
+let test_save_work_violation_detected () =
+  (* ND then visible with no commit: the coin-flip example of Fig. 1. *)
+  let t = Trace.create ~nprocs:1 in
+  ignore (Trace.record t ~pid:0 (Event.Nd Event.Transient));
+  ignore (Trace.record t ~pid:0 (Event.Visible 1));
+  Alcotest.(check bool) "violated" false (Save_work.holds t);
+  Alcotest.(check int) "one violation" 1
+    (List.length (Save_work.visible_violations t))
+
+let test_save_work_commit_cures () =
+  let t = Trace.create ~nprocs:1 in
+  ignore (Trace.record t ~pid:0 (Event.Nd Event.Transient));
+  ignore (Trace.record t ~pid:0 Event.Commit);
+  ignore (Trace.record t ~pid:0 (Event.Visible 1));
+  Alcotest.(check bool) "upheld" true (Save_work.holds t)
+
+let test_save_work_logged_nd_exempt () =
+  let t = Trace.create ~nprocs:1 in
+  ignore (Trace.record t ~pid:0 ~logged:true (Event.Nd Event.Fixed));
+  ignore (Trace.record t ~pid:0 (Event.Visible 1));
+  Alcotest.(check bool) "logging renders the event deterministic" true
+    (Save_work.holds t)
+
+let test_save_work_commit_after_visible_insufficient () =
+  let t = Trace.create ~nprocs:1 in
+  ignore (Trace.record t ~pid:0 (Event.Nd Event.Transient));
+  ignore (Trace.record t ~pid:0 (Event.Visible 1));
+  ignore (Trace.record t ~pid:0 Event.Commit);
+  Alcotest.(check bool) "commit must happen-before the visible" false
+    (Save_work.holds t)
+
+let test_save_work_orphan_figure2 () =
+  (* Figure 2: B executes ND, sends to A, A commits -> A is an orphan
+     candidate; Save-work-orphan is violated. *)
+  let t = Trace.create ~nprocs:2 in
+  ignore (Trace.record t ~pid:1 (Event.Nd Event.Transient));
+  ignore (Trace.record t ~pid:1 (Event.Send { dest = 0; tag = 9 }));
+  ignore (Trace.record t ~pid:0 (Event.Receive { src = 1; tag = 9 }));
+  ignore (Trace.record t ~pid:0 Event.Commit);
+  Alcotest.(check bool) "orphan violation present" true
+    (Save_work.orphan_violations t <> []);
+  (* now B crashes without committing: A is an orphan *)
+  ignore (Trace.record t ~pid:1 Event.Crash);
+  Alcotest.(check (list int)) "A is an orphan" [ 0 ] (Save_work.orphans t)
+
+let test_save_work_orphan_cured_by_sender_commit () =
+  let t = Trace.create ~nprocs:2 in
+  ignore (Trace.record t ~pid:1 (Event.Nd Event.Transient));
+  ignore (Trace.record t ~pid:1 Event.Commit);
+  ignore (Trace.record t ~pid:1 (Event.Send { dest = 0; tag = 9 }));
+  ignore (Trace.record t ~pid:0 (Event.Receive { src = 1; tag = 9 }));
+  ignore (Trace.record t ~pid:0 Event.Commit);
+  Alcotest.(check bool) "sender committed first: no orphan" true
+    (Save_work.holds t);
+  ignore (Trace.record t ~pid:1 Event.Crash);
+  Alcotest.(check (list int)) "no orphans" [] (Save_work.orphans t)
+
+(* --- dangerous paths (Figure 6) ------------------------------------------ *)
+
+(* Case A: a deterministic straight line into a crash: every edge is
+   dangerous; committing anywhere prevents recovery. *)
+let test_figure6_case_a () =
+  let g =
+    State_graph.make ~nstates:4
+      ~edges:[ (0, 1, State_graph.Det); (1, 2, State_graph.Det);
+               (2, 3, State_graph.Det) ]
+      ~crash_states:[ 3 ] ()
+  in
+  let d = Dangerous_paths.dangerous_edges g in
+  Alcotest.(check (list bool)) "all colored" [ true; true; true ]
+    (Array.to_list d);
+  let doomed = Dangerous_paths.doomed_states g in
+  Alcotest.(check bool) "initial state doomed" true doomed.(0)
+
+(* Case B: a transient ND event with one result avoiding the crash:
+   committing before it is safe. *)
+let test_figure6_case_b () =
+  let g =
+    State_graph.make ~nstates:5
+      ~edges:
+        [ (0, 1, State_graph.Det);          (* edge 0: into the choice *)
+          (1, 2, State_graph.Transient_nd); (* edge 1: crash branch *)
+          (1, 3, State_graph.Transient_nd); (* edge 2: safe branch *)
+          (2, 4, State_graph.Det) ]         (* edge 3: crash event *)
+      ~crash_states:[ 4 ] ()
+  in
+  let d = Dangerous_paths.dangerous_edges g in
+  Alcotest.(check bool) "crash edge colored" true d.(3);
+  Alcotest.(check bool) "crash-bound ND colored" true d.(1);
+  Alcotest.(check bool) "safe ND not colored" false d.(2);
+  Alcotest.(check bool) "pre-choice edge not colored" false d.(0);
+  let doomed = Dangerous_paths.doomed_states g in
+  Alcotest.(check bool) "safe to commit before the transient ND" false
+    doomed.(1)
+
+(* Case C: the same choice but fixed ND: we cannot rely on the fixed event
+   taking the safe result, so committing before it is unsafe. *)
+let test_figure6_case_c () =
+  let g =
+    State_graph.make ~nstates:5
+      ~edges:
+        [ (0, 1, State_graph.Det);
+          (1, 2, State_graph.Fixed_nd);
+          (1, 3, State_graph.Fixed_nd);
+          (2, 4, State_graph.Det) ]
+      ~crash_states:[ 4 ] ()
+  in
+  let d = Dangerous_paths.dangerous_edges g in
+  Alcotest.(check bool) "crash-bound fixed ND colored" true d.(1);
+  Alcotest.(check bool) "pre-choice edge colored (fixed rule)" true d.(0);
+  let doomed = Dangerous_paths.doomed_states g in
+  Alcotest.(check bool) "unsafe to commit before the fixed ND" true
+    doomed.(1)
+
+(* Cross-check the coloring against a brute-force reading on a diamond. *)
+let test_dangerous_nontrivial_graph () =
+  (* 0 -det-> 1; 1 -trans-> 2 (safe loop back to 1 terminal ok?) ... use:
+     0 -> 1 det; 1 -> 2 transient; 1 -> 3 transient; 2 -> 4 det (crash);
+     3 -> 5 det (terminal ok); plus 3 -> 6 fixed; 6 crash. *)
+  let g =
+    State_graph.make ~nstates:7
+      ~edges:
+        [ (0, 1, State_graph.Det);        (* 0 *)
+          (1, 2, State_graph.Transient_nd); (* 1 *)
+          (1, 3, State_graph.Transient_nd); (* 2 *)
+          (2, 4, State_graph.Det);        (* 3: crash *)
+          (3, 5, State_graph.Det);        (* 4: success *)
+          (3, 6, State_graph.Fixed_nd) ]  (* 5: crash via fixed nd *)
+      ~crash_states:[ 4; 6 ] ()
+  in
+  let d = Dangerous_paths.dangerous_edges g in
+  Alcotest.(check bool) "edge to state 2 colored" true d.(1);
+  (* state 3's fixed-ND crash colors edge 2 by the fixed rule, even
+     though the success edge exists *)
+  Alcotest.(check bool) "edge to state 3 colored via fixed rule" true d.(2);
+  Alcotest.(check bool) "success edge itself not colored" false d.(4);
+  (* both transient branches out of state 1 are colored (one reaches the
+     crash, the other has a colored fixed-ND exit), so the "all colored"
+     rule propagates the color to edge 0 as well *)
+  Alcotest.(check bool) "edge 0 colored (all branches dangerous)" true d.(0)
+
+(* Receive classification for the multi-process algorithm (§2.5). *)
+let test_receive_classification () =
+  let t = Trace.create ~nprocs:2 in
+  (* sender: commit, then transient ND, then send -> receive is transient *)
+  ignore (Trace.record t ~pid:0 Event.Commit);
+  ignore (Trace.record t ~pid:0 (Event.Nd Event.Transient));
+  ignore (Trace.record t ~pid:0 (Event.Send { dest = 1; tag = 1 }));
+  let r1 = Trace.record t ~pid:1 (Event.Receive { src = 0; tag = 1 }) in
+  Alcotest.(check bool) "transient receive" true
+    (Dangerous_paths.receive_class_of_trace t r1 = Event.Transient);
+  (* sender: ND, commit, send -> the message is deterministically
+     regenerated; receive is fixed *)
+  ignore (Trace.record t ~pid:0 (Event.Nd Event.Transient));
+  ignore (Trace.record t ~pid:0 Event.Commit);
+  ignore (Trace.record t ~pid:0 (Event.Send { dest = 1; tag = 2 }));
+  let r2 = Trace.record t ~pid:1 (Event.Receive { src = 0; tag = 2 }) in
+  Alcotest.(check bool) "fixed receive" true
+    (Dangerous_paths.receive_class_of_trace t r2 = Event.Fixed)
+
+(* Multi-Process Dangerous Paths Algorithm end to end (§2.5): the same
+   state machine is dangerous or safe depending on the snapshot of the
+   sender's commits. *)
+let test_multi_process_dangerous_paths () =
+  (* P's machine: state 1 has two receive outcomes — one into a crash,
+     one safe (the Figure 6B/6C shape, with receives standing in for
+     the non-determinism).  Whether committing at state 1 is safe
+     depends on the receive's effective class, which depends on the
+     snapshot of the sender's commits. *)
+  let g =
+    State_graph.make ~nstates:5
+      ~edges:
+        [ (0, 1, State_graph.Det);          (* edge 0 *)
+          (1, 2, State_graph.Receive_nd 0); (* edge 1: crash branch *)
+          (1, 3, State_graph.Receive_nd 0); (* edge 2: safe branch *)
+          (2, 4, State_graph.Det) ]         (* edge 3: crash event *)
+      ~crash_states:[ 4 ] ()
+  in
+  let make_trace ~sender_committed_before_send =
+    let t = Trace.create ~nprocs:2 in
+    if not sender_committed_before_send then begin
+      ignore (Trace.record t ~pid:0 Event.Commit);
+      ignore (Trace.record t ~pid:0 (Event.Nd Event.Transient))
+    end
+    else begin
+      ignore (Trace.record t ~pid:0 (Event.Nd Event.Transient));
+      ignore (Trace.record t ~pid:0 Event.Commit)
+    end;
+    ignore (Trace.record t ~pid:0 (Event.Send { dest = 1; tag = 5 }));
+    let recv = Trace.record t ~pid:1 (Event.Receive { src = 0; tag = 5 }) in
+    (t, recv)
+  in
+  (* transient case: the sender has uncommitted transient ND before the
+     send, so during recovery the message may differ *)
+  let t1, r1 = make_trace ~sender_committed_before_send:false in
+  let d1 =
+    Dangerous_paths.multi_process_dangerous_edges g ~trace:t1
+      ~recv_event_of_edge:(fun _ -> Some r1)
+  in
+  Alcotest.(check bool) "crash-bound receive colored" true d1.(1);
+  Alcotest.(check bool)
+    "transient receives: the pre-choice edge stays safe" false d1.(0);
+  (* fixed case: the sender committed before sending, so it will
+     deterministically regenerate the same message *)
+  let t2, r2 = make_trace ~sender_committed_before_send:true in
+  let d2 =
+    Dangerous_paths.multi_process_dangerous_edges g ~trace:t2
+      ~recv_event_of_edge:(fun _ -> Some r2)
+  in
+  Alcotest.(check bool)
+    "fixed receives: the whole path becomes dangerous" true d2.(0)
+
+let test_safe_to_commit_api () =
+  let g =
+    State_graph.make ~nstates:3
+      ~edges:[ (0, 1, State_graph.Transient_nd); (1, 2, State_graph.Det) ]
+      ~crash_states:[ 2 ] ()
+  in
+  (* state 0: its only exit is a transient ND... whose every outcome
+     crashes, so it is doomed; build a safe variant with an escape *)
+  Alcotest.(check bool) "no escape: unsafe" false
+    (Lose_work.safe_to_commit g ~state:0);
+  let g2 =
+    State_graph.make ~nstates:4
+      ~edges:
+        [ (0, 1, State_graph.Transient_nd); (0, 3, State_graph.Transient_nd);
+          (1, 2, State_graph.Det) ]
+      ~crash_states:[ 2 ] ()
+  in
+  Alcotest.(check bool) "transient escape exists: safe" true
+    (Lose_work.safe_to_commit g2 ~state:0)
+
+(* --- Lose-work ------------------------------------------------------------ *)
+
+let test_lose_work_figure9 () =
+  (* transient ND, fault activation (internal), visible, crash: the
+     dangerous path spans from after the ND event to the crash; CPVS's
+     commit before the visible violates Lose-work. *)
+  let t = Trace.create ~nprocs:1 in
+  let nd = Trace.record t ~pid:0 (Event.Nd Event.Transient) in
+  let act = Trace.record t ~pid:0 Event.Internal in
+  ignore (Trace.record t ~pid:0 Event.Commit);
+  ignore (Trace.record t ~pid:0 (Event.Visible 5));
+  let crash = Trace.record t ~pid:0 Event.Crash in
+  let a = Lose_work.analyze t ~crash in
+  Alcotest.(check bool) "not a Bohrbug" false a.Lose_work.bohrbug;
+  Alcotest.(check int) "dangerous from just after the ND"
+    (nd.Event.index + 1) a.Lose_work.dangerous_from;
+  Alcotest.(check bool) "violated" true a.Lose_work.violated;
+  Alcotest.(check bool) "table-1 criterion" true
+    (Lose_work.committed_after_activation t ~activation:act ~crash);
+  Alcotest.(check bool) "save-work/lose-work conflict" true
+    (Lose_work.conflict t ~crash)
+
+let test_lose_work_commit_before_nd_safe () =
+  let t = Trace.create ~nprocs:1 in
+  ignore (Trace.record t ~pid:0 Event.Commit);
+  ignore (Trace.record t ~pid:0 (Event.Nd Event.Transient));
+  ignore (Trace.record t ~pid:0 Event.Internal);
+  let crash = Trace.record t ~pid:0 Event.Crash in
+  let a = Lose_work.analyze t ~crash in
+  Alcotest.(check bool) "commit before the ND is safe" false
+    a.Lose_work.violated
+
+let test_lose_work_bohrbug () =
+  (* No transient ND before the crash: the dangerous path reaches the
+     initial (always committed) state. *)
+  let t = Trace.create ~nprocs:1 in
+  ignore (Trace.record t ~pid:0 Event.Internal);
+  ignore (Trace.record t ~pid:0 (Event.Nd Event.Fixed));
+  let crash = Trace.record t ~pid:0 Event.Crash in
+  let a = Lose_work.analyze t ~crash in
+  Alcotest.(check bool) "Bohrbug" true a.Lose_work.bohrbug;
+  Alcotest.(check bool) "inherently violated" true a.Lose_work.violated
+
+(* --- consistency ----------------------------------------------------------- *)
+
+let test_consistency_exact () =
+  Alcotest.(check bool) "identical sequences" true
+    (Consistency.is_consistent ~reference:[ 1; 2; 3 ] ~observed:[ 1; 2; 3 ])
+
+let test_consistency_duplicates_ok () =
+  (* a rollback may repeat already-output events *)
+  Alcotest.(check bool) "duplicates tolerated" true
+    (Consistency.is_consistent ~reference:[ 1; 2; 3 ]
+       ~observed:[ 1; 2; 2; 3 ]);
+  Alcotest.(check bool) "repeat of older output tolerated" true
+    (Consistency.is_consistent ~reference:[ 1; 2; 3 ]
+       ~observed:[ 1; 2; 1; 2; 3 ])
+
+let test_consistency_wrong_value () =
+  (match
+     Consistency.check ~reference:[ 1; 2; 3 ] ~observed:[ 1; 9; 3 ]
+   with
+  | Consistency.Extra { position = 1; value = 9 } -> ()
+  | v -> Alcotest.failf "unexpected verdict %a" Consistency.pp_verdict v);
+  Alcotest.(check bool) "flagged" false
+    (Consistency.is_consistent ~reference:[ 1; 2; 3 ] ~observed:[ 1; 9; 3 ])
+
+let test_consistency_truncation () =
+  match Consistency.check ~reference:[ 1; 2; 3 ] ~observed:[ 1 ] with
+  | Consistency.Truncated { missing = 2 } -> ()
+  | v -> Alcotest.failf "unexpected verdict %a" Consistency.pp_verdict v
+
+(* --- protocol space -------------------------------------------------------- *)
+
+let test_protocol_space_axis_rule () =
+  (* §2.6: every horizontal-axis protocol prevents surviving propagation
+     failures; none of the visible-effort protocols do. *)
+  List.iter
+    (fun name ->
+      let p =
+        List.find
+          (fun q -> q.Protocol_space.name = name)
+          Protocol_space.all
+      in
+      Alcotest.(check bool) (name ^ " on axis") true
+        (Protocol_space.prevents_propagation_recovery p))
+    [ "CAND"; "CAND-LOG"; "SBL"; "Targon/32"; "Hypervisor" ];
+  List.iter
+    (fun name ->
+      let p =
+        List.find (fun q -> q.Protocol_space.name = name) Protocol_space.all
+      in
+      Alcotest.(check bool) (name ^ " off axis") false
+        (Protocol_space.prevents_propagation_recovery p))
+    [ "CPVS"; "CBNDVS"; "CPV-2PC"; "Manetho"; "Coord-ckpt" ]
+
+let test_state_graph_dot () =
+  let g =
+    State_graph.make ~nstates:3
+      ~edges:[ (0, 1, State_graph.Transient_nd); (1, 2, State_graph.Det) ]
+      ~crash_states:[ 2 ] ()
+  in
+  let dot = State_graph.to_dot ~dangerous:(Dangerous_paths.dangerous_edges g) g in
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length dot
+      && (String.sub dot i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph");
+  Alcotest.(check bool) "crash state filled" true (contains "fillcolor=black");
+  Alcotest.(check bool) "dangerous edge red" true (contains "color=red");
+  Alcotest.(check bool) "nd label" true (contains "ND")
+
+let test_protocols_by_name () =
+  Alcotest.(check bool) "lookup cand" true
+    (Protocols.by_name "cand" <> None);
+  Alcotest.(check bool) "lookup cpv-2pc" true
+    (Protocols.by_name "CPV-2PC" <> None);
+  Alcotest.(check bool) "unknown" true (Protocols.by_name "nope" = None)
+
+(* --- qcheck properties ------------------------------------------------------ *)
+
+let gen_kind =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Event.Internal);
+        (3, return (Event.Nd Event.Transient));
+        (2, return (Event.Nd Event.Fixed));
+        (3, map (fun v -> Event.Visible v) (int_bound 100));
+        (3, return Event.Commit);
+      ])
+
+let arb_trace =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_bound 40) gen_kind
+      >>= fun kinds ->
+      return
+        (let t = Trace.create ~nprocs:1 in
+         List.iter (fun k -> ignore (Trace.record t ~pid:0 k)) kinds;
+         t))
+    ~print:(fun t -> Format.asprintf "%a" Trace.pp t)
+
+(* Committing after every event always upholds Save-work. *)
+let prop_commit_all_upholds =
+  QCheck.Test.make ~name:"commit-after-everything upholds save-work"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(list_size (int_bound 30) gen_kind)
+       ~print:(fun ks ->
+         String.concat ";" (List.map Event.kind_to_string ks)))
+    (fun kinds ->
+      let t = Trace.create ~nprocs:1 in
+      List.iter
+        (fun k ->
+          ignore (Trace.record t ~pid:0 k);
+          ignore (Trace.record t ~pid:0 Event.Commit))
+        kinds;
+      Save_work.holds t)
+
+(* The checker is monotone: adding a commit never introduces a violation. *)
+let prop_violations_subset_of_nd =
+  QCheck.Test.make ~name:"every violation names an unlogged nd event"
+    ~count:200 arb_trace (fun t ->
+      List.for_all
+        (fun v -> Event.is_nd v.Save_work.nd)
+        (Save_work.violations t))
+
+(* Happens-before is a strict partial order on any recorded trace. *)
+let prop_hb_irreflexive_transitive =
+  QCheck.Test.make ~name:"happens-before is a strict order" ~count:100
+    arb_trace (fun t ->
+      let evs = Array.of_list (Trace.events t) in
+      let n = Array.length evs in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Trace.happens_before evs.(i) evs.(i) then ok := false
+      done;
+      (* same-process events are totally ordered by index *)
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if not (Trace.happens_before evs.(i) evs.(j)) then ok := false
+        done
+      done;
+      !ok)
+
+(* A consistent observation is still consistent after duplicating any
+   already-seen prefix element. *)
+let prop_consistency_duplicate_closure =
+  QCheck.Test.make ~name:"duplicating seen output preserves consistency"
+    ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_bound 10) (0 -- 20))
+              (0 -- 10))
+    (fun (reference, k) ->
+      QCheck.assume (reference <> []);
+      let observed =
+        (* duplicate the element at position k mod len, in place *)
+        let arr = Array.of_list reference in
+        let i = k mod Array.length arr in
+        Array.to_list (Array.sub arr 0 (i + 1))
+        @ [ arr.(i) ]
+        @ Array.to_list (Array.sub arr (i + 1) (Array.length arr - i - 1))
+      in
+      Consistency.is_consistent ~reference ~observed)
+
+(* Dangerous-path coloring: a colored edge always has a path of colored
+   edges leading to a crash state (soundness on random DAG-ish graphs). *)
+let prop_dangerous_reaches_crash =
+  let gen =
+    QCheck.Gen.(
+      int_range 3 10 >>= fun nstates ->
+      list_size (int_bound 20)
+        (triple (int_bound (nstates - 1)) (int_bound (nstates - 1))
+           (int_bound 2))
+      >>= fun raw ->
+      int_bound (nstates - 1) >>= fun crash ->
+      let edges =
+        List.map
+          (fun (s, d, k) ->
+            ( s,
+              d,
+              match k with
+              | 0 -> State_graph.Det
+              | 1 -> State_graph.Transient_nd
+              | _ -> State_graph.Fixed_nd ))
+          raw
+      in
+      return (State_graph.make ~nstates ~edges ~crash_states:[ crash ] ()))
+  in
+  QCheck.Test.make ~name:"colored edges reach a crash through colored edges"
+    ~count:200
+    (QCheck.make gen ~print:(fun g ->
+         Printf.sprintf "graph with %d states" g.State_graph.nstates))
+    (fun g ->
+      let colored = Dangerous_paths.dangerous_edges g in
+      let nedges = State_graph.nedges g in
+      (* BFS over colored edges from each colored edge's destination *)
+      let reaches_crash from_state =
+        let seen = Array.make g.State_graph.nstates false in
+        let rec go s =
+          if State_graph.is_crash_state g s then true
+          else if seen.(s) then false
+          else begin
+            seen.(s) <- true;
+            List.exists
+              (fun e ->
+                colored.(e.State_graph.id) && go e.State_graph.dst)
+              (State_graph.out_edges g s)
+          end
+        in
+        go from_state
+      in
+      let ok = ref true in
+      for i = 0 to nedges - 1 do
+        if colored.(i) then begin
+          let e = State_graph.edge g i in
+          if
+            (not (State_graph.is_crash_state g e.State_graph.dst))
+            && not (reaches_crash e.State_graph.dst)
+          then ok := false
+        end
+      done;
+      !ok)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_commit_all_upholds;
+      prop_violations_subset_of_nd;
+      prop_hb_irreflexive_transitive;
+      prop_consistency_duplicate_closure;
+      prop_dangerous_reaches_crash;
+    ]
+
+let tests =
+  [
+    Alcotest.test_case "vclock basics" `Quick test_vclock_basics;
+    Alcotest.test_case "happens-before chain" `Quick
+      test_happens_before_chain;
+    Alcotest.test_case "concurrent events" `Quick test_concurrent_events;
+    Alcotest.test_case "save-work violation" `Quick
+      test_save_work_violation_detected;
+    Alcotest.test_case "commit cures" `Quick test_save_work_commit_cures;
+    Alcotest.test_case "logged nd exempt" `Quick
+      test_save_work_logged_nd_exempt;
+    Alcotest.test_case "late commit insufficient" `Quick
+      test_save_work_commit_after_visible_insufficient;
+    Alcotest.test_case "orphan (figure 2)" `Quick
+      test_save_work_orphan_figure2;
+    Alcotest.test_case "orphan cured" `Quick
+      test_save_work_orphan_cured_by_sender_commit;
+    Alcotest.test_case "figure 6 case A" `Quick test_figure6_case_a;
+    Alcotest.test_case "figure 6 case B" `Quick test_figure6_case_b;
+    Alcotest.test_case "figure 6 case C" `Quick test_figure6_case_c;
+    Alcotest.test_case "nontrivial graph" `Quick
+      test_dangerous_nontrivial_graph;
+    Alcotest.test_case "receive classification" `Quick
+      test_receive_classification;
+    Alcotest.test_case "multi-process dangerous paths" `Quick
+      test_multi_process_dangerous_paths;
+    Alcotest.test_case "safe_to_commit" `Quick test_safe_to_commit_api;
+    Alcotest.test_case "lose-work (figure 9)" `Quick test_lose_work_figure9;
+    Alcotest.test_case "commit before nd safe" `Quick
+      test_lose_work_commit_before_nd_safe;
+    Alcotest.test_case "bohrbug" `Quick test_lose_work_bohrbug;
+    Alcotest.test_case "consistency exact" `Quick test_consistency_exact;
+    Alcotest.test_case "consistency duplicates" `Quick
+      test_consistency_duplicates_ok;
+    Alcotest.test_case "consistency wrong value" `Quick
+      test_consistency_wrong_value;
+    Alcotest.test_case "consistency truncation" `Quick
+      test_consistency_truncation;
+    Alcotest.test_case "protocol space axis rule" `Quick
+      test_protocol_space_axis_rule;
+    Alcotest.test_case "protocols by name" `Quick test_protocols_by_name;
+    Alcotest.test_case "state graph dot export" `Quick test_state_graph_dot;
+  ]
+
+let () =
+  Alcotest.run "ft_core"
+    [ ("theory", tests); ("properties", qcheck_tests) ]

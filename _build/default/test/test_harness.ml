@@ -1,0 +1,150 @@
+(* Tests for the experiment harness: Figure 8 measurements respect the
+   paper's orderings, the Table 1/2 campaigns produce sane rows, the
+   composed analyses match the paper's arithmetic, and the report
+   renderer is well-formed. *)
+
+let find name cells =
+  List.find (fun c -> c.Ft_harness.Figure8.protocol = name) cells
+
+let test_figure8_nvi_shape () =
+  let r = Ft_harness.Figure8.measure ~scale:0.15 Ft_harness.Figure8.Nvi in
+  let cells = r.Ft_harness.Figure8.cells in
+  let cand = find "CAND" cells
+  and cand_log = find "CAND-LOG" cells
+  and cpvs = find "CPVS" cells in
+  (* nvi: nearly all ND is loggable input, so CAND-LOG commits almost
+     never while CAND commits per keystroke *)
+  Alcotest.(check bool) "cand >> cand-log" true
+    (cand.Ft_harness.Figure8.checkpoints
+    > 10 * max 1 cand_log.Ft_harness.Figure8.checkpoints);
+  Alcotest.(check bool) "cpvs ~ cand" true
+    (abs (cpvs.Ft_harness.Figure8.checkpoints
+          - cand.Ft_harness.Figure8.checkpoints)
+    < cand.Ft_harness.Figure8.checkpoints / 2);
+  (* reliable-memory commits are nearly free next to 100 ms think time *)
+  Alcotest.(check bool) "DC overhead small" true
+    (cand.Ft_harness.Figure8.dc_overhead < 5.);
+  Alcotest.(check bool) "disk costs more" true
+    (cand.Ft_harness.Figure8.dcdisk_overhead
+    > cand.Ft_harness.Figure8.dc_overhead)
+
+let test_figure8_treadmarks_shape () =
+  let r =
+    Ft_harness.Figure8.measure ~scale:0.2 Ft_harness.Figure8.Treadmarks
+  in
+  let cells = r.Ft_harness.Figure8.cells in
+  let cand = find "CAND" cells
+  and cpvs = find "CPVS" cells
+  and cpv2 = find "CPV-2PC" cells in
+  Alcotest.(check bool) "cand > cpvs" true
+    (cand.Ft_harness.Figure8.checkpoints > cpvs.Ft_harness.Figure8.checkpoints);
+  Alcotest.(check bool) "2pc is the big win" true
+    (cpv2.Ft_harness.Figure8.checkpoints * 10
+    < cpvs.Ft_harness.Figure8.checkpoints);
+  Alcotest.(check bool) "2pc lowest overhead" true
+    (cpv2.Ft_harness.Figure8.dc_overhead
+    <= cpvs.Ft_harness.Figure8.dc_overhead)
+
+let test_figure8_xpilot_full_speed () =
+  let r = Ft_harness.Figure8.measure ~scale:0.1 Ft_harness.Figure8.Xpilot in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (c.Ft_harness.Figure8.protocol ^ " full speed on DC")
+        true
+        (c.Ft_harness.Figure8.dc_fps > 13.))
+    r.Ft_harness.Figure8.cells
+
+let test_table1_mini_campaign () =
+  let row =
+    Ft_harness.Table1.campaign ~target_crashes:4 ~max_attempts:120
+      ~app:Ft_harness.Table1.Postgres Ft_faults.Fault_type.Stack_bit_flip
+  in
+  Alcotest.(check bool) "collected crashes" true
+    (row.Ft_harness.Table1.crashes > 0);
+  Alcotest.(check bool) "violations <= crashes" true
+    (row.Ft_harness.Table1.violations <= row.Ft_harness.Table1.crashes)
+
+let test_table2_mini_campaign () =
+  let rows =
+    Ft_harness.Table2.run ~target_crashes:3 ~max_attempts:30
+      ~app:Ft_harness.Table1.Postgres ()
+  in
+  Alcotest.(check int) "one row per fault type"
+    (List.length Ft_faults.Fault_type.all)
+    (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "failed <= crashes" true
+        (r.Ft_harness.Table2.failed_recoveries <= r.Ft_harness.Table2.crashes))
+    rows
+
+let test_analysis_arithmetic () =
+  (* the paper's numbers: 35% violations, 15% Heisenbugs -> ~90% conflict *)
+  let c =
+    Ft_harness.Analysis.conflict ~heisenbug_fraction:0.15
+      ~violation_rate:0.35 ()
+  in
+  Alcotest.(check bool) "~90% conflict" true
+    (c.Ft_harness.Analysis.conflict_fraction > 0.89
+    && c.Ft_harness.Analysis.conflict_fraction < 0.92);
+  (* the paper's §4.2 inference: 15% failures / 37% violations ~ 41% *)
+  let p =
+    Ft_harness.Analysis.inferred_propagation ~os_failure_rate:0.15
+      ~violation_rate:0.37
+  in
+  Alcotest.(check bool) "~41% propagation" true (p > 0.40 && p < 0.42)
+
+let test_report_renderer () =
+  let s =
+    Ft_harness.Report.table
+      ~headers:[ "a"; "bbbb"; "c" ]
+      ~rows:[ [ "x"; "1"; "2" ]; [ "longer"; "33"; "444" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "has header, rule, rows" true
+    (List.length lines >= 4);
+  (* all non-empty lines align to the same width or less *)
+  Alcotest.(check bool) "contains all cells" true
+    (List.for_all
+       (fun cell ->
+         List.exists
+           (fun line ->
+             let re = cell in
+             let rec contains i =
+               i + String.length re <= String.length line
+               && (String.sub line i (String.length re) = re
+                  || contains (i + 1))
+             in
+             String.length line >= String.length re && contains 0)
+           lines)
+       [ "longer"; "444"; "bbbb" ])
+
+let test_protocol_space_render () =
+  let s = Ft_core.Protocol_space.render Ft_core.Protocol_space.all in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " plotted") true
+        (let rec contains i =
+           i + String.length name <= String.length s
+           && (String.sub s i (String.length name) = name || contains (i + 1))
+         in
+         contains 0))
+    [ "CAND"; "CPVS"; "Hypervisor"; "Manetho" ]
+
+let tests =
+  [
+    Alcotest.test_case "figure8 nvi shape" `Slow test_figure8_nvi_shape;
+    Alcotest.test_case "figure8 treadmarks shape" `Slow
+      test_figure8_treadmarks_shape;
+    Alcotest.test_case "figure8 xpilot full speed" `Slow
+      test_figure8_xpilot_full_speed;
+    Alcotest.test_case "table1 mini campaign" `Slow test_table1_mini_campaign;
+    Alcotest.test_case "table2 mini campaign" `Slow test_table2_mini_campaign;
+    Alcotest.test_case "analysis arithmetic" `Quick test_analysis_arithmetic;
+    Alcotest.test_case "report renderer" `Quick test_report_renderer;
+    Alcotest.test_case "protocol space render" `Quick
+      test_protocol_space_render;
+  ]
+
+let () = Alcotest.run "ft_harness" [ ("harness", tests) ]

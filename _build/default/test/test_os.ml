@@ -1,0 +1,185 @@
+(* Tests for the kernel model: input scripting and think time, event
+   classification, the network (ordering, duplicate filtering, recovery
+   buffer), files, signals, and OS fault mechanics. *)
+
+let mk ?(nprocs = 2) () = Ft_os.Kernel.create ~nprocs ()
+
+let serve ?(now = 0) ?(a0 = 0) ?(a1 = 0) k pid sys =
+  match Ft_os.Kernel.service k ~pid ~now ~a0 ~a1 sys with
+  | Ft_os.Kernel.Served s -> s
+  | Ft_os.Kernel.Block_recv -> Alcotest.fail "unexpected block"
+  | Ft_os.Kernel.Panic -> Alcotest.fail "unexpected panic"
+
+let test_input_script_and_think_time () =
+  let k = mk () in
+  Ft_os.Kernel.set_input k 0
+    (Ft_os.Kernel.scripted_input ~start:5000 ~interval_ns:100 [ 10; 20 ]);
+  let s1 = serve k 0 Ft_vm.Syscall.Read_input in
+  Alcotest.(check (option int)) "first token" (Some 10) s1.Ft_os.Kernel.r0;
+  Alcotest.(check (option int)) "first gap from start" (Some 5000)
+    s1.Ft_os.Kernel.new_time;
+  let s2 = serve ~now:5000 k 0 Ft_vm.Syscall.Read_input in
+  Alcotest.(check (option int)) "second token" (Some 20) s2.Ft_os.Kernel.r0;
+  Alcotest.(check (option int)) "think time after response" (Some 5100)
+    s2.Ft_os.Kernel.new_time;
+  let s3 = serve k 0 Ft_vm.Syscall.Read_input in
+  Alcotest.(check (option int)) "exhausted" (Some (-1)) s3.Ft_os.Kernel.r0
+
+let test_event_classification () =
+  let k = mk () in
+  let time_ev = (serve k 0 Ft_vm.Syscall.Gettimeofday).Ft_os.Kernel.ev in
+  (match time_ev with
+  | Ft_os.Kernel.Ev_nd (Ft_core.Event.Transient, false) -> ()
+  | _ -> Alcotest.fail "gettimeofday must be transient unloggable ND");
+  Ft_os.Kernel.set_input k 0
+    (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:0 [ 1 ]);
+  (match (serve k 0 Ft_vm.Syscall.Read_input).Ft_os.Kernel.ev with
+  | Ft_os.Kernel.Ev_nd (Ft_core.Event.Fixed, true) -> ()
+  | _ -> Alcotest.fail "input must be fixed loggable ND");
+  match (serve ~a0:77 k 0 Ft_vm.Syscall.Write_output).Ft_os.Kernel.ev with
+  | Ft_os.Kernel.Ev_visible 77 -> ()
+  | _ -> Alcotest.fail "write_output must be visible"
+
+let test_send_recv_roundtrip () =
+  let k = mk () in
+  let s = serve ~a0:1 ~a1:123 k 0 Ft_vm.Syscall.Send in
+  (match s.Ft_os.Kernel.ev with
+  | Ft_os.Kernel.Ev_send { dest = 1; _ } -> ()
+  | _ -> Alcotest.fail "send event");
+  let r = serve k 1 Ft_vm.Syscall.Recv in
+  Alcotest.(check (option int)) "payload" (Some 123) r.Ft_os.Kernel.r0;
+  Alcotest.(check (option int)) "sender" (Some 0) r.Ft_os.Kernel.r1;
+  match Ft_os.Kernel.service k ~pid:1 ~now:0 ~a0:0 ~a1:0 Ft_vm.Syscall.Recv with
+  | Ft_os.Kernel.Block_recv -> ()
+  | _ -> Alcotest.fail "empty mailbox must block"
+
+let test_duplicate_filtering () =
+  (* A rolled-back sender re-sends with the same sequence number; the
+     receiver's filter drops it (redoable sends, §2.1). *)
+  let k = mk () in
+  let snap = Ft_os.Kernel.snapshot_kstate k 0 in
+  ignore (serve ~a0:1 ~a1:5 k 0 Ft_vm.Syscall.Send);
+  ignore (serve k 1 Ft_vm.Syscall.Recv);
+  Ft_os.Kernel.note_commit k 1;
+  (* sender rolls back before the send and re-executes it *)
+  Ft_os.Kernel.restore_kstate k 0 snap;
+  ignore (serve ~a0:1 ~a1:5 k 0 Ft_vm.Syscall.Send);
+  match Ft_os.Kernel.service k ~pid:1 ~now:0 ~a0:0 ~a1:0 Ft_vm.Syscall.Recv with
+  | Ft_os.Kernel.Block_recv -> () (* duplicate silently dropped *)
+  | Ft_os.Kernel.Served s ->
+      Alcotest.failf "duplicate delivered: %d" (Option.get s.Ft_os.Kernel.r0)
+  | Ft_os.Kernel.Panic -> Alcotest.fail "panic"
+
+let test_recovery_buffer_redelivery () =
+  (* Messages consumed since the receiver's last commit are requeued on
+     rollback, in order. *)
+  let k = mk () in
+  ignore (serve ~a0:1 ~a1:100 k 0 Ft_vm.Syscall.Send);
+  ignore (serve ~a0:1 ~a1:200 k 0 Ft_vm.Syscall.Send);
+  let receiver_snap = Ft_os.Kernel.snapshot_kstate k 1 in
+  ignore (serve k 1 Ft_vm.Syscall.Recv);
+  ignore (serve k 1 Ft_vm.Syscall.Recv);
+  (* receiver crashes and rolls back without having committed *)
+  Ft_os.Kernel.restore_kstate k 1 receiver_snap;
+  Ft_os.Kernel.requeue_uncommitted k 1;
+  let a = serve k 1 Ft_vm.Syscall.Recv in
+  let b = serve k 1 Ft_vm.Syscall.Recv in
+  Alcotest.(check (option int)) "first redelivered" (Some 100)
+    a.Ft_os.Kernel.r0;
+  Alcotest.(check (option int)) "second redelivered" (Some 200)
+    b.Ft_os.Kernel.r0
+
+let test_files_and_disk_full () =
+  let k = Ft_os.Kernel.create ~nprocs:1 ~fs_capacity:2 () in
+  let fd =
+    Option.get (serve ~a0:9 k 0 Ft_vm.Syscall.Open_file).Ft_os.Kernel.r0
+  in
+  Alcotest.(check bool) "fd valid" true (fd >= 0);
+  let w1 = serve ~a0:fd ~a1:11 k 0 Ft_vm.Syscall.Write_file in
+  Alcotest.(check (option int)) "write ok" (Some 1) w1.Ft_os.Kernel.r0;
+  ignore (serve ~a0:fd ~a1:22 k 0 Ft_vm.Syscall.Write_file);
+  let w3 = serve ~a0:fd ~a1:33 k 0 Ft_vm.Syscall.Write_file in
+  Alcotest.(check (option int)) "disk full" (Some (-1)) w3.Ft_os.Kernel.r0;
+  (match w3.Ft_os.Kernel.ev with
+  | Ft_os.Kernel.Ev_nd (Ft_core.Event.Fixed, false) -> ()
+  | _ -> Alcotest.fail "disk-full is a fixed ND event");
+  Alcotest.(check int) "file contents" 2 (Ft_os.Kernel.file_length k 0 9);
+  Alcotest.(check (option int)) "word readable" (Some 22)
+    (Ft_os.Kernel.file_word k 0 9 1)
+
+let test_open_file_table_full () =
+  let k = Ft_os.Kernel.create ~nprocs:1 ~max_open_files:1 () in
+  ignore (serve ~a0:1 k 0 Ft_vm.Syscall.Open_file);
+  let s = serve ~a0:2 k 0 Ft_vm.Syscall.Open_file in
+  Alcotest.(check (option int)) "table full" (Some (-1)) s.Ft_os.Kernel.r0;
+  match s.Ft_os.Kernel.ev with
+  | Ft_os.Kernel.Ev_nd (Ft_core.Event.Fixed, false) -> ()
+  | _ -> Alcotest.fail "table-full is a fixed ND event"
+
+let test_timer_signals () =
+  let k = mk () in
+  Ft_os.Kernel.set_timer_signal k 0 ~period_ns:100 ~first_at:50;
+  Alcotest.(check bool) "not yet" false (Ft_os.Kernel.poll_signal k 0 ~now:49);
+  Alcotest.(check bool) "fires" true (Ft_os.Kernel.poll_signal k 0 ~now:60);
+  Alcotest.(check bool) "consumed" false
+    (Ft_os.Kernel.poll_signal k 0 ~now:60);
+  Alcotest.(check bool) "next period" true
+    (Ft_os.Kernel.poll_signal k 0 ~now:160)
+
+let test_os_fault_corruption_and_panic () =
+  let k = mk () in
+  Ft_os.Kernel.set_os_fault k
+    {
+      Ft_os.Kernel.panic_at = 5_000;
+      touches = (fun s -> s = Ft_vm.Syscall.Gettimeofday);
+      corrupt_bit = 4;
+      poke_probability = 0.;
+      propagated = false;
+    };
+  let s1 = serve ~now:1_000 k 0 Ft_vm.Syscall.Gettimeofday in
+  (* gettimeofday returns now/1000 = 1, corrupted to 1 xor 16 *)
+  Alcotest.(check (option int)) "bit flipped" (Some (1 lxor 16))
+    s1.Ft_os.Kernel.r0;
+  (match Ft_os.Kernel.os_fault k with
+  | Some f -> Alcotest.(check bool) "propagated" true f.Ft_os.Kernel.propagated
+  | None -> Alcotest.fail "fault gone");
+  (match Ft_os.Kernel.service k ~pid:0 ~now:6_000 ~a0:0 ~a1:0
+           Ft_vm.Syscall.Random with
+  | Ft_os.Kernel.Panic -> ()
+  | _ -> Alcotest.fail "expected panic after the deadline");
+  Alcotest.(check bool) "panicked" true (Ft_os.Kernel.panicked k);
+  Ft_os.Kernel.clear_os_fault k;
+  Alcotest.(check bool) "cleared" false (Ft_os.Kernel.panicked k)
+
+let test_kstate_snapshot_roundtrip () =
+  let k = mk () in
+  Ft_os.Kernel.set_input k 0
+    (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:10 [ 1; 2; 3 ]);
+  let snap = Ft_os.Kernel.snapshot_kstate k 0 in
+  ignore (serve k 0 Ft_vm.Syscall.Read_input);
+  ignore (serve k 0 Ft_vm.Syscall.Read_input);
+  Ft_os.Kernel.restore_kstate k 0 snap;
+  let s = serve k 0 Ft_vm.Syscall.Read_input in
+  Alcotest.(check (option int)) "input position rolled back" (Some 1)
+    s.Ft_os.Kernel.r0
+
+let tests =
+  [
+    Alcotest.test_case "input script" `Quick test_input_script_and_think_time;
+    Alcotest.test_case "event classification" `Quick
+      test_event_classification;
+    Alcotest.test_case "send/recv roundtrip" `Quick test_send_recv_roundtrip;
+    Alcotest.test_case "duplicate filtering" `Quick test_duplicate_filtering;
+    Alcotest.test_case "recovery buffer" `Quick
+      test_recovery_buffer_redelivery;
+    Alcotest.test_case "files and disk full" `Quick test_files_and_disk_full;
+    Alcotest.test_case "open file table full" `Quick
+      test_open_file_table_full;
+    Alcotest.test_case "timer signals" `Quick test_timer_signals;
+    Alcotest.test_case "os fault mechanics" `Quick
+      test_os_fault_corruption_and_panic;
+    Alcotest.test_case "kstate snapshot" `Quick
+      test_kstate_snapshot_roundtrip;
+  ]
+
+let () = Alcotest.run "ft_os" [ ("kernel", tests) ]

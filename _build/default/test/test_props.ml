@@ -1,0 +1,329 @@
+(* Property and feature tests that cut across libraries:
+
+   - protocol conformance: every executable protocol upholds Save-work
+     on random abstract multi-process event streams (Ft_core.Conformance);
+   - end-to-end: random stop-failure schedules x protocols keep recovery
+     consistent on a real workload;
+   - the §2.6 mitigations: resource expansion turning fixed ND transient,
+     and checkpoint exclusion of recomputable state. *)
+
+open Ft_core
+
+(* --- conformance over random scripts ------------------------------------- *)
+
+let gen_step nprocs =
+  QCheck.Gen.(
+    int_bound (nprocs - 1) >>= fun pid ->
+    frequency
+      [
+        (3, return (Event.Internal, false));
+        (2, return (Event.Nd Event.Transient, false));
+        (2, return (Event.Nd Event.Fixed, true));   (* user input *)
+        (1, return (Event.Nd Event.Fixed, false));  (* disk full *)
+        (3, map (fun v -> (Event.Visible v, false)) (int_bound 50));
+        (2, map (fun d -> (Event.Send { dest = d; tag = -1 }, false))
+              (int_bound (nprocs - 1)));
+        (2, return (Event.Receive { src = -1; tag = -1 }, true));
+      ]
+    >>= fun (kind, loggable) ->
+    return (Conformance.step ~pid { Protocol.kind; loggable }))
+
+let arb_script nprocs =
+  QCheck.make
+    QCheck.Gen.(list_size (int_bound 60) (gen_step nprocs))
+    ~print:(fun steps ->
+      String.concat ";"
+        (List.map
+           (fun s ->
+             Printf.sprintf "p%d:%s" s.Conformance.pid
+               (Event.kind_to_string s.Conformance.info.Protocol.kind))
+           steps))
+
+let conformance_prop spec =
+  QCheck.Test.make
+    ~name:(spec.Protocol.spec_name ^ " upholds save-work on random streams")
+    ~count:150 (arb_script 3)
+    (fun script -> Conformance.upholds_save_work spec ~nprocs:3 script)
+
+let conformance_tests =
+  List.map conformance_prop
+    (Protocols.commit_all :: Protocols.sender_based_logging
+     :: Protocols.manetho :: Protocols.coordinated_checkpointing
+     :: Protocols.figure8)
+
+(* NO-COMMIT must violate Save-work whenever unlogged ND precedes a
+   visible event. *)
+let no_commit_violates =
+  QCheck.Test.make ~name:"no-commit violates on nd-then-visible" ~count:50
+    QCheck.unit
+    (fun () ->
+      let script =
+        [
+          Conformance.step ~pid:0
+            { Protocol.kind = Event.Nd Event.Transient; loggable = false };
+          Conformance.step ~pid:0
+            { Protocol.kind = Event.Visible 1; loggable = false };
+        ]
+      in
+      not (Conformance.upholds_save_work Protocols.no_commit ~nprocs:1 script))
+
+(* --- end-to-end: random kill schedules ----------------------------------- *)
+
+open Ft_vm.Asm
+
+let counter_program =
+  program
+    [
+      func "main" []
+        [
+          Let ("c", Int 0);
+          Let ("sum", Int 0);
+          Let ("quit", Int 0);
+          While
+            ( Not (Var "quit"),
+              [
+                Set ("c", Input);
+                If
+                  ( Var "c" <: Int 0,
+                    [ Set ("quit", Int 1) ],
+                    [
+                      Set ("sum", (Var "sum" +: Var "c") %: Int 9973);
+                      Set_heap (Var "c" %: Int 512, Var "sum");
+                      Output (Var "sum");
+                    ] );
+              ] );
+        ];
+    ]
+
+let counter_tokens = List.init 25 (fun i -> (i * 7) mod 90)
+
+let run_counter ~protocol ~kills =
+  let code = Ft_vm.Asm.compile counter_program in
+  let kernel = Ft_os.Kernel.create ~nprocs:1 () in
+  Ft_os.Kernel.set_input kernel 0
+    (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:500_000
+       counter_tokens);
+  let cfg = { Ft_runtime.Engine.default_config with protocol; kills } in
+  let _, r = Ft_runtime.Engine.execute ~cfg ~kernel ~programs:[| code |] () in
+  r
+
+let counter_reference =
+  lazy (run_counter ~protocol:Protocols.no_commit ~kills:[])
+        (* no commits, no kills: the pristine output *)
+
+let stop_failure_prop =
+  QCheck.Test.make
+    ~name:"random kill schedules recover consistently (all protocols)"
+    ~count:60
+    QCheck.(pair (0 -- 4) (list_of_size (QCheck.Gen.int_bound 2) (1 -- 12)))
+    (fun (pi, kill_ms) ->
+      let protocol =
+        List.nth
+          Protocols.[ cand; cand_log; cpvs; cbndvs; cbndvs_log ]
+          pi
+      in
+      let kills = List.map (fun ms -> (ms * 1_000_000, 0)) kill_ms in
+      let r = run_counter ~protocol ~kills in
+      r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed
+      && Consistency.is_consistent
+           ~reference:(Lazy.force counter_reference).Ft_runtime.Engine.visible
+           ~observed:r.Ft_runtime.Engine.visible)
+
+(* --- §2.6: resource expansion -------------------------------------------- *)
+
+(* Writes past the disk's capacity, crashing on the failure; with
+   expand-resources-on-recovery the rerun finds a bigger disk and the
+   fixed ND result changes. *)
+let disk_filler =
+  program
+    [
+      func "main" []
+        [
+          Let ("fd", Open_file (Int 3));
+          Check (Var "fd" >=: Int 0);
+          Let ("i", Int 0);
+          While
+            ( Var "i" <: Int 40,
+              [
+                Let ("ok", Write_file (Var "fd", Var "i"));
+                Check (Var "ok" >: Int 0);  (* crash on disk-full *)
+                Output (Var "i");
+                Set ("i", Var "i" +: Int 1);
+              ] );
+          Close_file (Var "fd");
+        ];
+    ]
+
+let run_disk_filler ~expand =
+  let code = Ft_vm.Asm.compile disk_filler in
+  let kernel = Ft_os.Kernel.create ~fs_capacity:25 ~nprocs:1 () in
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      expand_resources_on_recovery = expand;
+      max_recovery_attempts = 2;
+      max_instructions = 10_000_000 }
+  in
+  let _, r = Ft_runtime.Engine.execute ~cfg ~kernel ~programs:[| code |] () in
+  r
+
+let test_resource_expansion () =
+  let stuck = run_disk_filler ~expand:false in
+  Alcotest.(check bool) "without expansion the crash repeats" true
+    (stuck.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Recovery_failed);
+  let saved = run_disk_filler ~expand:true in
+  Alcotest.(check bool) "with expansion recovery completes" true
+    (saved.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check int) "all forty records written" 40
+    (List.length
+       (List.sort_uniq compare saved.Ft_runtime.Engine.visible))
+
+(* --- §2.6: checkpoint exclusion ------------------------------------------ *)
+
+(* Pages >= 8 hold a scratch rendering fully rebuilt before use on every
+   iteration; excluding them from checkpoints loses nothing. *)
+let scratch_base = 8 * 64
+
+let renderer =
+  program
+    [
+      func "main" []
+        [
+          Let ("c", Int 0);
+          Let ("acc", Int 0);
+          Let ("quit", Int 0);
+          While
+            ( Not (Var "quit"),
+              [
+                Set ("c", Input);
+                If
+                  ( Var "c" <: Int 0,
+                    [ Set ("quit", Int 1) ],
+                    [
+                      (* rebuild the scratch area from the input *)
+                      Let ("j", Int 0);
+                      While
+                        ( Var "j" <: Int 1024,
+                          [
+                            Set_heap (Int scratch_base +: Var "j",
+                                      (Var "c" *: Int 31) +: Var "j");
+                            Set ("j", Var "j" +: Int 1);
+                          ] );
+                      (* then read it back *)
+                      Set ("acc",
+                           (Var "acc" +: Deref (Int scratch_base +: (Var "c" %: Int 1024)))
+                           %: Int 99_991);
+                      Set_heap (Int 0, Var "acc");
+                      Output (Var "acc");
+                    ] );
+              ] );
+        ];
+    ]
+
+let run_renderer ~excluded ~kills ~medium =
+  let code = Ft_vm.Asm.compile renderer in
+  let kernel = Ft_os.Kernel.create ~nprocs:1 () in
+  Ft_os.Kernel.set_input kernel 0
+    (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:1_000_000
+       (List.init 30 (fun i -> (i * 11) mod 800)));
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      kills;
+      medium;
+      excluded_pages = (if excluded then fun p -> p >= 8 else fun _ -> false) }
+  in
+  let _, r = Ft_runtime.Engine.execute ~cfg ~kernel ~programs:[| code |] () in
+  r
+
+let test_checkpoint_exclusion_consistent () =
+  let mem = Ft_runtime.Checkpointer.Reliable_memory in
+  let reference = run_renderer ~excluded:false ~kills:[] ~medium:mem in
+  let r = run_renderer ~excluded:true ~kills:[ (12_000_000, 0) ] ~medium:mem in
+  Alcotest.(check bool) "completes" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check bool) "recovery consistent despite excluded pages" true
+    (Consistency.is_consistent
+       ~reference:reference.Ft_runtime.Engine.visible
+       ~observed:r.Ft_runtime.Engine.visible)
+
+let test_checkpoint_exclusion_cheaper () =
+  let disk = Ft_runtime.Checkpointer.Disk Ft_stablemem.Disk.default in
+  let full = run_renderer ~excluded:false ~kills:[] ~medium:disk in
+  let slim = run_renderer ~excluded:true ~kills:[] ~medium:disk in
+  Alcotest.(check bool)
+    (Printf.sprintf "excluding scratch shrinks commits (%d vs %d ns)"
+       slim.Ft_runtime.Engine.sim_time_ns full.Ft_runtime.Engine.sim_time_ns)
+    true
+    (slim.Ft_runtime.Engine.sim_time_ns < full.Ft_runtime.Engine.sim_time_ns)
+
+(* --- the new protocols, end to end ---------------------------------------- *)
+
+let test_sbl_logs_receives () =
+  (* two-process ping-pong where the server's only ND is receives: SBL
+     never commits it *)
+  let client =
+    program
+      [
+        func "main" []
+          [
+            Let ("i", Int 0);
+            Let ("v", Int 0);
+            Let ("s", Int 0);
+            While
+              ( Var "i" <: Int 5,
+                [
+                  Send_msg (Int 1, Var "i");
+                  Recv_msg ("v", "s");
+                  Output (Var "v");
+                  Set ("i", Var "i" +: Int 1);
+                ] );
+          ];
+      ]
+  in
+  let server =
+    program
+      [
+        func "main" []
+          [
+            Let ("i", Int 0);
+            Let ("v", Int 0);
+            Let ("s", Int 0);
+            While
+              ( Var "i" <: Int 5,
+                [
+                  Recv_msg ("v", "s");
+                  Send_msg (Var "s", Var "v" *: Int 3);
+                  Set ("i", Var "i" +: Int 1);
+                ] );
+          ];
+      ]
+  in
+  let kernel = Ft_os.Kernel.create ~nprocs:2 () in
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      protocol = Protocols.sender_based_logging }
+  in
+  let _, r =
+    Ft_runtime.Engine.execute ~cfg ~kernel
+      ~programs:[| Ft_vm.Asm.compile client; Ft_vm.Asm.compile server |] ()
+  in
+  Alcotest.(check bool) "completed" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check int) "server commits nothing" 0
+    r.Ft_runtime.Engine.commit_counts.(1);
+  Alcotest.(check bool) "save-work still holds" true
+    (Save_work.holds r.Ft_runtime.Engine.trace)
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    (conformance_tests @ [ no_commit_violates; stop_failure_prop ])
+  @ [
+      Alcotest.test_case "resource expansion (2.6)" `Quick
+        test_resource_expansion;
+      Alcotest.test_case "checkpoint exclusion consistent (2.6)" `Quick
+        test_checkpoint_exclusion_consistent;
+      Alcotest.test_case "checkpoint exclusion cheaper (2.6)" `Quick
+        test_checkpoint_exclusion_cheaper;
+      Alcotest.test_case "sbl logs receives" `Quick test_sbl_logs_receives;
+    ]
+
+let () = Alcotest.run "ft_props" [ ("properties", tests) ]

@@ -1,0 +1,439 @@
+(* Tests for the execution engine: event classification, protocol-driven
+   commits, stop-failure recovery, checkpoint/restore fidelity, and the
+   consistency of recovered visible output. *)
+
+open Ft_vm.Asm
+
+(* An interactive echo program: read tokens until -1, double each, emit. *)
+let echo_program =
+  program
+    [
+      func "main" []
+        [
+          Let ("c", Int 0);
+          Let ("quit", Int 0);
+          While
+            ( Not (Var "quit"),
+              [
+                Set ("c", Input);
+                If
+                  ( Var "c" <: Int 0,
+                    [ Set ("quit", Int 1) ],
+                    [ Output (Var "c" *: Int 2) ] );
+              ] );
+        ];
+    ]
+
+let tokens = [ 3; 1; 4; 1; 5; 9; 2; 6 ]
+
+let make_kernel () =
+  let kernel = Ft_os.Kernel.create ~nprocs:1 () in
+  Ft_os.Kernel.set_input kernel 0
+    (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:1_000_000 tokens);
+  kernel
+
+let run_echo ?(cfg = Ft_runtime.Engine.default_config) () =
+  let code = Ft_vm.Asm.compile echo_program in
+  let kernel = make_kernel () in
+  let _, r = Ft_runtime.Engine.execute ~cfg ~kernel ~programs:[| code |] () in
+  r
+
+let expected_output = List.map (fun x -> x * 2) tokens
+
+let test_plain_run () =
+  let r = run_echo () in
+  Alcotest.(check bool) "completed" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check (list int)) "output" expected_output
+    r.Ft_runtime.Engine.visible
+
+let test_cpvs_commit_counts () =
+  (* CPVS commits before every visible: one commit per echoed token. *)
+  let r = run_echo () in
+  Alcotest.(check int) "one commit per visible" (List.length tokens)
+    r.Ft_runtime.Engine.commit_counts.(0)
+
+let test_cand_commit_counts () =
+  (* CAND commits after every ND event: one per Read_input (9 reads
+     including the -1 that ends the session). *)
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      protocol = Ft_core.Protocols.cand }
+  in
+  let r = run_echo ~cfg () in
+  Alcotest.(check int) "one commit per input" (List.length tokens + 1)
+    r.Ft_runtime.Engine.commit_counts.(0)
+
+let test_cand_log_commits_nothing () =
+  (* All of echo's ND events are loggable user input: CAND-LOG logs them
+     all and never commits. *)
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      protocol = Ft_core.Protocols.cand_log }
+  in
+  let r = run_echo ~cfg () in
+  Alcotest.(check int) "no commits" 0 r.Ft_runtime.Engine.commit_counts.(0);
+  Alcotest.(check int) "everything logged" (List.length tokens + 1)
+    r.Ft_runtime.Engine.logged_counts.(0)
+
+let test_cbndvs_between () =
+  (* CBNDVS commits before a visible only when ND happened since the last
+     commit: input precedes every visible, so it matches CPVS here. *)
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      protocol = Ft_core.Protocols.cbndvs }
+  in
+  let r = run_echo ~cfg () in
+  Alcotest.(check int) "one commit per visible" (List.length tokens)
+    r.Ft_runtime.Engine.commit_counts.(0)
+
+let test_save_work_holds () =
+  let r = run_echo () in
+  Alcotest.(check bool) "Save-work upheld by CPVS" true
+    (Ft_core.Save_work.holds r.Ft_runtime.Engine.trace)
+
+let test_stop_failure_recovery () =
+  (* Kill the process mid-session; with CPVS + auto-recovery the final
+     output must be consistent with the failure-free run. *)
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      kills = [ (3_500_000, 0) ] }
+  in
+  let r = run_echo ~cfg () in
+  Alcotest.(check bool) "completed after recovery" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check int) "one crash" 1 r.Ft_runtime.Engine.crashes;
+  Alcotest.(check bool) "consistent recovery" true
+    (Ft_core.Consistency.is_consistent ~reference:expected_output
+       ~observed:r.Ft_runtime.Engine.visible)
+
+let test_stop_failure_all_protocols () =
+  (* Every Save-work protocol must yield consistent recovery from a stop
+     failure (the Save-work theorem, end to end). *)
+  List.iter
+    (fun spec ->
+      let cfg =
+        { Ft_runtime.Engine.default_config with
+          protocol = spec;
+          kills = [ (2_100_000, 0); (5_300_000, 0) ] }
+      in
+      let r = run_echo ~cfg () in
+      Alcotest.(check bool)
+        (spec.Ft_core.Protocol.spec_name ^ " completes")
+        true
+        (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+      Alcotest.(check bool)
+        (spec.Ft_core.Protocol.spec_name ^ " consistent")
+        true
+        (Ft_core.Consistency.is_consistent ~reference:expected_output
+           ~observed:r.Ft_runtime.Engine.visible))
+    Ft_core.Protocols.figure8
+
+let test_commit_all_overhead_exceeds_cbndvs () =
+  (* More commits must cost more simulated time. *)
+  let run spec =
+    let cfg = { Ft_runtime.Engine.default_config with protocol = spec } in
+    (run_echo ~cfg ()).Ft_runtime.Engine.sim_time_ns
+  in
+  let t_all = run Ft_core.Protocols.commit_all in
+  let t_log = run Ft_core.Protocols.cand_log in
+  Alcotest.(check bool) "commit-all slower than cand-log" true
+    (t_all >= t_log)
+
+let test_disk_medium_slower () =
+  let run medium =
+    let cfg = { Ft_runtime.Engine.default_config with medium } in
+    (run_echo ~cfg ()).Ft_runtime.Engine.sim_time_ns
+  in
+  let t_mem = run Ft_runtime.Checkpointer.Reliable_memory in
+  let t_disk =
+    run (Ft_runtime.Checkpointer.Disk Ft_stablemem.Disk.default)
+  in
+  Alcotest.(check bool) "disk commits cost more" true (t_disk > t_mem)
+
+(* Two-process ping-pong over the network. *)
+let pingpong_programs ~rounds =
+  let client =
+    program
+      [
+        func "main" []
+          [
+            Let ("i", Int 0);
+            Let ("v", Int 0);
+            Let ("src", Int 0);
+            While
+              ( Var "i" <: Int rounds,
+                [
+                  Send_msg (Int 1, Var "i");
+                  Recv_msg ("v", "src");
+                  Output (Var "v");
+                  Set ("i", Var "i" +: Int 1);
+                ] );
+          ];
+      ]
+  in
+  let server =
+    program
+      [
+        func "main" []
+          [
+            Let ("i", Int 0);
+            Let ("v", Int 0);
+            Let ("src", Int 0);
+            While
+              ( Var "i" <: Int rounds,
+                [
+                  Recv_msg ("v", "src");
+                  Send_msg (Var "src", Var "v" *: Int 10);
+                  Set ("i", Var "i" +: Int 1);
+                ] );
+          ];
+      ]
+  in
+  [| Ft_vm.Asm.compile client; Ft_vm.Asm.compile server |]
+
+let run_pingpong ?(cfg = Ft_runtime.Engine.default_config) ~rounds () =
+  let kernel = Ft_os.Kernel.create ~nprocs:2 () in
+  let _, r =
+    Ft_runtime.Engine.execute ~cfg ~kernel
+      ~programs:(pingpong_programs ~rounds) ()
+  in
+  r
+
+let pingpong_reference rounds = List.init rounds (fun i -> i * 10)
+
+let test_pingpong () =
+  let r = run_pingpong ~rounds:5 () in
+  Alcotest.(check bool) "completed" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check (list int)) "echoed" (pingpong_reference 5)
+    r.Ft_runtime.Engine.visible
+
+let test_pingpong_server_killed () =
+  (* Kill the server mid-run: CPVS committed before each send, so the
+     client is never an orphan and the run completes consistently. *)
+  let cfg =
+    { Ft_runtime.Engine.default_config with kills = [ (1_000_000, 1) ] }
+  in
+  let r = run_pingpong ~cfg ~rounds:6 () in
+  Alcotest.(check bool) "completed" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check bool) "consistent" true
+    (Ft_core.Consistency.is_consistent
+       ~reference:(pingpong_reference 6)
+       ~observed:r.Ft_runtime.Engine.visible)
+
+let test_pingpong_2pc () =
+  (* CPV-2PC: commits only at the client's visible events, globally. *)
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      protocol = Ft_core.Protocols.cpv_2pc }
+  in
+  let r = run_pingpong ~cfg ~rounds:4 () in
+  Alcotest.(check bool) "completed" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check int) "client commits at visibles" 4
+    r.Ft_runtime.Engine.commit_counts.(0);
+  (* The server may halt before the client's final visible, in which case
+     the last 2PC round correctly leaves it out. *)
+  Alcotest.(check bool) "server dragged along by 2PC" true
+    (r.Ft_runtime.Engine.commit_counts.(1) >= 3)
+
+let test_pingpong_2pc_with_kill () =
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      protocol = Ft_core.Protocols.cbndv_2pc;
+      kills = [ (900_000, 1) ] }
+  in
+  let r = run_pingpong ~cfg ~rounds:6 () in
+  Alcotest.(check bool) "completed" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check bool) "consistent" true
+    (Ft_core.Consistency.is_consistent
+       ~reference:(pingpong_reference 6)
+       ~observed:r.Ft_runtime.Engine.visible)
+
+let test_signal_delivery () =
+  (* A timer signal increments a heap counter; the program loops on input
+     long enough for several deliveries. *)
+  let prog =
+    program
+      [
+        func ~is_handler:true "on_signal" []
+          [ Set_heap (Int 0, Deref (Int 0) +: Int 1) ];
+        func "main" []
+          [
+            Expr (Call ("install", []));
+            Let ("c", Int 0);
+            While (Var "c" >=: Int 0, [ Set ("c", Input) ]);
+            Output (Deref (Int 0));
+          ];
+        func "install" [] [ Sigaction "on_signal" ];
+      ]
+  in
+  let kernel = Ft_os.Kernel.create ~nprocs:1 () in
+  Ft_os.Kernel.set_input kernel 0
+    (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:10_000_000
+       [ 1; 2; 3; 4; 5 ]);
+  Ft_os.Kernel.set_timer_signal kernel 0 ~period_ns:20_000_000
+    ~first_at:5_000_000;
+  let _, r =
+    Ft_runtime.Engine.execute ~kernel
+      ~programs:[| Ft_vm.Asm.compile prog |] ()
+  in
+  Alcotest.(check bool) "completed" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  (match r.Ft_runtime.Engine.visible with
+  | [ n ] -> Alcotest.(check bool) "some signals delivered" true (n >= 2)
+  | _ -> Alcotest.fail "expected exactly one visible event");
+  Alcotest.(check bool) "signals recorded as ND" true
+    (r.Ft_runtime.Engine.nd_counts.(0) > 5)
+
+(* --- engine edge cases ---------------------------------------------------- *)
+
+let test_deadline_outcome () =
+  (* an endless real-time loop stopped by the simulated deadline *)
+  let prog =
+    Ft_vm.Asm.(
+      program
+        [
+          func "main" []
+            [
+              Let ("t", Int 0);
+              While (Int 1, [ Set ("t", Time); Sleep (Int 1_000) ]);
+            ];
+        ])
+  in
+  let kernel = Ft_os.Kernel.create ~nprocs:1 () in
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      deadline_ns = Some 50_000_000 }
+  in
+  let _, r =
+    Ft_runtime.Engine.execute ~cfg ~kernel
+      ~programs:[| Ft_vm.Asm.compile prog |] ()
+  in
+  Alcotest.(check bool) "deadline reached" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Deadline);
+  Alcotest.(check bool) "stopped near the deadline" true
+    (r.Ft_runtime.Engine.sim_time_ns >= 50_000_000)
+
+let test_deadlock_detected () =
+  (* two processes both waiting to receive: nobody ever sends *)
+  let waiter =
+    Ft_vm.Asm.(
+      program
+        [
+          func "main" []
+            [ Let ("v", Int 0); Let ("s", Int 0); Recv_msg ("v", "s") ];
+        ])
+  in
+  let code = Ft_vm.Asm.compile waiter in
+  let kernel = Ft_os.Kernel.create ~nprocs:2 () in
+  let _, r = Ft_runtime.Engine.execute ~kernel ~programs:[| code; code |] () in
+  Alcotest.(check bool) "deadlock detected" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Deadlocked)
+
+let test_instruction_budget_outcome () =
+  let spin =
+    Ft_vm.Asm.(
+      program
+        [ func "main" [] [ While (Int 1, [ Set_heap (Int 0, Int 1) ]) ] ])
+  in
+  let kernel = Ft_os.Kernel.create ~nprocs:1 () in
+  let cfg =
+    { Ft_runtime.Engine.default_config with max_instructions = 100_000 }
+  in
+  let _, r =
+    Ft_runtime.Engine.execute ~cfg ~kernel
+      ~programs:[| Ft_vm.Asm.compile spin |] ()
+  in
+  Alcotest.(check bool) "budget tripped" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Instruction_budget)
+
+let test_kernel_panic_recovers_all () =
+  (* a pure stop-failure kernel fault against the echo program *)
+  let code = Ft_vm.Asm.compile echo_program in
+  let kernel = make_kernel () in
+  Ft_os.Kernel.set_os_fault kernel
+    {
+      Ft_os.Kernel.panic_at = 2_500_000;
+      touches = (fun _ -> false);
+      corrupt_bit = 0;
+      poke_probability = 0.;
+      propagated = false;
+    };
+  let _, r = Ft_runtime.Engine.execute ~kernel ~programs:[| code |] () in
+  Alcotest.(check bool) "panic counted as a crash" true
+    (r.Ft_runtime.Engine.crashes >= 1);
+  Alcotest.(check bool) "completed after reboot" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check bool) "consistent output" true
+    (Ft_core.Consistency.is_consistent ~reference:expected_output
+       ~observed:r.Ft_runtime.Engine.visible);
+  (* the reboot pause is charged to simulated time *)
+  Alcotest.(check bool) "reboot delay charged" true
+    (r.Ft_runtime.Engine.sim_time_ns
+    > Ft_runtime.Engine.default_config.Ft_runtime.Engine.reboot_delay_ns)
+
+let test_recovery_cap_gives_up () =
+  (* a program that deterministically crashes right after committing:
+     recovery must eventually stop retrying *)
+  let prog =
+    Ft_vm.Asm.(
+      program
+        [
+          func "main" []
+            [
+              Output (Int 1);          (* CPVS commits before this *)
+              Set_heap (Int 999_999_999, Int 1);  (* wild store: crash *)
+            ];
+        ])
+  in
+  let kernel = Ft_os.Kernel.create ~nprocs:1 () in
+  let cfg =
+    { Ft_runtime.Engine.default_config with max_recovery_attempts = 2 }
+  in
+  let _, r =
+    Ft_runtime.Engine.execute ~cfg ~kernel
+      ~programs:[| Ft_vm.Asm.compile prog |] ()
+  in
+  Alcotest.(check bool) "gave up" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Recovery_failed);
+  Alcotest.(check int) "two recovery attempts" 2
+    r.Ft_runtime.Engine.recoveries
+
+let tests =
+  [
+    Alcotest.test_case "plain run" `Quick test_plain_run;
+    Alcotest.test_case "deadline outcome" `Quick test_deadline_outcome;
+    Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+    Alcotest.test_case "instruction budget" `Quick
+      test_instruction_budget_outcome;
+    Alcotest.test_case "kernel panic recovers" `Quick
+      test_kernel_panic_recovers_all;
+    Alcotest.test_case "recovery cap gives up" `Quick
+      test_recovery_cap_gives_up;
+    Alcotest.test_case "cpvs commit counts" `Quick test_cpvs_commit_counts;
+    Alcotest.test_case "cand commit counts" `Quick test_cand_commit_counts;
+    Alcotest.test_case "cand-log never commits" `Quick
+      test_cand_log_commits_nothing;
+    Alcotest.test_case "cbndvs commit counts" `Quick test_cbndvs_between;
+    Alcotest.test_case "save-work holds" `Quick test_save_work_holds;
+    Alcotest.test_case "stop failure recovery" `Quick
+      test_stop_failure_recovery;
+    Alcotest.test_case "stop failure x all protocols" `Quick
+      test_stop_failure_all_protocols;
+    Alcotest.test_case "commit cost ordering" `Quick
+      test_commit_all_overhead_exceeds_cbndvs;
+    Alcotest.test_case "disk commits slower" `Quick test_disk_medium_slower;
+    Alcotest.test_case "pingpong" `Quick test_pingpong;
+    Alcotest.test_case "pingpong server killed" `Quick
+      test_pingpong_server_killed;
+    Alcotest.test_case "pingpong 2pc" `Quick test_pingpong_2pc;
+    Alcotest.test_case "pingpong 2pc with kill" `Quick
+      test_pingpong_2pc_with_kill;
+    Alcotest.test_case "signal delivery" `Quick test_signal_delivery;
+  ]
+
+let () = Alcotest.run "ft_runtime" [ ("engine", tests) ]

@@ -1,0 +1,117 @@
+(* Tests for the Rio/Vista/Disk substrate: persistence accounting, undo-log
+   atomicity (including crash-during-commit), and the disk cost model. *)
+
+open Ft_stablemem
+
+let test_rio_basics () =
+  let r = Rio.create ~size:64 in
+  Rio.write r 3 42;
+  Alcotest.(check int) "read back" 42 (Rio.read r 3);
+  Rio.blit_in r ~off:10 [| 1; 2; 3 |];
+  Alcotest.(check (list int)) "blit out" [ 1; 2; 3 ]
+    (Array.to_list (Rio.sub r ~off:10 ~len:3));
+  Alcotest.(check int) "write accounting" 4 (Rio.words_written r)
+
+let test_rio_bounds () =
+  let r = Rio.create ~size:8 in
+  Alcotest.check_raises "oob write" (Invalid_argument "Rio.write: out of range")
+    (fun () -> Rio.write r 8 1);
+  Alcotest.check_raises "oob blit"
+    (Invalid_argument "Rio.blit_in: out of range") (fun () ->
+      Rio.blit_in r ~off:6 [| 1; 2; 3 |])
+
+let test_vista_commit () =
+  let r = Rio.create ~size:32 in
+  let v = Vista.create r in
+  Vista.begin_tx v;
+  Vista.write_range v ~off:0 [| 7; 8; 9 |];
+  Vista.commit v;
+  Alcotest.(check (list int)) "committed" [ 7; 8; 9 ]
+    (Array.to_list (Rio.sub r ~off:0 ~len:3));
+  Alcotest.(check int) "one commit" 1 (Vista.commits v)
+
+let test_vista_abort_restores () =
+  let r = Rio.create ~size:32 in
+  let v = Vista.create r in
+  Vista.begin_tx v;
+  Vista.write_range v ~off:0 [| 1; 1; 1 |];
+  Vista.commit v;
+  Vista.begin_tx v;
+  Vista.write_range v ~off:0 [| 2; 2; 2 |];
+  Vista.write_word v ~off:1 99;
+  Alcotest.(check int) "mid-tx visible" 99 (Rio.read r 1);
+  Vista.abort v;
+  Alcotest.(check (list int)) "before-images applied" [ 1; 1; 1 ]
+    (Array.to_list (Rio.sub r ~off:0 ~len:3))
+
+let test_vista_crash_mid_commit () =
+  (* a crash with an open transaction recovers to the previous state *)
+  let r = Rio.create ~size:32 in
+  let v = Vista.create r in
+  Vista.begin_tx v;
+  Vista.write_range v ~off:4 [| 5; 5 |];
+  Vista.commit v;
+  Vista.begin_tx v;
+  Vista.write_range v ~off:4 [| 6; 6 |];
+  (* crash here: recovery runs the undo log *)
+  Vista.recover v;
+  Alcotest.(check (list int)) "rolled back to last commit" [ 5; 5 ]
+    (Array.to_list (Rio.sub r ~off:4 ~len:2));
+  Alcotest.(check bool) "no open tx" false (Vista.in_tx v)
+
+let test_vista_nesting_rejected () =
+  let v = Vista.create (Rio.create ~size:8) in
+  Vista.begin_tx v;
+  Alcotest.check_raises "no nesting"
+    (Invalid_argument "Vista.begin_tx: transaction already open") (fun () ->
+      Vista.begin_tx v)
+
+let test_disk_costs () =
+  let d = Disk.default in
+  Alcotest.(check bool) "access dominates small writes" true
+    (Disk.write_cost d ~words:1 < Disk.write_cost d ~words:100_000);
+  Alcotest.(check int) "zero words still pays access" d.Disk.access_ns
+    (Disk.write_cost d ~words:0);
+  Alcotest.(check bool) "commit pays two accesses" true
+    (Disk.commit_cost d ~words:0 = 2 * d.Disk.access_ns);
+  Alcotest.(check bool) "fast disk is faster" true
+    (Disk.write_cost Disk.fast ~words:100 < Disk.write_cost d ~words:100)
+
+(* qcheck: any interleaving of committed and aborted transactions leaves
+   the region equal to replaying only the committed ones. *)
+let prop_vista_atomicity =
+  QCheck.Test.make ~name:"aborted transactions leave no trace" ~count:200
+    QCheck.(
+      list_of_size (QCheck.Gen.int_bound 20)
+        (triple (0 -- 27) (0 -- 100) bool))
+    (fun ops ->
+      let r = Rio.create ~size:32 in
+      let v = Vista.create r in
+      let model = Array.make 32 0 in
+      List.iter
+        (fun (off, value, commit) ->
+          Vista.begin_tx v;
+          Vista.write_range v ~off [| value; value + 1 |];
+          if commit then begin
+            Vista.commit v;
+            model.(off) <- value;
+            model.(off + 1) <- value + 1
+          end
+          else Vista.abort v)
+        ops;
+      Array.to_list (Rio.sub r ~off:0 ~len:32) = Array.to_list model)
+
+let tests =
+  [
+    Alcotest.test_case "rio basics" `Quick test_rio_basics;
+    Alcotest.test_case "rio bounds" `Quick test_rio_bounds;
+    Alcotest.test_case "vista commit" `Quick test_vista_commit;
+    Alcotest.test_case "vista abort" `Quick test_vista_abort_restores;
+    Alcotest.test_case "vista crash mid-commit" `Quick
+      test_vista_crash_mid_commit;
+    Alcotest.test_case "vista nesting" `Quick test_vista_nesting_rejected;
+    Alcotest.test_case "disk costs" `Quick test_disk_costs;
+    QCheck_alcotest.to_alcotest prop_vista_atomicity;
+  ]
+
+let () = Alcotest.run "ft_stablemem" [ ("stablemem", tests) ]

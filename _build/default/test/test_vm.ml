@@ -1,0 +1,216 @@
+(* Unit tests for the VM: instruction semantics, the Asm compiler, memory
+   dirty tracking, and machine snapshot/restore. *)
+
+let run_program ?(steps = 1_000_000) prog =
+  let code = Ft_vm.Asm.compile prog in
+  let m = Ft_vm.Machine.create ~heap_size:4096 code in
+  let rec go n =
+    if n = 0 then failwith "program did not halt";
+    match Ft_vm.Machine.status m with
+    | Ft_vm.Machine.Running ->
+        Ft_vm.Machine.step m;
+        go (n - 1)
+    | Ft_vm.Machine.Need_syscall _ ->
+        failwith "unexpected syscall in pure program"
+    | Ft_vm.Machine.Halted | Ft_vm.Machine.Crashed _ -> ()
+  in
+  go steps;
+  m
+
+open Ft_vm.Asm
+
+let check_status = Alcotest.(check bool)
+
+let test_arith () =
+  (* main: heap[0] := (7 + 3) * 4 - 5 *)
+  let prog =
+    program
+      [
+        func "main" []
+          [ Set_heap (Int 0, (Int 7 +: Int 3) *: Int 4 -: Int 5) ];
+      ]
+  in
+  let m = run_program prog in
+  Alcotest.(check int) "arith result" 35
+    (Ft_vm.Memory.read (Ft_vm.Machine.heap m) 0)
+
+let test_locals_and_loop () =
+  (* sum of 1..10 via while loop *)
+  let prog =
+    program
+      [
+        func "main" []
+          [
+            Let ("i", Int 1);
+            Let ("acc", Int 0);
+            While
+              ( Var "i" <=: Int 10,
+                [ Set ("acc", Var "acc" +: Var "i");
+                  Set ("i", Var "i" +: Int 1) ] );
+            Set_heap (Int 1, Var "acc");
+          ];
+      ]
+  in
+  let m = run_program prog in
+  Alcotest.(check int) "sum 1..10" 55
+    (Ft_vm.Memory.read (Ft_vm.Machine.heap m) 1)
+
+let test_functions () =
+  (* recursive factorial through the calling convention *)
+  let prog =
+    program
+      [
+        func "fact" [ "n" ]
+          [
+            If
+              ( Var "n" <=: Int 1,
+                [ Return (Int 1) ],
+                [ Return (Var "n" *: Call ("fact", [ Var "n" -: Int 1 ])) ] );
+          ];
+        func "main" [] [ Set_heap (Int 2, Call ("fact", [ Int 6 ])) ];
+      ]
+  in
+  let m = run_program prog in
+  Alcotest.(check int) "6!" 720 (Ft_vm.Memory.read (Ft_vm.Machine.heap m) 2)
+
+let test_if_else_nested () =
+  let prog =
+    program
+      [
+        func "classify" [ "x" ]
+          [
+            If
+              ( Var "x" <: Int 0,
+                [ Return (Int (-1)) ],
+                [ If (Var "x" =: Int 0, [ Return (Int 0) ],
+                      [ Return (Int 1) ]) ] );
+          ];
+        func "main" []
+          [
+            Set_heap (Int 0, Call ("classify", [ Int (-5) ]));
+            Set_heap (Int 1, Call ("classify", [ Int 0 ]));
+            Set_heap (Int 2, Call ("classify", [ Int 17 ]));
+          ];
+      ]
+  in
+  let m = run_program prog in
+  let h = Ft_vm.Machine.heap m in
+  Alcotest.(check (list int)) "classify" [ -1; 0; 1 ]
+    [ Ft_vm.Memory.read h 0; Ft_vm.Memory.read h 1; Ft_vm.Memory.read h 2 ]
+
+let test_heap_oob_crashes () =
+  let prog = program [ func "main" [] [ Set_heap (Int 100_000, Int 1) ] ] in
+  let m = run_program prog in
+  let crashed =
+    match Ft_vm.Machine.status m with
+    | Ft_vm.Machine.Crashed (Ft_vm.Machine.Heap_out_of_bounds _) -> true
+    | _ -> false
+  in
+  check_status "oob store crashes" true crashed
+
+let test_div_by_zero_crashes () =
+  let prog =
+    program [ func "main" [] [ Set_heap (Int 0, Int 5 /: Int 0) ] ]
+  in
+  let m = run_program prog in
+  let crashed =
+    match Ft_vm.Machine.status m with
+    | Ft_vm.Machine.Crashed Ft_vm.Machine.Division_by_zero -> true
+    | _ -> false
+  in
+  check_status "div by zero crashes" true crashed
+
+let test_check_instruction () =
+  let prog =
+    program
+      [ func "main" [] [ Check (Int 1); Check (Int 0); Set_heap (Int 0, Int 9) ] ]
+  in
+  let m = run_program prog in
+  (match Ft_vm.Machine.status m with
+  | Ft_vm.Machine.Crashed (Ft_vm.Machine.Check_failed _) -> ()
+  | s ->
+      Alcotest.failf "expected check failure, got %s"
+        (match s with
+        | Ft_vm.Machine.Halted -> "halted"
+        | _ -> "other"));
+  Alcotest.(check int) "store after failed check did not run" 0
+    (Ft_vm.Memory.read (Ft_vm.Machine.heap m) 0)
+
+let test_dirty_tracking () =
+  let mem = Ft_vm.Memory.create ~page_size:16 ~size:256 () in
+  Alcotest.(check int) "initially clean" 0 (Ft_vm.Memory.dirty_count mem);
+  Ft_vm.Memory.write mem 0 1;
+  Ft_vm.Memory.write mem 3 1;
+  Ft_vm.Memory.write mem 17 1;
+  Alcotest.(check int) "two dirty pages" 2 (Ft_vm.Memory.dirty_count mem);
+  Alcotest.(check (list int)) "which pages" [ 0; 1 ]
+    (Ft_vm.Memory.dirty_pages mem);
+  Ft_vm.Memory.clear_dirty mem;
+  Alcotest.(check int) "clean after clear" 0 (Ft_vm.Memory.dirty_count mem)
+
+let test_snapshot_restore () =
+  let prog =
+    program
+      [
+        func "main" []
+          [
+            Let ("i", Int 0);
+            While
+              ( Var "i" <: Int 100,
+                [ Set_heap (Var "i", Var "i" *: Var "i");
+                  Set ("i", Var "i" +: Int 1) ] );
+          ];
+      ]
+  in
+  let code = Ft_vm.Asm.compile prog in
+  let m = Ft_vm.Machine.create ~heap_size:4096 code in
+  (* run ~500 instructions, snapshot, run to completion, restore, rerun *)
+  for _ = 1 to 500 do Ft_vm.Machine.step m done;
+  let snap = Ft_vm.Machine.snapshot m in
+  let mid_heap = Ft_vm.Memory.snapshot (Ft_vm.Machine.heap m) in
+  while Ft_vm.Machine.status m = Ft_vm.Machine.Running do
+    Ft_vm.Machine.step m
+  done;
+  Alcotest.(check int) "99^2 written" (99 * 99)
+    (Ft_vm.Memory.read (Ft_vm.Machine.heap m) 99);
+  Ft_vm.Machine.restore m snap;
+  Alcotest.(check bool) "heap restored" true
+    (Ft_vm.Memory.snapshot (Ft_vm.Machine.heap m) = mid_heap);
+  while Ft_vm.Machine.status m = Ft_vm.Machine.Running do
+    Ft_vm.Machine.step m
+  done;
+  Alcotest.(check int) "re-execution completes identically" (99 * 99)
+    (Ft_vm.Memory.read (Ft_vm.Machine.heap m) 99)
+
+let test_dest_reg_mutation_helpers () =
+  let i = Ft_vm.Instr.Bin (Ft_vm.Instr.Add, 3, 1, 2) in
+  Alcotest.(check (option int)) "dest reg" (Some 3) (Ft_vm.Instr.dest_reg i);
+  let i' = Ft_vm.Instr.with_dest_reg i 7 in
+  Alcotest.(check (option int)) "changed dest" (Some 7)
+    (Ft_vm.Instr.dest_reg i');
+  Alcotest.(check bool) "off-by-one flips Lt to Le" true
+    (Ft_vm.Instr.off_by_one_cmp Ft_vm.Instr.Lt = Ft_vm.Instr.Le)
+
+let test_compile_error () =
+  let prog = program [ func "main" [] [ Set ("nope", Int 1) ] ] in
+  Alcotest.check_raises "unbound variable"
+    (Ft_vm.Asm.Compile_error "function main: unbound variable nope")
+    (fun () -> ignore (Ft_vm.Asm.compile prog))
+
+let tests =
+  [
+    Alcotest.test_case "arith" `Quick test_arith;
+    Alcotest.test_case "locals and loop" `Quick test_locals_and_loop;
+    Alcotest.test_case "recursive functions" `Quick test_functions;
+    Alcotest.test_case "nested if/else" `Quick test_if_else_nested;
+    Alcotest.test_case "heap oob crash" `Quick test_heap_oob_crashes;
+    Alcotest.test_case "div by zero crash" `Quick test_div_by_zero_crashes;
+    Alcotest.test_case "check instruction" `Quick test_check_instruction;
+    Alcotest.test_case "dirty tracking" `Quick test_dirty_tracking;
+    Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+    Alcotest.test_case "fault mutation helpers" `Quick
+      test_dest_reg_mutation_helpers;
+    Alcotest.test_case "compile error" `Quick test_compile_error;
+  ]
+
+let () = Alcotest.run "ft_vm" [ ("vm", tests) ]
