@@ -17,18 +17,37 @@ open Toolkit
 
 (* --- part 1: regenerate the evaluation ---------------------------------- *)
 
+(* The bench regenerates through the same job lists the CLI sweeps use
+   (no store: a bench run should always measure, never resume), on every
+   available core. *)
 let regenerate () =
   print_string
     (Ft_harness.Report.section "Figure 3: the protocol space");
   print_string (Ft_core.Protocol_space.render Ft_core.Protocol_space.all);
+  let fig8_lookup =
+    Ft_exp.Exp.eval_lookup
+      (List.concat_map
+         (Ft_harness.Figure8.jobs ~scale:0.25)
+         Ft_harness.Figure8.all_apps)
+  in
   List.iter
     (fun app ->
-      let r = Ft_harness.Figure8.measure ~scale:0.25 app in
-      print_string (Ft_harness.Figure8.render r))
+      print_string
+        (Ft_harness.Figure8.render
+           (Ft_harness.Figure8.of_records ~scale:0.25 app fig8_lookup)))
     Ft_harness.Figure8.all_apps;
+  let both = [ Ft_harness.Table1.Nvi; Ft_harness.Table1.Postgres ] in
+  let t1_lookup =
+    Ft_exp.Exp.eval_lookup
+      (List.concat_map
+         (fun app -> Ft_harness.Table1.jobs ~target_crashes:15 ~app ())
+         both)
+  in
   List.iter
     (fun app ->
-      let rows = Ft_harness.Table1.run ~target_crashes:15 ~app () in
+      let rows =
+        Ft_harness.Table1.of_records ~target_crashes:15 ~app t1_lookup
+      in
       print_string (Ft_harness.Table1.render ~app rows);
       if app = Ft_harness.Table1.Nvi then begin
         let v = Ft_harness.Table1.average rows /. 100. in
@@ -36,12 +55,46 @@ let regenerate () =
           (Ft_harness.Analysis.render_conflict
              (Ft_harness.Analysis.conflict ~violation_rate:v ()))
       end)
-    [ Ft_harness.Table1.Nvi; Ft_harness.Table1.Postgres ];
+    both;
+  let t2_lookup =
+    Ft_exp.Exp.eval_lookup
+      (List.concat_map
+         (fun app -> Ft_harness.Table2.jobs ~target_crashes:15 ~app ())
+         both)
+  in
   List.iter
     (fun app ->
-      let rows = Ft_harness.Table2.run ~target_crashes:15 ~app () in
-      print_string (Ft_harness.Table2.render ~app rows))
-    [ Ft_harness.Table1.Nvi; Ft_harness.Table1.Postgres ]
+      print_string
+        (Ft_harness.Table2.render ~app
+           (Ft_harness.Table2.of_records ~target_crashes:15 ~app t2_lookup)))
+    both
+
+(* --- part 1b: pool speedup meso-benchmark -------------------------------- *)
+
+(* Wall-clock for one full Figure-8 regeneration (scale 0.25) at -j 1
+   vs -j N: the headline number for the parallel runner.  On a
+   single-core box the speedup hovers around 1x; report it rather than
+   assert it. *)
+let pool_speedup () =
+  let jobs () =
+    List.concat_map
+      (Ft_harness.Figure8.jobs ~scale:0.25)
+      Ft_harness.Figure8.all_apps
+  in
+  let time workers =
+    let t0 = Unix.gettimeofday () in
+    ignore (Ft_exp.Exp.eval ~workers (jobs ()));
+    Unix.gettimeofday () -. t0
+  in
+  let n = Ft_exp.Pool.default_workers () in
+  let serial = time 1 in
+  let parallel = if n = 1 then serial else time n in
+  print_string
+    (Ft_harness.Report.section "Exp.Pool speedup (Figure 8 @ scale 0.25)");
+  Printf.printf "-j 1 : %6.2f s\n" serial;
+  Printf.printf "-j %-2d: %6.2f s\n" n parallel;
+  Printf.printf "speedup: %.2fx on %d core%s\n" (serial /. parallel) n
+    (if n = 1 then "" else "s")
 
 (* --- part 2: bechamel tests ---------------------------------------------- *)
 
@@ -147,6 +200,40 @@ let ablation_crash_early check_every =
          in
          Sys.opaque_identity (run_workload w)))
 
+(* Dispatch overhead of the experiment pool itself: a batch of no-op
+   jobs, serial vs spawned domains.  The per-job cost is what a sweep
+   pays on top of the engine work. *)
+let micro_pool_dispatch workers =
+  let jobs =
+    List.init 64 (fun i ->
+        Ft_exp.Job.make ~key:(Printf.sprintf "noop/%d" i) ~seed:i (fun () ->
+            Ft_exp.Jstore.Int i))
+  in
+  Test.make ~name:(Printf.sprintf "micro_pool_dispatch_j%d" workers)
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Ft_exp.Pool.run ~workers jobs)))
+
+let micro_jstore_roundtrip =
+  let row =
+    Ft_exp.Store.record_to_json
+      {
+        Ft_exp.Store.key = "bench/jstore/row";
+        seed = 42;
+        status = Ft_exp.Store.Completed;
+        value =
+          Ft_exp.Jstore.Obj
+            [
+              ("m", Ft_exp.Metrics.to_json Ft_exp.Metrics.zero);
+              ("fps", Ft_exp.Jstore.Float 30.5);
+            ];
+        duration_s = 1.25;
+      }
+  in
+  Test.make ~name:"micro_jstore_roundtrip"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Ft_exp.Jstore.of_string (Ft_exp.Jstore.to_string row))))
+
 (* Micro-benchmarks of the core primitives. *)
 let micro_save_work =
   let trace =
@@ -231,6 +318,8 @@ let tests =
     ablation_medium; ablation_page_size 16; ablation_page_size 256;
     ablation_crash_early 1; ablation_crash_early 32; micro_save_work;
     micro_dangerous; micro_vm; micro_checkpoint;
+    micro_pool_dispatch 1; micro_pool_dispatch (Ft_exp.Pool.default_workers ());
+    micro_jstore_roundtrip;
   ]
 
 let run_benchmarks () =
@@ -258,5 +347,6 @@ let run_benchmarks () =
 
 let () =
   regenerate ();
+  pool_speedup ();
   run_benchmarks ();
   print_endline "\nbench: done."

@@ -19,11 +19,27 @@ let print_space () =
         Printf.printf "  - %s\n" p.Ft_core.Protocol_space.name)
     Ft_core.Protocol_space.all
 
-let run_figure8 apps scale seed =
+(* Sweep plumbing: every table/figure subcommand lists its jobs, hands
+   them to the experiment runner (parallel workers, resumable results
+   store), and renders from the returned records.  Progress and the
+   skipped-job count go to stderr, so stdout is byte-identical across
+   [-j] settings and warm/cold stores. *)
+
+type sweep_opts = { workers : int option; fresh : bool; out_dir : string }
+
+let sweep opts ~name jobs =
+  Ft_exp.Exp.lookup
+    (Ft_exp.Exp.run_sweep ?workers:opts.workers ~fresh:opts.fresh
+       ~out_dir:opts.out_dir ~name jobs)
+
+let run_figure8 apps scale seed opts =
+  let jobs = List.concat_map (Ft_harness.Figure8.jobs ~scale ~seed) apps in
+  let lookup = sweep opts ~name:"figure8" jobs in
   List.iter
     (fun app ->
-      let r = Ft_harness.Figure8.measure ~scale ~seed app in
-      print_string (Ft_harness.Figure8.render r))
+      print_string
+        (Ft_harness.Figure8.render
+           (Ft_harness.Figure8.of_records ~scale ~seed app lookup)))
     apps;
   `Ok ()
 
@@ -32,32 +48,56 @@ let table1_app_of_string = function
   | "postgres" -> Ok Ft_harness.Table1.Postgres
   | s -> Error (Printf.sprintf "unknown app %S (nvi or postgres)" s)
 
-let run_table1 apps crashes =
-  List.iter
+let table1_rows crashes opts apps =
+  let jobs =
+    List.concat_map
+      (fun app -> Ft_harness.Table1.jobs ~target_crashes:crashes ~app ())
+      apps
+  in
+  let lookup = sweep opts ~name:"table1" jobs in
+  List.map
     (fun app ->
-      let rows = Ft_harness.Table1.run ~target_crashes:crashes ~app () in
-      print_string (Ft_harness.Table1.render ~app rows))
-    apps;
+      (app, Ft_harness.Table1.of_records ~target_crashes:crashes ~app lookup))
+    apps
+
+let table2_rows crashes opts apps =
+  let jobs =
+    List.concat_map
+      (fun app -> Ft_harness.Table2.jobs ~target_crashes:crashes ~app ())
+      apps
+  in
+  let lookup = sweep opts ~name:"table2" jobs in
+  List.map
+    (fun app ->
+      (app, Ft_harness.Table2.of_records ~target_crashes:crashes ~app lookup))
+    apps
+
+let run_table1 apps crashes opts =
+  List.iter
+    (fun (app, rows) -> print_string (Ft_harness.Table1.render ~app rows))
+    (table1_rows crashes opts apps);
   `Ok ()
 
-let run_table2 apps crashes =
+let run_table2 apps crashes opts =
   List.iter
-    (fun app ->
-      let rows = Ft_harness.Table2.run ~target_crashes:crashes ~app () in
-      print_string (Ft_harness.Table2.render ~app rows))
-    apps;
+    (fun (app, rows) -> print_string (Ft_harness.Table2.render ~app rows))
+    (table2_rows crashes opts apps);
   `Ok ()
 
-let run_analysis crashes =
-  let t1 = Ft_harness.Table1.run ~target_crashes:crashes
-      ~app:Ft_harness.Table1.Nvi () in
+let run_analysis crashes opts =
+  let t1 =
+    List.assoc Ft_harness.Table1.Nvi
+      (table1_rows crashes opts [ Ft_harness.Table1.Nvi ])
+  in
   let v = Ft_harness.Table1.average t1 /. 100. in
   print_string (Ft_harness.Table1.render ~app:Ft_harness.Table1.Nvi t1);
   print_string
     (Ft_harness.Analysis.render_conflict
        (Ft_harness.Analysis.conflict ~violation_rate:v ()));
-  let t2 = Ft_harness.Table2.run ~target_crashes:crashes
-      ~app:Ft_harness.Table1.Nvi () in
+  let t2 =
+    List.assoc Ft_harness.Table1.Nvi
+      (table2_rows crashes opts [ Ft_harness.Table1.Nvi ])
+  in
   print_string (Ft_harness.Table2.render ~app:Ft_harness.Table1.Nvi t2);
   print_string
     (Ft_harness.Analysis.render_propagation ~app:"nvi"
@@ -65,26 +105,18 @@ let run_analysis crashes =
        ~violation_rate:v);
   `Ok ()
 
-let run_all scale crashes seed =
+let run_all scale crashes seed opts =
   print_space ();
-  ignore (run_figure8 Ft_harness.Figure8.all_apps scale seed);
+  ignore (run_figure8 Ft_harness.Figure8.all_apps scale seed opts);
   let both = [ Ft_harness.Table1.Nvi; Ft_harness.Table1.Postgres ] in
-  let t1s =
-    List.map
-      (fun app ->
-        let rows = Ft_harness.Table1.run ~target_crashes:crashes ~app () in
-        print_string (Ft_harness.Table1.render ~app rows);
-        (app, rows))
-      both
-  in
-  let t2s =
-    List.map
-      (fun app ->
-        let rows = Ft_harness.Table2.run ~target_crashes:crashes ~app () in
-        print_string (Ft_harness.Table2.render ~app rows);
-        (app, rows))
-      both
-  in
+  let t1s = table1_rows crashes opts both in
+  List.iter
+    (fun (app, rows) -> print_string (Ft_harness.Table1.render ~app rows))
+    t1s;
+  let t2s = table2_rows crashes opts both in
+  List.iter
+    (fun (app, rows) -> print_string (Ft_harness.Table2.render ~app rows))
+    t2s;
   let v_nvi = Ft_harness.Table1.average (List.assoc Ft_harness.Table1.Nvi t1s) /. 100. in
   print_string
     (Ft_harness.Analysis.render_conflict
@@ -102,8 +134,9 @@ let run_all scale crashes seed =
     t2s;
   `Ok ()
 
-let run_ablation () =
-  print_string (Ft_harness.Ablation.run_all ());
+let run_ablation opts =
+  let lookup = sweep opts ~name:"ablation" (Ft_harness.Ablation.jobs ()) in
+  print_string (Ft_harness.Ablation.render_records lookup);
   `Ok ()
 
 (* Run one application under one protocol and print the run's vitals. *)
@@ -190,6 +223,27 @@ let crashes_arg =
   Arg.(value & opt int 50 & info [ "crashes" ]
          ~doc:"Target crash count per fault type.")
 
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ]
+           ~doc:"Worker domains for the sweep (0 = one per core).")
+
+let fresh_arg =
+  Arg.(value & flag
+       & info [ "fresh" ]
+           ~doc:"Ignore cached results and recompute every job.")
+
+let out_arg =
+  Arg.(value & opt string Ft_exp.Exp.default_out_dir
+       & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory of the per-sweep results stores.")
+
+let sweep_opts_term =
+  let mk j fresh out_dir =
+    { workers = (if j <= 0 then None else Some j); fresh; out_dir }
+  in
+  Term.(const mk $ jobs_arg $ fresh_arg $ out_arg)
+
 let fig8_apps_arg =
   let conv_app =
     Arg.conv
@@ -218,23 +272,25 @@ let space_cmd =
 
 let figure8_cmd =
   Cmd.v (Cmd.info "figure8" ~doc:"Regenerate Figure 8 (a-d).")
-    Term.(ret (const run_figure8 $ fig8_apps_arg $ scale_arg $ seed_arg))
+    Term.(ret
+            (const run_figure8 $ fig8_apps_arg $ scale_arg $ seed_arg
+            $ sweep_opts_term))
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Regenerate Table 1.")
-    Term.(ret (const run_table1 $ t_apps_arg $ crashes_arg))
+    Term.(ret (const run_table1 $ t_apps_arg $ crashes_arg $ sweep_opts_term))
 
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2.")
-    Term.(ret (const run_table2 $ t_apps_arg $ crashes_arg))
+    Term.(ret (const run_table2 $ t_apps_arg $ crashes_arg $ sweep_opts_term))
 
 let analysis_cmd =
   Cmd.v (Cmd.info "analysis" ~doc:"Run the Section 4 composed analysis.")
-    Term.(ret (const run_analysis $ crashes_arg))
+    Term.(ret (const run_analysis $ crashes_arg $ sweep_opts_term))
 
 let ablation_cmd =
   Cmd.v (Cmd.info "ablation" ~doc:"Run the DESIGN.md ablations (2.6).")
-    Term.(ret (const (fun () -> run_ablation ()) $ const ()))
+    Term.(ret (const run_ablation $ sweep_opts_term))
 
 let run_cmd =
   let app_arg =
@@ -268,7 +324,9 @@ let disasm_cmd =
 
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure.")
-    Term.(ret (const run_all $ scale_arg $ crashes_arg $ seed_arg))
+    Term.(ret
+            (const run_all $ scale_arg $ crashes_arg $ seed_arg
+            $ sweep_opts_term))
 
 let () =
   let info =

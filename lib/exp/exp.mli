@@ -1,0 +1,39 @@
+(** The experiment runner: named, resumable, parallel sweeps over
+    {!Job} lists, with results cached in a per-sweep {!Store}. *)
+
+type sweep_result = {
+  records : Store.record list;  (** one per job, in job order *)
+  ran : int;  (** executed this invocation *)
+  skipped : int;  (** already present in the warm store *)
+  failed : int;  (** [Failed] rows among [records] *)
+}
+
+val default_out_dir : string
+(** ["results"]. *)
+
+val run_sweep :
+  ?workers:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?fresh:bool ->
+  ?out_dir:string ->
+  ?quiet:bool ->
+  name:string ->
+  Job.t list ->
+  sweep_result
+(** Runs the jobs not already present in [out_dir/name.jsonl] on the
+    pool, appending rows as they finish, and returns one record per job
+    in job order.  [fresh] ignores and truncates the warm store.
+    Progress lines and the skipped-job count go to stderr unless
+    [quiet], keeping stdout byte-identical across [-j] settings. *)
+
+val lookup : sweep_result -> string -> Jstore.value option
+(** Key-indexed view of a sweep's completed values (failed rows are
+    absent). *)
+
+val eval : ?workers:int -> Job.t list -> (string * Jstore.value) list
+(** Runs jobs with no store and no progress output; returns completed
+    [key, value] pairs in job order. *)
+
+val eval_lookup : ?workers:int -> Job.t list -> string -> Jstore.value option
+(** [eval] packaged as a lookup function. *)

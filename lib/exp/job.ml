@@ -1,0 +1,16 @@
+(** One experiment job: a stable key, an explicit seed, and a thunk
+    producing a serializable result.
+
+    The key identifies the measurement (sweep-unique and stable across
+    runs: it is the resume handle in the results store), the seed pins
+    every random choice the thunk makes, and the thunk must be a pure
+    function of (key, seed) — that is what makes parallel and serial
+    sweeps byte-identical and warm re-runs sound. *)
+
+type t = {
+  key : string;  (** stable, sweep-unique identifier *)
+  seed : int;  (** pins the job's RNG; part of the store identity *)
+  run : unit -> Jstore.value;  (** deterministic given [seed] *)
+}
+
+let make ~key ~seed run = { key; seed; run }

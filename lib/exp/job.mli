@@ -1,0 +1,12 @@
+(** One experiment job: a stable key, an explicit seed, and a thunk
+    producing a serializable result.  The thunk must be a deterministic
+    function of (key, seed); that is what makes parallel and serial
+    sweeps byte-identical and warm re-runs sound. *)
+
+type t = {
+  key : string;  (** stable, sweep-unique identifier *)
+  seed : int;  (** pins the job's RNG; part of the store identity *)
+  run : unit -> Jstore.value;  (** deterministic given [seed] *)
+}
+
+val make : key:string -> seed:int -> (unit -> Jstore.value) -> t

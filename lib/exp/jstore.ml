@@ -1,0 +1,302 @@
+(** Line-oriented JSON-ish values: the wire format of the results store.
+
+    One value per line, no pretty-printing, hand-rolled emitter and
+    recursive-descent parser (no external JSON dependency).  The grammar
+    is JSON plus three bare tokens — [nan], [inf], [-inf] — so that any
+    float a job produces round-trips. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+  | Obj of (string * value) list
+
+(* --- emitter -------------------------------------------------------------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest representation that still round-trips; integral floats keep a
+   trailing ".0" so the parser can tell them from ints. *)
+let float_repr f =
+  if Float.is_nan f then "nan"
+  else if f = Float.infinity then "inf"
+  else if f = Float.neg_infinity then "-inf"
+  else
+    let shortest = Printf.sprintf "%.12g" f in
+    let s =
+      if float_of_string shortest = f then shortest
+      else Printf.sprintf "%.17g" f
+    in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool true -> Buffer.add_string buf "true"
+  | Bool false -> Buffer.add_string buf "false"
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_string buf s
+  | List vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf v)
+        vs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit buf v;
+  Buffer.contents buf
+
+(* --- parser --------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let error c msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && (match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> error c (Printf.sprintf "expected %c" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.src
+    && String.sub c.src c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else error c ("expected " ^ word)
+
+let hex_digit c ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> error c "bad hex digit"
+
+(* Decode a \uXXXX codepoint to UTF-8 (our emitter only produces these
+   for control characters, but accept the full range). *)
+let add_codepoint buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' ->
+        c.pos <- c.pos + 1;
+        (match peek c with
+        | Some '"' -> Buffer.add_char buf '"'; c.pos <- c.pos + 1
+        | Some '\\' -> Buffer.add_char buf '\\'; c.pos <- c.pos + 1
+        | Some '/' -> Buffer.add_char buf '/'; c.pos <- c.pos + 1
+        | Some 'n' -> Buffer.add_char buf '\n'; c.pos <- c.pos + 1
+        | Some 't' -> Buffer.add_char buf '\t'; c.pos <- c.pos + 1
+        | Some 'r' -> Buffer.add_char buf '\r'; c.pos <- c.pos + 1
+        | Some 'b' -> Buffer.add_char buf '\b'; c.pos <- c.pos + 1
+        | Some 'f' -> Buffer.add_char buf '\012'; c.pos <- c.pos + 1
+        | Some 'u' ->
+            if c.pos + 4 >= String.length c.src then error c "short \\u escape";
+            let h i = hex_digit c c.src.[c.pos + 1 + i] in
+            let cp = (h 0 lsl 12) lor (h 1 lsl 8) lor (h 2 lsl 4) lor h 3 in
+            add_codepoint buf cp;
+            c.pos <- c.pos + 5
+        | _ -> error c "bad escape");
+        loop ()
+    | Some ch ->
+        Buffer.add_char buf ch;
+        c.pos <- c.pos + 1;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    c.pos < String.length c.src && is_num_char c.src.[c.pos]
+  do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  if String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') s then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> error c ("bad number " ^ s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        (* integer overflow: fall back to float *)
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> error c ("bad number " ^ s))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some 'n' ->
+      if
+        c.pos + 3 <= String.length c.src
+        && String.sub c.src c.pos 3 = "nan"
+      then literal c "nan" (Float Float.nan)
+      else literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'i' -> literal c "inf" (Float Float.infinity)
+  | Some '"' -> String (parse_string c)
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              items (v :: acc)
+          | Some ']' ->
+              c.pos <- c.pos + 1;
+              List.rev (v :: acc)
+          | _ -> error c "expected , or ]"
+        in
+        List (items [])
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              c.pos <- c.pos + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> error c "expected , or }"
+        in
+        Obj (fields [])
+  | Some '-' ->
+      if
+        c.pos + 4 <= String.length c.src
+        && String.sub c.src c.pos 4 = "-inf"
+      then literal c "-inf" (Float Float.neg_infinity)
+      else parse_number c
+  | Some ('0' .. '9') -> parse_number c
+  | Some ch -> error c (Printf.sprintf "unexpected character %C" ch)
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors ------------------------------------------------------------ *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List vs -> Some vs | _ -> None
+
+let get_int ?(default = 0) k v =
+  match Option.bind (member k v) to_int with Some i -> i | None -> default
+
+let get_float ?(default = 0.) k v =
+  match Option.bind (member k v) to_float with Some f -> f | None -> default
+
+let get_str ?(default = "") k v =
+  match Option.bind (member k v) to_str with Some s -> s | None -> default

@@ -1,0 +1,27 @@
+(** Per-job counters lifted from {!Ft_runtime.Engine.result} — the
+    observability surface each sweep records alongside its results. *)
+
+type t = {
+  commits : int;  (** protocol-triggered commits, all processes *)
+  max_commits : int;  (** largest per-process count (xpilot's rate metric) *)
+  nd_events : int;
+  logged_events : int;
+  recoveries : int;
+  crashes : int;
+  sim_time_ns : int;
+}
+
+val zero : t
+val of_result : Ft_runtime.Engine.result -> t
+
+val add : t -> t -> t
+(** Componentwise totals ([max_commits] takes the max). *)
+
+val sim_seconds : t -> float
+
+val commit_rate : t -> float
+(** Largest per-process commits per simulated second. *)
+
+val to_json : t -> Jstore.value
+val of_json : Jstore.value -> t
+val summary : t -> string

@@ -37,4 +37,11 @@ val render_page_size : page_row list -> string
 val disk_model : unit -> (string * int) list
 val render_disk_model : (string * int) list -> string
 
+val jobs : unit -> Ft_exp.Job.t list
+(** Every ablation study's jobs (default parameters), for sweeping. *)
+
+val render_records : (string -> Ft_exp.Jstore.value option) -> string
+(** All four studies rendered from stored job values. *)
+
 val run_all : unit -> string
+(** [jobs] evaluated inline and rendered. *)

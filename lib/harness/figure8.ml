@@ -94,48 +94,96 @@ let overhead ~baseline t =
   if baseline <= 0 then 0.
   else 100. *. (float_of_int t -. float_of_int baseline) /. float_of_int baseline
 
-let measure ?(scale = 1.0) ?(seed = 42) app =
-  let w = workload ~scale app in
-  let base = run_once ~w ~protocol:Ft_core.Protocols.no_commit
-      ~medium:Ft_runtime.Checkpointer.Reliable_memory ~seed in
-  let baseline_ns = base.Ft_runtime.Engine.sim_time_ns in
+(* --- jobs ------------------------------------------------------------------ *)
+
+(* Each Figure-8 measurement is one engine run: (app x protocol x
+   medium) plus one unrecoverable NO-COMMIT baseline per app.  A job's
+   value records the engine counters plus the xpilot frame rate; the
+   cells are assembled from those records, so serial, parallel and warm
+   store runs render identically. *)
+
+let medium_name = function
+  | Ft_runtime.Checkpointer.Reliable_memory -> "mem"
+  | Ft_runtime.Checkpointer.Disk _ -> "disk"
+
+let job_key ~scale ~seed ~app ~label ~medium =
+  Printf.sprintf "fig8/%s/%s/%s/scale=%g" (app_name app) label
+    (medium_name medium) scale
+  |> fun k -> Printf.sprintf "%s/seed=%d" k seed
+
+let probe_value ~app r =
+  Ft_exp.Jstore.Obj
+    [
+      ("m", Ft_exp.Metrics.to_json (Ft_exp.Metrics.of_result r));
+      ( "fps",
+        Ft_exp.Jstore.Float (if app = Xpilot then Ft_apps.Xpilot.fps r else 0.)
+      );
+    ]
+
+let job ~scale ~seed ~app ~label ~protocol ~medium =
+  Ft_exp.Job.make
+    ~key:(job_key ~scale ~seed ~app ~label ~medium)
+    ~seed
+    (fun () ->
+      (* build the workload inside the thunk: nothing is shared across
+         worker domains *)
+      let w = workload ~scale app in
+      probe_value ~app (run_once ~w ~protocol ~medium ~seed))
+
+let jobs ?(scale = 1.0) ?(seed = 42) app =
+  let mem = Ft_runtime.Checkpointer.Reliable_memory in
+  let disk = Ft_runtime.Checkpointer.Disk Ft_stablemem.Disk.default in
+  job ~scale ~seed ~app ~label:"baseline"
+    ~protocol:Ft_core.Protocols.no_commit ~medium:mem
+  :: List.concat_map
+       (fun proto ->
+         let label = proto.Ft_core.Protocol.spec_name in
+         [
+           job ~scale ~seed ~app ~label ~protocol:proto ~medium:mem;
+           job ~scale ~seed ~app ~label ~protocol:proto ~medium:disk;
+         ])
+       (protocols_for app)
+
+let of_records ?(scale = 1.0) ?(seed = 42) app lookup =
+  let probe label medium =
+    match lookup (job_key ~scale ~seed ~app ~label ~medium) with
+    | Some v ->
+        ( Ft_exp.Metrics.of_json
+            (Option.value ~default:Ft_exp.Jstore.Null
+               (Ft_exp.Jstore.member "m" v)),
+          Ft_exp.Jstore.get_float "fps" v )
+    | None -> (Ft_exp.Metrics.zero, 0.)
+  in
+  let mem = Ft_runtime.Checkpointer.Reliable_memory in
+  let disk = Ft_runtime.Checkpointer.Disk Ft_stablemem.Disk.default in
+  let base, _ = probe "baseline" mem in
+  let baseline_ns = base.Ft_exp.Metrics.sim_time_ns in
   let cells =
     List.map
       (fun proto ->
-        let dc = run_once ~w ~protocol:proto
-            ~medium:Ft_runtime.Checkpointer.Reliable_memory ~seed in
-        let dk = run_once ~w ~protocol:proto
-            ~medium:(Ft_runtime.Checkpointer.Disk Ft_stablemem.Disk.default)
-            ~seed in
-        let total r =
-          Array.fold_left ( + ) 0 r.Ft_runtime.Engine.commit_counts
-        in
-        let secs r = float_of_int r.Ft_runtime.Engine.sim_time_ns /. 1e9 in
-        let max_rate r =
-          if secs r <= 0. then 0.
-          else
-            float_of_int
-              (Array.fold_left max 0 r.Ft_runtime.Engine.commit_counts)
-            /. secs r
-        in
+        let label = proto.Ft_core.Protocol.spec_name in
+        let dc, dc_fps = probe label mem in
+        let dk, dcdisk_fps = probe label disk in
         {
-          protocol = proto.Ft_core.Protocol.spec_name;
-          checkpoints = total dc;
-          ckps_per_sec = max_rate dc;
-          dc_overhead = overhead ~baseline:baseline_ns
-              dc.Ft_runtime.Engine.sim_time_ns;
-          dcdisk_overhead = overhead ~baseline:baseline_ns
-              dk.Ft_runtime.Engine.sim_time_ns;
-          dc_fps = (if app = Xpilot then Ft_apps.Xpilot.fps dc else 0.);
-          dcdisk_fps = (if app = Xpilot then Ft_apps.Xpilot.fps dk else 0.);
-          nd_events =
-            Array.fold_left ( + ) 0 dc.Ft_runtime.Engine.nd_counts;
-          logged_events =
-            Array.fold_left ( + ) 0 dc.Ft_runtime.Engine.logged_counts;
+          protocol = label;
+          checkpoints = dc.Ft_exp.Metrics.commits;
+          ckps_per_sec = Ft_exp.Metrics.commit_rate dc;
+          dc_overhead =
+            overhead ~baseline:baseline_ns dc.Ft_exp.Metrics.sim_time_ns;
+          dcdisk_overhead =
+            overhead ~baseline:baseline_ns dk.Ft_exp.Metrics.sim_time_ns;
+          dc_fps;
+          dcdisk_fps;
+          nd_events = dc.Ft_exp.Metrics.nd_events;
+          logged_events = dc.Ft_exp.Metrics.logged_events;
         })
       (protocols_for app)
   in
   { app; baseline_ns; cells }
+
+let measure ?(scale = 1.0) ?(seed = 42) app =
+  of_records ~scale ~seed app
+    (Ft_exp.Exp.eval_lookup ~workers:1 (jobs ~scale ~seed app))
 
 let render (r : app_result) =
   let headers, rows =

@@ -36,6 +36,20 @@ val run_once :
 
 val overhead : baseline:int -> int -> float
 
+val jobs : ?scale:float -> ?seed:int -> app -> Ft_exp.Job.t list
+(** One job per engine run: the NO-COMMIT baseline plus (protocol x
+    medium) for the app's protocol space. *)
+
+val of_records :
+  ?scale:float ->
+  ?seed:int ->
+  app ->
+  (string -> Ft_exp.Jstore.value option) ->
+  app_result
+(** Assembles the figure from stored job values (missing or failed jobs
+    render as zero cells). *)
+
 val measure : ?scale:float -> ?seed:int -> app -> app_result
+(** [jobs] evaluated inline (serially, no store) and assembled. *)
 
 val render : app_result -> string

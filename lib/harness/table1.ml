@@ -121,10 +121,85 @@ let campaign ?(target_crashes = 50) ?(max_attempts = 900) ?(seed0 = 1000)
     end_to_end_mismatches = !mismatches;
   }
 
-let run ?(target_crashes = 50) ?(max_attempts = 900) ?(seed0 = 1000) ~app () =
+(* Each campaign's per-trial RNG is seeded from the campaign's identity
+   (app and fault type), not from its position in the sweep or any
+   shared counter: enumeration order and worker scheduling cannot change
+   a trial's seed, which is what makes parallel sweeps reproduce serial
+   ones byte for byte. *)
+let campaign_seed ~seed0 ~app fault_type =
+  let fault_index =
+    let rec go i = function
+      | [] -> 0
+      | f :: _ when f = fault_type -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 Ft_faults.Fault_type.all
+  in
+  seed0
+  + (match app with Nvi -> 0 | Postgres -> 100_000)
+  + (10_000 * fault_index)
+
+let row_to_json r =
+  Ft_exp.Jstore.Obj
+    [
+      ("fault", Ft_exp.Jstore.String (Ft_faults.Fault_type.to_string r.fault_type));
+      ("crashes", Ft_exp.Jstore.Int r.crashes);
+      ("violations", Ft_exp.Jstore.Int r.violations);
+      ("wrong_output", Ft_exp.Jstore.Int r.wrong_output);
+      ("no_effect", Ft_exp.Jstore.Int r.no_effect);
+      ("e2e_mismatches", Ft_exp.Jstore.Int r.end_to_end_mismatches);
+    ]
+
+let row_of_json fault_type v =
+  {
+    fault_type;
+    crashes = Ft_exp.Jstore.get_int "crashes" v;
+    violations = Ft_exp.Jstore.get_int "violations" v;
+    wrong_output = Ft_exp.Jstore.get_int "wrong_output" v;
+    no_effect = Ft_exp.Jstore.get_int "no_effect" v;
+    end_to_end_mismatches = Ft_exp.Jstore.get_int "e2e_mismatches" v;
+  }
+
+let job_key ~target_crashes ~max_attempts ~seed ~app ft =
+  Printf.sprintf "table1/%s/%s/crashes=%d/attempts=%d/seed=%d" (app_name app)
+    (Ft_faults.Fault_type.to_string ft)
+    target_crashes max_attempts seed
+
+let jobs ?(target_crashes = 50) ?(max_attempts = 900) ?(seed0 = 1000) ~app ()
+    =
   List.map
-    (fun ft -> campaign ~target_crashes ~max_attempts ~seed0 ~app ft)
+    (fun ft ->
+      let seed = campaign_seed ~seed0 ~app ft in
+      Ft_exp.Job.make
+        ~key:(job_key ~target_crashes ~max_attempts ~seed ~app ft)
+        ~seed
+        (fun () ->
+          row_to_json
+            (campaign ~target_crashes ~max_attempts ~seed0:seed ~app ft)))
     Ft_faults.Fault_type.all
+
+let of_records ?(target_crashes = 50) ?(max_attempts = 900) ?(seed0 = 1000)
+    ~app lookup =
+  List.map
+    (fun ft ->
+      let seed = campaign_seed ~seed0 ~app ft in
+      match lookup (job_key ~target_crashes ~max_attempts ~seed ~app ft) with
+      | Some v -> row_of_json ft v
+      | None ->
+          {
+            fault_type = ft;
+            crashes = 0;
+            violations = 0;
+            wrong_output = 0;
+            no_effect = 0;
+            end_to_end_mismatches = 0;
+          })
+    Ft_faults.Fault_type.all
+
+let run ?(target_crashes = 50) ?(max_attempts = 900) ?(seed0 = 1000) ~app () =
+  of_records ~target_crashes ~max_attempts ~seed0 ~app
+    (Ft_exp.Exp.eval_lookup ~workers:1
+       (jobs ~target_crashes ~max_attempts ~seed0 ~app ()))
 
 let violation_pct row =
   if row.crashes = 0 then 0.

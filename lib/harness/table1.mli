@@ -36,10 +36,31 @@ val campaign :
   Ft_faults.Fault_type.t ->
   row
 
+val campaign_seed : seed0:int -> app:app -> Ft_faults.Fault_type.t -> int
+(** The per-campaign trial seed, derived from the campaign's identity
+    (app, fault type) rather than its position in the sweep, so
+    enumeration order and worker scheduling cannot change any trial's
+    RNG. *)
+
+val row_to_json : row -> Ft_exp.Jstore.value
+val row_of_json : Ft_faults.Fault_type.t -> Ft_exp.Jstore.value -> row
+
+val jobs :
+  ?target_crashes:int -> ?max_attempts:int -> ?seed0:int -> app:app ->
+  unit -> Ft_exp.Job.t list
+(** One job per fault type, each a full campaign. *)
+
+val of_records :
+  ?target_crashes:int -> ?max_attempts:int -> ?seed0:int -> app:app ->
+  (string -> Ft_exp.Jstore.value option) -> row list
+(** Rows assembled from stored job values, in {!Ft_faults.Fault_type.all}
+    order (missing jobs render as zero rows). *)
+
 val run :
   ?target_crashes:int -> ?max_attempts:int -> ?seed0:int -> app:app ->
   unit -> row list
-(** One campaign per fault type. *)
+(** One campaign per fault type: [jobs] evaluated inline and
+    assembled. *)
 
 val violation_pct : row -> float
 val average : row list -> float

@@ -98,8 +98,10 @@ let workload = function
             Ft_apps.Postgres.queries = 120; interval_ns = 1_000_000 }
         ()
 
-let run ?(target_crashes = 50) ?(max_attempts = 900) ?(seed0 = 5000)
-    ~(app : Table1.app) () =
+(* One full campaign for one fault type, self-contained (computes its
+   own fault-free reference run): the unit of work a sweep job wraps. *)
+let standalone_campaign ~target_crashes ~max_attempts ~seed0
+    ~(app : Table1.app) ft =
   let mk_workload () = workload app in
   let w = mk_workload () in
   let cfg = base_cfg w in
@@ -111,11 +113,76 @@ let run ?(target_crashes = 50) ?(max_attempts = 900) ?(seed0 = 5000)
   let horizon = ref_run.Ft_runtime.Engine.wall_instructions in
   (* the injected fault lands in kernel paths the app exercises *)
   let weights = Ft_faults.Os_injector.usage_weights kernel in
+  campaign ~target_crashes ~max_attempts ~seed0 ~mk_workload
+    ~reference_visible ~horizon ~weights ft
+
+(* Same identity-derived trial seeding as Table 1 (see
+   {!Table1.campaign_seed}), offset so the two tables never share
+   per-trial seeds even under a common [seed0]. *)
+let campaign_seed ~seed0 ~app fault_type =
+  Table1.campaign_seed ~seed0:(seed0 + 1_000_000) ~app fault_type
+
+let row_to_json r =
+  Ft_exp.Jstore.Obj
+    [
+      ("fault", Ft_exp.Jstore.String (Ft_faults.Fault_type.to_string r.fault_type));
+      ("crashes", Ft_exp.Jstore.Int r.crashes);
+      ("failed_recoveries", Ft_exp.Jstore.Int r.failed_recoveries);
+      ("propagated", Ft_exp.Jstore.Int r.propagated);
+      ("no_effect", Ft_exp.Jstore.Int r.no_effect);
+    ]
+
+let row_of_json fault_type v =
+  {
+    fault_type;
+    crashes = Ft_exp.Jstore.get_int "crashes" v;
+    failed_recoveries = Ft_exp.Jstore.get_int "failed_recoveries" v;
+    propagated = Ft_exp.Jstore.get_int "propagated" v;
+    no_effect = Ft_exp.Jstore.get_int "no_effect" v;
+  }
+
+let job_key ~target_crashes ~max_attempts ~seed ~app ft =
+  Printf.sprintf "table2/%s/%s/crashes=%d/attempts=%d/seed=%d"
+    (Table1.app_name app)
+    (Ft_faults.Fault_type.to_string ft)
+    target_crashes max_attempts seed
+
+let jobs ?(target_crashes = 50) ?(max_attempts = 900) ?(seed0 = 5000)
+    ~(app : Table1.app) () =
   List.map
     (fun ft ->
-      campaign ~target_crashes ~max_attempts ~seed0 ~mk_workload
-        ~reference_visible ~horizon ~weights ft)
+      let seed = campaign_seed ~seed0 ~app ft in
+      Ft_exp.Job.make
+        ~key:(job_key ~target_crashes ~max_attempts ~seed ~app ft)
+        ~seed
+        (fun () ->
+          row_to_json
+            (standalone_campaign ~target_crashes ~max_attempts ~seed0:seed
+               ~app ft)))
     Ft_faults.Fault_type.all
+
+let of_records ?(target_crashes = 50) ?(max_attempts = 900) ?(seed0 = 5000)
+    ~app lookup =
+  List.map
+    (fun ft ->
+      let seed = campaign_seed ~seed0 ~app ft in
+      match lookup (job_key ~target_crashes ~max_attempts ~seed ~app ft) with
+      | Some v -> row_of_json ft v
+      | None ->
+          {
+            fault_type = ft;
+            crashes = 0;
+            failed_recoveries = 0;
+            propagated = 0;
+            no_effect = 0;
+          })
+    Ft_faults.Fault_type.all
+
+let run ?(target_crashes = 50) ?(max_attempts = 900) ?(seed0 = 5000)
+    ~(app : Table1.app) () =
+  of_records ~target_crashes ~max_attempts ~seed0 ~app
+    (Ft_exp.Exp.eval_lookup ~workers:1
+       (jobs ~target_crashes ~max_attempts ~seed0 ~app ()))
 
 let failure_pct row =
   if row.crashes = 0 then 0.

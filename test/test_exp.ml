@@ -1,0 +1,369 @@
+(* Tests for the experiment runner: the pool runs every job exactly
+   once and keeps input order, failures are contained, the JSONL store
+   round-trips and resumes, and parallel sweeps render the paper's
+   tables byte-identically to serial ones. *)
+
+let mk_temp_dir () =
+  let base = Filename.temp_file "ft_exp_test" "" in
+  Sys.remove base;
+  Unix.mkdir base 0o755;
+  base
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* --- pool ----------------------------------------------------------------- *)
+
+let test_pool_runs_each_job_once () =
+  let n = 24 in
+  let counts = Array.init n (fun _ -> Atomic.make 0) in
+  let jobs =
+    List.init n (fun i ->
+        Ft_exp.Job.make ~key:(Printf.sprintf "job/%d" i) ~seed:i (fun () ->
+            Atomic.incr counts.(i);
+            Ft_exp.Jstore.Int (i * i)))
+  in
+  let results = Ft_exp.Pool.run ~workers:4 jobs in
+  Alcotest.(check int) "all results" n (List.length results);
+  List.iteri
+    (fun i (j, outcome, _) ->
+      Alcotest.(check string)
+        "input order preserved"
+        (Printf.sprintf "job/%d" i)
+        j.Ft_exp.Job.key;
+      match outcome with
+      | Ft_exp.Pool.Done (Ft_exp.Jstore.Int v) ->
+          Alcotest.(check int) "job value" (i * i) v
+      | _ -> Alcotest.fail "job did not complete")
+    results;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Printf.sprintf "job %d ran exactly once" i)
+        1 (Atomic.get c))
+    counts
+
+let test_pool_contains_failures () =
+  let jobs =
+    List.init 8 (fun i ->
+        Ft_exp.Job.make ~key:(Printf.sprintf "job/%d" i) ~seed:i (fun () ->
+            if i = 3 then failwith "injected job failure";
+            Ft_exp.Jstore.Int i))
+  in
+  let results = Ft_exp.Pool.run ~workers:4 ~retries:1 jobs in
+  List.iteri
+    (fun i (_, outcome, _) ->
+      match (i, outcome) with
+      | 3, Ft_exp.Pool.Failed { error; attempts } ->
+          Alcotest.(check int) "retried before failing" 2 attempts;
+          Alcotest.(check bool) "error preserved" true
+            (String.length error > 0)
+      | 3, Ft_exp.Pool.Done _ -> Alcotest.fail "raising job reported Done"
+      | _, Ft_exp.Pool.Done (Ft_exp.Jstore.Int v) ->
+          Alcotest.(check int) "other jobs unpoisoned" i v
+      | _, _ -> Alcotest.fail "healthy job failed")
+    results
+
+let test_pool_retry_recovers () =
+  (* fails on the first attempt, succeeds on the retry *)
+  let tries = Atomic.make 0 in
+  let jobs =
+    [
+      Ft_exp.Job.make ~key:"flaky" ~seed:0 (fun () ->
+          if Atomic.fetch_and_add tries 1 = 0 then failwith "first attempt";
+          Ft_exp.Jstore.Bool true);
+    ]
+  in
+  match Ft_exp.Pool.run ~workers:1 ~retries:1 jobs with
+  | [ (_, Ft_exp.Pool.Done (Ft_exp.Jstore.Bool true), _) ] -> ()
+  | _ -> Alcotest.fail "retry did not recover the job"
+
+let test_pool_timeout () =
+  let jobs =
+    [
+      Ft_exp.Job.make ~key:"slow" ~seed:0 (fun () ->
+          Unix.sleepf 0.08;
+          Ft_exp.Jstore.Int 1);
+      Ft_exp.Job.make ~key:"fast" ~seed:1 (fun () -> Ft_exp.Jstore.Int 2);
+    ]
+  in
+  match Ft_exp.Pool.run ~workers:1 ~timeout_s:0.02 ~retries:0 jobs with
+  | [ (_, Ft_exp.Pool.Failed { error; _ }, _); (_, Ft_exp.Pool.Done _, _) ]
+    ->
+      Alcotest.(check bool) "timeout named in error" true
+        (String.length error >= 7 && String.sub error 0 7 = "timeout")
+  | _ -> Alcotest.fail "slow job not timed out / fast job affected"
+
+(* --- jstore --------------------------------------------------------------- *)
+
+let value_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          let leaf =
+            oneof
+              [
+                return Ft_exp.Jstore.Null;
+                map (fun b -> Ft_exp.Jstore.Bool b) bool;
+                map (fun i -> Ft_exp.Jstore.Int i) int;
+                map
+                  (fun f -> Ft_exp.Jstore.Float f)
+                  (oneof [ float; return 0.; return (-1.5e300); return 1e-7 ]);
+                map (fun s -> Ft_exp.Jstore.String s) string;
+              ]
+          in
+          if n <= 0 then leaf
+          else
+            oneof
+              [
+                leaf;
+                map
+                  (fun vs -> Ft_exp.Jstore.List vs)
+                  (list_size (int_bound 4) (self (n / 2)));
+                map
+                  (fun kvs -> Ft_exp.Jstore.Obj kvs)
+                  (list_size (int_bound 4)
+                     (pair string (self (n / 2))));
+              ])
+        n)
+
+let rec value_eq a b =
+  match (a, b) with
+  | Ft_exp.Jstore.Float x, Ft_exp.Jstore.Float y ->
+      (Float.is_nan x && Float.is_nan y) || x = y
+  | Ft_exp.Jstore.List xs, Ft_exp.Jstore.List ys ->
+      List.length xs = List.length ys && List.for_all2 value_eq xs ys
+  | Ft_exp.Jstore.Obj xs, Ft_exp.Jstore.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> k1 = k2 && value_eq v1 v2)
+           xs ys
+  | _ -> a = b
+
+let prop_jstore_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"jstore round-trips"
+    (QCheck.make value_gen) (fun v ->
+      match Ft_exp.Jstore.of_string (Ft_exp.Jstore.to_string v) with
+      | Ok v' -> value_eq v v'
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" e)
+
+let test_jstore_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Ft_exp.Jstore.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s))
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* --- store ---------------------------------------------------------------- *)
+
+let sample_record i =
+  {
+    Ft_exp.Store.key = Printf.sprintf "sweep/job/%d" i;
+    seed = 100 + i;
+    status =
+      (if i mod 3 = 0 then Ft_exp.Store.Failed "injected: boom" else Ft_exp.Store.Completed);
+    value = Ft_exp.Jstore.Obj [ ("n", Ft_exp.Jstore.Int i) ];
+    duration_s = float_of_int i *. 0.5;
+  }
+
+let test_store_roundtrip () =
+  let dir = mk_temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let store = Ft_exp.Store.load ~dir ~sweep:"t" () in
+      let records = List.init 10 sample_record in
+      List.iter (Ft_exp.Store.add store) records;
+      Ft_exp.Store.close store;
+      let reloaded = Ft_exp.Store.load ~dir ~sweep:"t" () in
+      Alcotest.(check int) "all rows reloaded" 10
+        (Ft_exp.Store.size reloaded);
+      List.iter
+        (fun (r : Ft_exp.Store.record) ->
+          match
+            Ft_exp.Store.find reloaded ~key:r.Ft_exp.Store.key
+              ~seed:r.Ft_exp.Store.seed
+          with
+          | None -> Alcotest.fail ("missing " ^ r.Ft_exp.Store.key)
+          | Some r' ->
+              Alcotest.(check bool) "status survives" true
+                (r.Ft_exp.Store.status = r'.Ft_exp.Store.status);
+              Alcotest.(check bool) "value survives" true
+                (value_eq r.Ft_exp.Store.value r'.Ft_exp.Store.value))
+        records)
+
+let test_store_skips_torn_line () =
+  let dir = mk_temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let store = Ft_exp.Store.load ~dir ~sweep:"t" () in
+      Ft_exp.Store.add store (sample_record 1);
+      Ft_exp.Store.close store;
+      (* simulate a crash mid-append *)
+      let oc =
+        open_out_gen [ Open_wronly; Open_append ] 0o644
+          (Ft_exp.Store.path store)
+      in
+      output_string oc "{\"key\":\"sweep/job/2\",\"se";
+      close_out oc;
+      let reloaded = Ft_exp.Store.load ~dir ~sweep:"t" () in
+      Alcotest.(check int) "torn line ignored" 1 (Ft_exp.Store.size reloaded))
+
+(* --- sweeps --------------------------------------------------------------- *)
+
+let counting_jobs counter n =
+  List.init n (fun i ->
+      Ft_exp.Job.make ~key:(Printf.sprintf "job/%d" i) ~seed:i (fun () ->
+          Atomic.incr counter;
+          Ft_exp.Jstore.Int i))
+
+let test_sweep_resume_skips_completed () =
+  let dir = mk_temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let counter = Atomic.make 0 in
+      let cold =
+        Ft_exp.Exp.run_sweep ~workers:2 ~out_dir:dir ~quiet:true ~name:"s"
+          (counting_jobs counter 12)
+      in
+      Alcotest.(check int) "cold: all ran" 12 cold.Ft_exp.Exp.ran;
+      Alcotest.(check int) "cold: none skipped" 0 cold.Ft_exp.Exp.skipped;
+      Alcotest.(check int) "cold: thunks called" 12 (Atomic.get counter);
+      let warm =
+        Ft_exp.Exp.run_sweep ~workers:2 ~out_dir:dir ~quiet:true ~name:"s"
+          (counting_jobs counter 12)
+      in
+      Alcotest.(check int) "warm: none ran" 0 warm.Ft_exp.Exp.ran;
+      Alcotest.(check int) "warm: all skipped" 12 warm.Ft_exp.Exp.skipped;
+      Alcotest.(check int) "warm: no thunks called" 12 (Atomic.get counter);
+      Alcotest.(check int) "warm: full records" 12
+        (List.length warm.Ft_exp.Exp.records);
+      (* --fresh ignores the cache and recomputes *)
+      let fresh =
+        Ft_exp.Exp.run_sweep ~workers:2 ~out_dir:dir ~quiet:true ~fresh:true
+          ~name:"s" (counting_jobs counter 12)
+      in
+      Alcotest.(check int) "fresh: all ran" 12 fresh.Ft_exp.Exp.ran;
+      Alcotest.(check int) "fresh: thunks called again" 24
+        (Atomic.get counter))
+
+let test_sweep_failed_rows_recorded () =
+  let dir = mk_temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let jobs =
+        List.init 5 (fun i ->
+            Ft_exp.Job.make ~key:(Printf.sprintf "job/%d" i) ~seed:i
+              (fun () ->
+                if i = 2 then failwith "injected";
+                Ft_exp.Jstore.Int i))
+      in
+      let sr =
+        Ft_exp.Exp.run_sweep ~workers:2 ~retries:0 ~out_dir:dir ~quiet:true
+          ~name:"f" jobs
+      in
+      Alcotest.(check int) "one failed row" 1 sr.Ft_exp.Exp.failed;
+      let lookup = Ft_exp.Exp.lookup sr in
+      Alcotest.(check bool) "failed job invisible to lookup" true
+        (lookup "job/2" = None);
+      Alcotest.(check bool) "healthy job visible" true
+        (lookup "job/1" = Some (Ft_exp.Jstore.Int 1)))
+
+(* --- determinism regression: parallel == serial --------------------------- *)
+
+(* The acceptance bar for the whole refactor: the rendered tables are
+   byte-identical at -j 1 and -j 4.  Small campaigns keep the test
+   quick; determinism does not depend on campaign size because every
+   trial seed derives from the campaign's identity. *)
+
+let table1_rendered workers =
+  let jobs =
+    Ft_harness.Table1.jobs ~target_crashes:2 ~max_attempts:20
+      ~app:Ft_harness.Table1.Postgres ()
+  in
+  let lookup = Ft_exp.Exp.eval_lookup ~workers jobs in
+  Ft_harness.Table1.render ~app:Ft_harness.Table1.Postgres
+    (Ft_harness.Table1.of_records ~target_crashes:2 ~max_attempts:20
+       ~app:Ft_harness.Table1.Postgres lookup)
+
+let test_table1_parallel_equals_serial () =
+  Alcotest.(check string)
+    "table1 -j1 == -j4" (table1_rendered 1) (table1_rendered 4)
+
+let table2_rendered workers =
+  let jobs =
+    Ft_harness.Table2.jobs ~target_crashes:2 ~max_attempts:10
+      ~app:Ft_harness.Table1.Postgres ()
+  in
+  let lookup = Ft_exp.Exp.eval_lookup ~workers jobs in
+  Ft_harness.Table2.render ~app:Ft_harness.Table1.Postgres
+    (Ft_harness.Table2.of_records ~target_crashes:2 ~max_attempts:10
+       ~app:Ft_harness.Table1.Postgres lookup)
+
+let test_table2_parallel_equals_serial () =
+  Alcotest.(check string)
+    "table2 -j1 == -j4" (table2_rendered 1) (table2_rendered 4)
+
+let figure8_rendered workers =
+  let jobs = Ft_harness.Figure8.jobs ~scale:0.05 Ft_harness.Figure8.Nvi in
+  let lookup = Ft_exp.Exp.eval_lookup ~workers jobs in
+  Ft_harness.Figure8.render
+    (Ft_harness.Figure8.of_records ~scale:0.05 Ft_harness.Figure8.Nvi lookup)
+
+let test_figure8_parallel_equals_serial () =
+  Alcotest.(check string)
+    "figure8 -j1 == -j4" (figure8_rendered 1) (figure8_rendered 4)
+
+(* measure (the inline path used by tests and `ft run`) agrees with the
+   job/records path used by sweeps *)
+let test_measure_matches_records_path () =
+  let app = Ft_harness.Figure8.Nvi in
+  let via_measure = Ft_harness.Figure8.measure ~scale:0.05 app in
+  let via_records =
+    Ft_harness.Figure8.of_records ~scale:0.05 app
+      (Ft_exp.Exp.eval_lookup ~workers:2
+         (Ft_harness.Figure8.jobs ~scale:0.05 app))
+  in
+  Alcotest.(check string)
+    "same rendering"
+    (Ft_harness.Figure8.render via_measure)
+    (Ft_harness.Figure8.render via_records)
+
+let tests =
+  [
+    Alcotest.test_case "pool runs each job once" `Quick
+      test_pool_runs_each_job_once;
+    Alcotest.test_case "pool contains failures" `Quick
+      test_pool_contains_failures;
+    Alcotest.test_case "pool retry recovers" `Quick test_pool_retry_recovers;
+    Alcotest.test_case "pool timeout" `Quick test_pool_timeout;
+    QCheck_alcotest.to_alcotest prop_jstore_roundtrip;
+    Alcotest.test_case "jstore rejects garbage" `Quick
+      test_jstore_rejects_garbage;
+    Alcotest.test_case "store round-trip" `Quick test_store_roundtrip;
+    Alcotest.test_case "store skips torn line" `Quick
+      test_store_skips_torn_line;
+    Alcotest.test_case "sweep resume skips completed" `Quick
+      test_sweep_resume_skips_completed;
+    Alcotest.test_case "sweep records failures" `Quick
+      test_sweep_failed_rows_recorded;
+    Alcotest.test_case "table1 parallel == serial" `Slow
+      test_table1_parallel_equals_serial;
+    Alcotest.test_case "table2 parallel == serial" `Slow
+      test_table2_parallel_equals_serial;
+    Alcotest.test_case "figure8 parallel == serial" `Slow
+      test_figure8_parallel_equals_serial;
+    Alcotest.test_case "measure matches records path" `Slow
+      test_measure_matches_records_path;
+  ]
+
+let () = Alcotest.run "ft_exp" [ ("exp", tests) ]
