@@ -294,6 +294,58 @@ let micro_vm =
          done;
          Sys.opaque_identity (Ft_vm.Machine.icount m)))
 
+(* Persisted-log commit vs the pre-torture heap-list design: the same
+   transactional write pattern against a Vista whose undo log lives in
+   region words (current) and against a minimal reimplementation of the
+   old OCaml-list undo log.  Guards that persisting the log does not
+   regress the failure-free commit cost Figure 8 rests on. *)
+module Heap_list_log = struct
+  type t = {
+    region : Ft_stablemem.Rio.t;
+    mutable undo : (int * int array) list;
+    mutable commits : int;
+  }
+
+  let create region = { region; undo = []; commits = 0 }
+
+  let write_range t ~off values =
+    t.undo <- (off, Ft_stablemem.Rio.sub t.region ~off ~len:(Array.length values)) :: t.undo;
+    Ft_stablemem.Rio.blit_in t.region ~off values
+
+  let commit t =
+    t.undo <- [];
+    t.commits <- t.commits + 1
+end
+
+let commit_pattern ~write_range =
+  (* 8 records of 64 words: the shape of a small page checkpoint *)
+  let page = Array.make 64 7 in
+  for i = 0 to 7 do
+    write_range ~off:(i * 64) page
+  done
+
+let micro_vista_persisted_log =
+  Test.make ~name:"micro_commit_persisted_log"
+    (Staged.stage (fun () ->
+         let v =
+           Ft_stablemem.Vista.create ~data_words:1024
+             (Ft_stablemem.Rio.create ~size:2048)
+         in
+         Ft_stablemem.Vista.begin_tx v;
+         commit_pattern ~write_range:(fun ~off values ->
+             Ft_stablemem.Vista.write_range v ~off values);
+         Ft_stablemem.Vista.commit v;
+         Sys.opaque_identity (Ft_stablemem.Vista.commits v)))
+
+let micro_vista_heap_list =
+  Test.make ~name:"micro_commit_heap_list"
+    (Staged.stage (fun () ->
+         let v = Heap_list_log.create (Ft_stablemem.Rio.create ~size:2048) in
+         commit_pattern ~write_range:(fun ~off values ->
+             Heap_list_log.write_range v ~off values);
+         Heap_list_log.commit v;
+         Sys.opaque_identity v.Heap_list_log.commits))
+
 let micro_checkpoint =
   Test.make ~name:"micro_checkpoint_commit"
     (Staged.stage (fun () ->
@@ -317,7 +369,8 @@ let tests =
     table2_bench;
     ablation_medium; ablation_page_size 16; ablation_page_size 256;
     ablation_crash_early 1; ablation_crash_early 32; micro_save_work;
-    micro_dangerous; micro_vm; micro_checkpoint;
+    micro_dangerous; micro_vm; micro_vista_persisted_log;
+    micro_vista_heap_list; micro_checkpoint;
     micro_pool_dispatch 1; micro_pool_dispatch (Ft_exp.Pool.default_workers ());
     micro_jstore_roundtrip;
   ]

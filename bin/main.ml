@@ -134,6 +134,38 @@ let run_all scale crashes seed opts =
     t2s;
   `Ok ()
 
+(* Crash-point torture: sweep an injected crash over every word write
+   of a multi-page commit (or a seeded sample) and verify recovery.
+   Exits non-zero on any atomicity violation — and when sweep jobs
+   died without a verdict — so CI can gate on it. *)
+let run_torture points_s seed defect opts =
+  match
+    match String.lowercase_ascii points_s with
+    | "all" -> Ok Ft_harness.Torture.All
+    | s when String.length s > 7 && String.sub s 0 7 = "sample:" -> (
+        match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+        | Some n when n > 0 -> Ok (Ft_harness.Torture.Sample n)
+        | _ -> Error ("bad sample count in " ^ points_s))
+    | _ -> Error ("bad --points " ^ points_s ^ " (all or sample:N)")
+  with
+  | Error msg -> `Error (false, msg)
+  | Ok points ->
+      let sc = { Ft_harness.Torture.default_scenario with seed } in
+      let defect =
+        if defect then Some Ft_stablemem.Vista.Publish_header_first else None
+      in
+      let report =
+        Ft_harness.Torture.run ?defect ?workers:opts.workers
+          ~out_dir:opts.out_dir ~fresh:opts.fresh ~points sc
+      in
+      print_string (Ft_harness.Torture.render report);
+      if
+        report.Ft_harness.Torture.violations = []
+        && report.Ft_harness.Torture.explored
+           = report.Ft_harness.Torture.requested
+      then `Ok ()
+      else `Error (false, "torture found atomicity violations")
+
 let run_ablation opts =
   let lookup = sweep opts ~name:"ablation" (Ft_harness.Ablation.jobs ()) in
   print_string (Ft_harness.Ablation.render_records lookup);
@@ -288,6 +320,25 @@ let analysis_cmd =
   Cmd.v (Cmd.info "analysis" ~doc:"Run the Section 4 composed analysis.")
     Term.(ret (const run_analysis $ crashes_arg $ sweep_opts_term))
 
+let torture_cmd =
+  let points_arg =
+    Arg.(value & opt string "all"
+         & info [ "points" ] ~docv:"SPEC"
+             ~doc:"Crash points to explore: $(b,all) or $(b,sample:N).")
+  in
+  let defect_arg =
+    Arg.(value & flag
+         & info [ "defect" ]
+             ~doc:"Arm the publish-header-first write-ordering bug (the \
+                   checker must then report violations).")
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:"Crash a commit at every word write and verify recovery.")
+    Term.(ret
+            (const run_torture $ points_arg $ seed_arg $ defect_arg
+            $ sweep_opts_term))
+
 let ablation_cmd =
   Cmd.v (Cmd.info "ablation" ~doc:"Run the DESIGN.md ablations (2.6).")
     Term.(ret (const run_ablation $ sweep_opts_term))
@@ -337,4 +388,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ space_cmd; figure8_cmd; table1_cmd; table2_cmd; analysis_cmd;
-            ablation_cmd; run_cmd; disasm_cmd; all_cmd ]))
+            ablation_cmd; torture_cmd; run_cmd; disasm_cmd; all_cmd ]))

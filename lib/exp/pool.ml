@@ -80,10 +80,15 @@ let run ?workers ?(timeout_s = Float.infinity) ?(retries = 1) ?on_progress
          else sh.busy_s /. (float_of_int workers *. elapsed));
     }
   in
-  (* One job, with bounded retry and post-hoc timeout check. *)
+  (* One job, with bounded retry and post-hoc timeout check.  The
+     timeout bounds each attempt on its own — a retry starts a fresh
+     clock, so a slow-but-within-limit attempt after a failed one is
+     not misreported as a timeout.  The returned duration still covers
+     all attempts (it feeds the utilization accounting). *)
   let attempt_job (j : Job.t) =
-    let started = Unix.gettimeofday () in
+    let t_first = Unix.gettimeofday () in
     let rec go attempts =
+      let started = Unix.gettimeofday () in
       match j.Job.run () with
       | v ->
           let dur = Unix.gettimeofday () -. started in
@@ -95,13 +100,13 @@ let run ?workers ?(timeout_s = Float.infinity) ?(retries = 1) ?on_progress
                       timeout_s;
                   attempts;
                 },
-              dur )
-          else (Done v, dur)
+              Unix.gettimeofday () -. t_first )
+          else (Done v, Unix.gettimeofday () -. t_first)
       | exception e ->
           if attempts <= retries then go (attempts + 1)
           else
-            let dur = Unix.gettimeofday () -. started in
-            (Failed { error = Printexc.to_string e; attempts }, dur)
+            (Failed { error = Printexc.to_string e; attempts },
+             Unix.gettimeofday () -. t_first)
     in
     go 1
   in

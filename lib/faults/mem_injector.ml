@@ -1,0 +1,84 @@
+(** Reliable-memory fault injection: the write-hook client that turns a
+    {!Ft_stablemem.Rio} region into a crash-point torture surface.
+
+    An injector observes every word the region persists (including each
+    word of a [blit_in]), so it can crash the simulation between any two
+    word writes of a commit — the exhaustive sweep the torture harness
+    ({!Ft_harness.Torture}) drives — tear a bulk copy partway through,
+    and flip bits in {e cold} words (those no write has touched since
+    the observation window opened), modelling latent corruption that
+    recovery must not depend on.
+
+    Everything is deterministic: crashes fire at an exact write count
+    and bit flips come from a seeded RNG, so any run is replayable from
+    [(seed, crash point)]. *)
+
+type t = {
+  region : Ft_stablemem.Rio.t;
+  mutable writes : int;        (* words observed since attach/reset *)
+  mutable crash_after : int option;
+  mutable sticky : bool;
+  touched : (int, unit) Hashtbl.t;  (* offsets written in the window *)
+}
+
+let hook t off _v =
+  (match t.crash_after with
+  | Some after when t.writes >= after ->
+      if not t.sticky then t.crash_after <- None;
+      raise (Ft_stablemem.Rio.Crash_point t.writes)
+  | _ -> ());
+  t.writes <- t.writes + 1;
+  Hashtbl.replace t.touched off ()
+
+let attach region =
+  let t =
+    {
+      region;
+      writes = 0;
+      crash_after = None;
+      sticky = false;
+      touched = Hashtbl.create 64;
+    }
+  in
+  Ft_stablemem.Rio.set_on_write region (Some (hook t));
+  t
+
+let detach t = Ft_stablemem.Rio.set_on_write t.region None
+
+let writes t = t.writes
+
+let reset t =
+  t.writes <- 0;
+  Hashtbl.reset t.touched
+
+let arm_crash ?(sticky = false) t ~after =
+  if after < 0 then invalid_arg "Mem_injector.arm_crash: negative count";
+  t.crash_after <- Some after;
+  t.sticky <- sticky
+
+let disarm t = t.crash_after <- None
+
+let armed t = t.crash_after <> None
+
+(* Corrupt [flips] cold words — never one the observation window saw a
+   write to, so the damage models bit rot in quiescent state rather than
+   a torn write.  Uses {!Ft_stablemem.Rio.poke}: corruption is not a
+   write the program performed, so it must not advance the write count
+   or trip an armed crash.  Returns the offsets flipped. *)
+let flip_cold_bits t ~seed ~flips =
+  let rng = Random.State.make [| seed |] in
+  let size = Ft_stablemem.Rio.size t.region in
+  let flipped = ref [] in
+  let attempts = ref (flips * 16) in
+  while List.length !flipped < flips && !attempts > 0 do
+    decr attempts;
+    let off = Random.State.int rng size in
+    if (not (Hashtbl.mem t.touched off)) && not (List.mem off !flipped)
+    then begin
+      let bit = Random.State.int rng 30 in
+      Ft_stablemem.Rio.poke t.region off
+        (Ft_stablemem.Rio.read t.region off lxor (1 lsl bit));
+      flipped := off :: !flipped
+    end
+  done;
+  List.rev !flipped

@@ -1,0 +1,37 @@
+(** Reliable-memory fault injection through the {!Ft_stablemem.Rio}
+    write hook: crash the simulation after an exact number of persisted
+    word writes (tearing whatever bulk copy was in flight), or flip bits
+    in cold words.  Deterministic and replayable from [(seed, point)].
+    One injector per region: {!attach} claims the region's hook. *)
+
+type t
+
+val attach : Ft_stablemem.Rio.t -> t
+(** Install the injector as the region's write hook and open an
+    observation window (write count zero, no offsets touched). *)
+
+val detach : t -> unit
+(** Remove the hook; the region persists writes unobserved again. *)
+
+val writes : t -> int
+(** Word writes observed since {!attach} or the last {!reset}. *)
+
+val reset : t -> unit
+(** Restart the observation window: zero the count, forget touched
+    offsets, leave any armed crash armed. *)
+
+val arm_crash : ?sticky:bool -> t -> after:int -> unit
+(** Crash ({!Ft_stablemem.Rio.Crash_point}) the next write once [after]
+    words have been observed in the window: [after = 0] refuses the very
+    first write, [after = k] lets exactly [k] words persist.  One-shot
+    by default (the injector disarms as it fires); [sticky] keeps it
+    armed, so retried recoveries keep crashing. *)
+
+val disarm : t -> unit
+val armed : t -> bool
+
+val flip_cold_bits : t -> seed:int -> flips:int -> int list
+(** Flip one random bit in up to [flips] distinct {e cold} words —
+    offsets the window has seen no write to — via {!Ft_stablemem.Rio.poke}
+    (no hook, no write accounting: corruption is not a program write).
+    Returns the offsets flipped, fewer if cold words are scarce. *)

@@ -1,0 +1,69 @@
+(** Crash-point torture: re-execute one checkpoint commit with an
+    injected crash after the [k]-th persisted word write, for every
+    [k] in [0 .. W] (or a seeded sample), recover from the region words
+    alone, and demand the recovered image equal the pre-commit or
+    post-commit checkpoint — never a hybrid.  Sweeps fan out over
+    {!Ft_exp.Exp} jobs (parallel, resumable). *)
+
+type scenario = {
+  heap_words : int;
+  stack_words : int;
+  page_size : int;
+  dirty_pages : int;  (** pages rewritten between the two commits *)
+  stack_depth : int;  (** live stack words at the instrumented commit *)
+  seed : int;
+}
+
+val default_scenario : scenario
+(** A multi-page commit: 16 dirty pages of 64 words plus stack,
+    metadata and kernel state — a couple of thousand crash points. *)
+
+type points = All | Sample of int
+(** Exhaustive, or a seeded sample always containing both endpoints. *)
+
+type verdict =
+  | Rolled_back  (** recovered image = pre-commit checkpoint *)
+  | Committed  (** recovered image = post-commit checkpoint *)
+  | Violation of string  (** hybrid image, or recovery itself failed *)
+
+val measure :
+  ?defect:Ft_stablemem.Vista.defect -> scenario -> int * (int array * int)
+(** Run the instrumented commit uninterrupted: the number of word
+    writes [W] it performs (crash points are [0..W]) and the committed
+    (data image, commits counter) capture. *)
+
+val torture_point :
+  ?defect:Ft_stablemem.Vista.defect ->
+  scenario ->
+  post:int array * int ->
+  point:int ->
+  verdict
+(** One crash point, end to end, on an entirely fresh rig.  [defect]
+    arms a deliberate write-ordering bug ({!Ft_stablemem.Vista.defect})
+    so tests can prove the checker has teeth. *)
+
+type report = {
+  scenario : scenario;
+  total_writes : int;
+  requested : int;
+      (** crash points asked for; [explored < requested] means some
+          sweep jobs failed outright *)
+  explored : int;
+  rolled_back : int;
+  committed : int;
+  violations : (int * string) list;  (** crash point, diagnosis *)
+}
+
+val run :
+  ?defect:Ft_stablemem.Vista.defect ->
+  ?workers:int ->
+  ?out_dir:string ->
+  ?fresh:bool ->
+  ?quiet:bool ->
+  points:points ->
+  scenario ->
+  report
+(** The full sweep.  With [out_dir], runs as a named resumable store
+    sweep ([torture.jsonl]); without, evaluates in memory. *)
+
+val render : report -> string

@@ -213,6 +213,63 @@ let restore_kstate t pid (s : kstate_snapshot) =
   k.sig_period <- s.sig_period;
   k.next_signal <- s.next_signal
 
+(* Word layout of a kstate snapshot, so Discount Checking can persist
+   the saved kernel state inside the checkpoint region itself and
+   recovery can rebuild it from region words alone:
+   [ 7 scalars;
+     |last_seen|;  (sender, seq) pairs;
+     |open_files|; (fd, name, offset) triples ] *)
+let kstate_to_words (s : kstate_snapshot) =
+  let out = ref [] in
+  let push v = out := v :: !out in
+  push s.input_pos;
+  push s.last_input_at;
+  push s.send_seq;
+  push s.next_fd;
+  push s.fs_used;
+  push s.sig_period;
+  push s.next_signal;
+  push (List.length s.last_seen);
+  List.iter (fun (sender, seq) -> push sender; push seq) s.last_seen;
+  push (List.length s.open_files);
+  List.iter
+    (fun (fd, (name, offset)) -> push fd; push name; push offset)
+    s.open_files;
+  Array.of_list (List.rev !out)
+
+let kstate_of_words w =
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length w then
+      invalid_arg "Kernel.kstate_of_words: truncated snapshot";
+    let v = w.(!pos) in
+    incr pos;
+    v
+  in
+  let input_pos = next () in
+  let last_input_at = next () in
+  let send_seq = next () in
+  let next_fd = next () in
+  let fs_used = next () in
+  let sig_period = next () in
+  let next_signal = next () in
+  let rec read_items n f acc =
+    if n = 0 then List.rev acc else read_items (n - 1) f (f () :: acc)
+  in
+  let last_seen =
+    read_items (next ()) (fun () ->
+        let sender = next () in
+        (sender, next ())) []
+  in
+  let open_files =
+    read_items (next ()) (fun () ->
+        let fd = next () in
+        let name = next () in
+        (fd, (name, next ()))) []
+  in
+  { input_pos; last_input_at; send_seq; last_seen; open_files; next_fd;
+    fs_used; sig_period; next_signal }
+
 (* File contents are kept simple: they are not rolled back (the paper's
    workloads treat file writes as redo-logged output; our applications
    only append).  Offsets and the open-file table are rolled back. *)

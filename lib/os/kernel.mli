@@ -98,6 +98,14 @@ val snapshot_kstate : t -> int -> kstate_snapshot
 
 val restore_kstate : t -> int -> kstate_snapshot -> unit
 
+val kstate_to_words : kstate_snapshot -> int array
+(** Serialize a snapshot to words so the checkpointer can persist it in
+    reliable memory alongside the process image. *)
+
+val kstate_of_words : int array -> kstate_snapshot
+(** Inverse of {!kstate_to_words}.  Raises [Invalid_argument] on a
+    truncated snapshot. *)
+
 val note_commit : t -> int -> unit
 (** The process committed: consumed messages need never be redelivered. *)
 

@@ -9,6 +9,13 @@
     the last checkpoint, and a per-word copy cost for the register file,
     live stack and kernel state.
 
+    Everything a restore needs — committed heap image, stack, machine
+    metadata AND the serialized kernel state — lives in the Rio region,
+    so {!restore} is a pure function of the persisted words: a crash at
+    any word write during {!commit} leaves a region from which recovery
+    reconstructs exactly the previous checkpoint.  The crash-point
+    torture harness ({!Ft_harness.Torture}) checks this exhaustively.
+
     DC-disk is the same mechanism with the committed image written as a
     redo log synchronously to disk; its per-checkpoint cost is dominated
     by the disk access time ({!Ft_stablemem.Disk}). *)
@@ -31,17 +38,25 @@ let default_cost = {
   kstate_words = 64;
 }
 
-(* Per-process persistent area: committed heap image, committed stack,
-   machine metadata, plus the kernel-state snapshot kept alongside. *)
+(* Per-process persistent area.  Region layout (all offsets fixed at
+   creation):
+
+     [0, heap_words)                 committed heap image
+     [stack_base, meta_base)         committed stack
+     [meta_base, kstate_base)        machine metadata (regs, pc, sp, ...)
+     [kstate_base, data_words)       kernel state: [len; word_0 ...]
+     [data_words, size)              Vista's persisted undo log
+
+   Everything mutable about a slot is region words — the OCaml record is
+   pure layout, so a slot rebuilt over an old region (simulating a
+   process that lost its heap in a crash) restores identically. *)
 type slot = {
   vista : Ft_stablemem.Vista.t;
   heap_words : int;
-  stack_base : int;          (* offset of the stack area in the region *)
+  stack_base : int;
   meta_base : int;
-  mutable committed_sp : int;
-  mutable committed : bool;  (* at least one checkpoint taken *)
-  mutable kstate : Ft_os.Kernel.kstate_snapshot option;
-  mutable count : int;       (* checkpoints taken *)
+  kstate_base : int;
+  kstate_cap : int;          (* payload words available after the length *)
 }
 
 type t = {
@@ -55,27 +70,52 @@ type t = {
 
 let meta_words = Ft_vm.Instr.num_regs + 6
 
-let create ?(cost = default_cost) ?(excluded = fun _ -> false) ~medium
-    ~nprocs ~heap_words ~stack_words () =
+(* The undo log must hold the worst-case transaction: every heap page
+   dirty, the full stack, the metadata, the kernel state and the commit
+   record, each with its [off; len] record header. *)
+let log_area_words ~heap_words ~stack_words ~page_size ~kstate_cap =
+  let npages = (heap_words + page_size - 1) / page_size in
+  Ft_stablemem.Vista.log_overhead_words
+  + Ft_stablemem.Vista.record_words ~len:(npages * page_size)
+  + ((npages - 1) * 2)     (* page records vs one big record: extra headers *)
+  + Ft_stablemem.Vista.record_words ~len:stack_words
+  + Ft_stablemem.Vista.record_words ~len:meta_words
+  + Ft_stablemem.Vista.record_words ~len:(1 + kstate_cap)
+  + Ft_stablemem.Vista.record_words ~len:1  (* commits-counter record *)
+
+let create ?(cost = default_cost) ?(excluded = fun _ -> false)
+    ?(page_size = 64) ~medium ~nprocs ~heap_words ~stack_words () =
+  if page_size <= 0 then invalid_arg "Checkpointer.create: bad page_size";
+  (* Kernel state payload: a handful of scalars, one pair per peer
+     process, one triple per open file (the limit starts at 16 and grows
+     a little at each resource expansion — 128 is comfortably past any
+     run's reach). *)
+  let kstate_cap = 9 + (2 * nprocs) + (3 * 128) in
   let make_slot _ =
-    let size = heap_words + stack_words + meta_words in
+    let stack_base = heap_words in
+    let meta_base = stack_base + stack_words in
+    let kstate_base = meta_base + meta_words in
+    let data_words = kstate_base + 1 + kstate_cap in
+    let size =
+      data_words + log_area_words ~heap_words ~stack_words ~page_size ~kstate_cap
+    in
     let region = Ft_stablemem.Rio.create ~size in
     {
-      vista = Ft_stablemem.Vista.create region;
+      vista = Ft_stablemem.Vista.create ~data_words region;
       heap_words;
-      stack_base = heap_words;
-      meta_base = heap_words + stack_words;
-      committed_sp = 0;
-      committed = false;
-      kstate = None;
-      count = 0;
+      stack_base;
+      meta_base;
+      kstate_base;
+      kstate_cap;
     }
   in
   { medium; cost; slots = Array.init nprocs make_slot; excluded }
 
-let checkpoints t ~pid = t.slots.(pid).count
+let vista t ~pid = t.slots.(pid).vista
 
-let has_checkpoint t ~pid = t.slots.(pid).committed
+let checkpoints t ~pid = Ft_stablemem.Vista.commits t.slots.(pid).vista
+
+let has_checkpoint t ~pid = checkpoints t ~pid > 0
 
 (* Take a checkpoint of [machine] (incremental in its dirty pages) and the
    kernel state; returns the simulated cost in nanoseconds. *)
@@ -111,12 +151,15 @@ let commit t ~pid ~(machine : Ft_vm.Machine.t) ~kstate =
       |]
   in
   Ft_stablemem.Vista.write_range v ~off:s.meta_base meta;
+  (* Kernel state, serialized to words so restore needs nothing but the
+     region. *)
+  let kw = Ft_os.Kernel.kstate_to_words kstate in
+  if Array.length kw > s.kstate_cap then
+    invalid_arg "Checkpointer.commit: kernel state exceeds its region area";
+  Ft_stablemem.Vista.write_range v ~off:s.kstate_base
+    (Array.append [| Array.length kw |] kw);
   Ft_stablemem.Vista.commit v;
   Ft_vm.Memory.clear_dirty heap;
-  s.committed_sp <- snap.Ft_vm.Machine.s_sp;
-  s.committed <- true;
-  s.kstate <- Some kstate;
-  s.count <- s.count + 1;
   let words =
     (List.length dirty * page_size)
     + snap.Ft_vm.Machine.s_sp + meta_words + t.cost.kstate_words
@@ -142,11 +185,13 @@ let log_cost t ~words =
   | Disk d -> Ft_stablemem.Disk.write_cost d ~words
 
 (* Restore [machine] (and return the kernel state) from the last
-   checkpoint.  Returns the simulated recovery cost. *)
+   checkpoint, purely from region words.  Returns the simulated recovery
+   cost. *)
 let restore t ~pid ~(machine : Ft_vm.Machine.t) =
   let s = t.slots.(pid) in
-  if not s.committed then invalid_arg "Checkpointer.restore: no checkpoint";
-  (* A crash mid-commit leaves an open transaction; Vista recovery rolls
+  if not (has_checkpoint t ~pid) then
+    invalid_arg "Checkpointer.restore: no checkpoint";
+  (* A crash mid-commit leaves a published undo log; Vista recovery rolls
      it back to the previous checkpoint. *)
   Ft_stablemem.Vista.recover s.vista;
   let region = Ft_stablemem.Vista.region s.vista in
@@ -170,10 +215,12 @@ let restore t ~pid ~(machine : Ft_vm.Machine.t) =
     }
   in
   Ft_vm.Machine.restore machine snap;
+  let klen = Ft_stablemem.Rio.read region s.kstate_base in
+  if klen < 0 || klen > s.kstate_cap then
+    invalid_arg "Checkpointer.restore: corrupt kernel state";
   let kstate =
-    match s.kstate with
-    | Some k -> k
-    | None -> invalid_arg "Checkpointer.restore: missing kernel state"
+    Ft_os.Kernel.kstate_of_words
+      (Ft_stablemem.Rio.sub region ~off:(s.kstate_base + 1) ~len:klen)
   in
   let words = s.heap_words + sp + meta_words + t.cost.kstate_words in
   let cost =

@@ -1,7 +1,13 @@
 (** Discount Checking: transparent full-process checkpoints (paper §3),
     incremental in the pages dirtied since the last commit, stored
     through Vista transactions in Rio reliable memory — or written as a
-    synchronous redo log to disk (DC-disk). *)
+    synchronous redo log to disk (DC-disk).
+
+    The whole committed image — heap, stack, machine metadata and
+    serialized kernel state — lives in the per-process Rio region, as
+    does Vista's undo log, so {!restore} is a pure function of the
+    persisted words.  A crash at any single word write during {!commit}
+    leaves a region that recovers to exactly the previous checkpoint. *)
 
 type medium =
   | Reliable_memory  (** Rio: memory-speed commits *)
@@ -21,15 +27,25 @@ type t
 val create :
   ?cost:cost_model ->
   ?excluded:(int -> bool) ->
+  ?page_size:int ->
   medium:medium ->
   nprocs:int ->
   heap_words:int ->
   stack_words:int ->
   unit ->
   t
+(** [page_size] (default 64) must match the machines being checkpointed;
+    it sizes the persisted undo log for the worst-case transaction
+    (every page dirty). *)
 
 val checkpoints : t -> pid:int -> int
+(** Checkpoints taken, read from the persisted commits counter. *)
+
 val has_checkpoint : t -> pid:int -> bool
+
+val vista : t -> pid:int -> Ft_stablemem.Vista.t
+(** The per-process Vista segment — the fault-injection surface: its
+    region's write hook sees every persisted word of a {!commit}. *)
 
 (** [excluded] marks heap pages of recomputable state the application
     chooses not to checkpoint (§2.6: "reducing the comprehensiveness of
@@ -49,6 +65,7 @@ val log_cost : t -> words:int -> int
 val restore :
   t -> pid:int -> machine:Ft_vm.Machine.t ->
   Ft_os.Kernel.kstate_snapshot * int
-(** Roll the machine back to the last checkpoint (running Vista recovery
-    first, in case the crash interrupted a commit); returns the kernel
-    state to reinstall and the simulated recovery cost. *)
+(** Roll the machine back to the last checkpoint, purely from region
+    words (running Vista recovery first, in case the crash interrupted a
+    commit); returns the kernel state to reinstall and the simulated
+    recovery cost. *)

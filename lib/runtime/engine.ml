@@ -23,7 +23,10 @@ type proc = {
   mutable blocked : bool;        (* waiting for a message *)
   mutable halted : bool;
   mutable failed : bool;         (* unrecoverable *)
-  mutable recoveries : int;
+  mutable recoveries : int;      (* consecutive attempts from one point *)
+  mutable recovered_at_icount : int;
+      (* icount at the last restore; a commit strictly past it proves
+         progress and resets the attempt counter *)
   mutable commit_count : int;    (* protocol-triggered commits *)
   mutable nd_count : int;
   mutable logged_count : int;
@@ -93,6 +96,7 @@ type result = {
   visible_counts : int array;
   recoveries : int;
   crashes : int;
+  recovery_crashes : int;              (* crashes during restore itself *)
   activation : (int * int) option;     (* pid, trace index at activation *)
   first_crash : (int * int) option;    (* pid, trace index of crash event *)
   commit_after_activation : bool;
@@ -110,6 +114,7 @@ type t = {
   mutable instructions : int;
   mutable total_recoveries : int;
   mutable total_crashes : int;
+  mutable recovery_crashes : int;
   mutable kills_pending : (int * int) list;
   mutable activation : (int * int) option;
   mutable first_crash : (int * int) option;
@@ -140,6 +145,7 @@ let create ?(cfg = default_config) ~kernel ~programs () =
           halted = false;
           failed = false;
           recoveries = 0;
+          recovered_at_icount = 0;
           commit_count = 0;
           nd_count = 0;
           logged_count = 0;
@@ -151,8 +157,8 @@ let create ?(cfg = default_config) ~kernel ~programs () =
   in
   let ckpt =
     Checkpointer.create ~cost:cfg.cost ~excluded:cfg.excluded_pages
-      ~medium:cfg.medium ~nprocs ~heap_words:cfg.heap_words
-      ~stack_words:cfg.stack_words ()
+      ~page_size:cfg.page_size ~medium:cfg.medium ~nprocs
+      ~heap_words:cfg.heap_words ~stack_words:cfg.stack_words ()
   in
   let t =
     {
@@ -166,6 +172,7 @@ let create ?(cfg = default_config) ~kernel ~programs () =
       instructions = 0;
       total_recoveries = 0;
       total_crashes = 0;
+      recovery_crashes = 0;
       kills_pending = List.sort compare cfg.kills;
       activation = None;
       first_crash = None;
@@ -189,6 +196,7 @@ let create ?(cfg = default_config) ~kernel ~programs () =
 
 let machine t pid = t.procs.(pid).machine
 let kernel t = t.kernel
+let checkpointer t = t.ckpt
 let set_on_recover t f = t.on_recover <- Some f
 
 (* Fault injectors mark the moment the injected bug first executes. *)
@@ -198,29 +206,110 @@ let record_activation t pid =
 
 let activation_recorded t = t.activation <> None
 
-(* --- commits ------------------------------------------------------------ *)
-
 let instr_ns t = (Ft_os.Kernel.costs t.kernel).Ft_os.Kernel.instr_ns
 
+(* --- crash and recovery -------------------------------------------------- *)
+
+let record_crash t (p : proc) =
+  t.total_crashes <- t.total_crashes + 1;
+  let e = Ft_core.Trace.record t.trace ~pid:p.pid Ft_core.Event.Crash in
+  if t.first_crash = None then
+    t.first_crash <- Some (p.pid, e.Ft_core.Event.index)
+
+let give_up t (p : proc) =
+  p.failed <- true;
+  if t.outcome = None then t.outcome <- Some Recovery_failed
+
+let recover t (p : proc) =
+  if p.recoveries >= t.cfg.max_recovery_attempts then give_up t p
+  else begin
+    p.recoveries <- p.recoveries + 1;
+    t.total_recoveries <- t.total_recoveries + 1;
+    if t.cfg.suppress_faults_on_recovery then begin
+      (* The paper's end-to-end check suppresses the fault activation
+         during recovery (§4.1): restore pristine code and tell the
+         injector to stand down. *)
+      Array.blit p.pristine_code 0 p.machine.Ft_vm.Machine.code 0
+        (Array.length p.pristine_code);
+      p.machine.Ft_vm.Machine.on_execute <- None;
+      match t.on_recover with Some f -> f p.pid | None -> ()
+    end;
+    if t.cfg.expand_resources_on_recovery then
+      Ft_os.Kernel.expand_resources t.kernel;
+    (* The restore itself runs on the same fallible machine and can be
+       crashed by an injector mid-replay.  Vista recovery is idempotent,
+       so retry from the same checkpoint — with a growing reboot delay —
+       up to the attempt cap, then degrade to [Recovery_failed] instead
+       of looping forever. *)
+    let rec restore_with_retry attempt =
+      match Checkpointer.restore t.ckpt ~pid:p.pid ~machine:p.machine with
+      | restored -> Some restored
+      | exception Ft_stablemem.Rio.Crash_point _ ->
+          t.recovery_crashes <- t.recovery_crashes + 1;
+          p.time <- p.time + (attempt * t.cfg.reboot_delay_ns);
+          if attempt >= t.cfg.max_recovery_attempts then None
+          else restore_with_retry (attempt + 1)
+    in
+    match restore_with_retry 1 with
+    | None -> give_up t p
+    | Some (kstate, cost) ->
+        Ft_os.Kernel.restore_kstate t.kernel p.pid kstate;
+        Ft_os.Kernel.requeue_uncommitted t.kernel p.pid;
+        (* [+ 1]: a commit-before checkpoint counts its (rewound, not yet
+           serviced) Sys instruction in icount, so the replay re-reaches
+           that same commit at exactly icount + 1.  Progress means
+           committing beyond that. *)
+        p.recovered_at_icount <- Ft_vm.Machine.icount p.machine + 1;
+        p.time <- p.time + cost;
+        p.blocked <- false;
+        p.halted <- false
+  end
+
+let crash_proc t (p : proc) =
+  record_crash t p;
+  if t.cfg.auto_recover then recover t p else p.failed <- true
+
+(* --- commits ------------------------------------------------------------ *)
+
+(* Returns [false] when the process crashed partway through the commit
+   (and was restored to its last checkpoint): the caller must abandon
+   whatever the commit was protecting — the restored machine will replay
+   it — rather than keep acting on the pre-crash control flow. *)
 let do_local_commit ?round t (p : proc) =
-  let cost =
+  match
     Checkpointer.commit t.ckpt ~pid:p.pid ~machine:p.machine
       ~kstate:(Ft_os.Kernel.snapshot_kstate t.kernel p.pid)
-  in
-  p.time <- p.time + cost;
-  p.commit_count <- p.commit_count + 1;
-  let kind =
-    match round with
-    | Some r -> Ft_core.Event.Commit_round r
-    | None -> Ft_core.Event.Commit
-  in
-  ignore (Ft_core.Trace.record t.trace ~pid:p.pid kind);
-  Ft_os.Kernel.note_commit t.kernel p.pid;
-  t.protocol.Ft_core.Protocol.note_commit ~pid:p.pid;
-  (match t.activation with
-  | Some (apid, _) when apid = p.pid && t.first_crash = None ->
-      t.commit_after_activation <- true
-  | _ -> ())
+  with
+  | exception Ft_stablemem.Rio.Crash_point _ ->
+      (* The process died partway through writing its checkpoint; the
+         torn Vista transaction is rolled back by the restore. *)
+      Ft_vm.Machine.kill p.machine;
+      crash_proc t p;
+      false
+  | cost ->
+      p.time <- p.time + cost;
+      p.commit_count <- p.commit_count + 1;
+      (* A commit strictly past the last restore point is real progress:
+         the failure was transient, so the next crash starts a fresh
+         recovery budget.  (A commit AT the restore point is just the
+         deterministic replay re-reaching the same state and must not
+         refill the budget, or a crash loop would never give up.) *)
+      if p.recoveries > 0
+         && Ft_vm.Machine.icount p.machine > p.recovered_at_icount
+      then p.recoveries <- 0;
+      let kind =
+        match round with
+        | Some r -> Ft_core.Event.Commit_round r
+        | None -> Ft_core.Event.Commit
+      in
+      ignore (Ft_core.Trace.record t.trace ~pid:p.pid kind);
+      Ft_os.Kernel.note_commit t.kernel p.pid;
+      t.protocol.Ft_core.Protocol.note_commit ~pid:p.pid;
+      (match t.activation with
+      | Some (apid, _) when apid = p.pid && t.first_crash = None ->
+          t.commit_after_activation <- true
+      | _ -> ());
+      true
 
 (* Two-phase commit: the coordinator asks every live process to commit and
    waits for all acknowledgements.  Time: participants commit after one
@@ -242,64 +331,30 @@ let do_global_commit t (coordinator : proc) =
       if (not q.halted) && (not q.failed) && q.pid <> coordinator.pid
       then begin
         q.time <- max q.time (start + latency);
-        do_local_commit ~round t q;
-        let tag = t.ack_tag in
-        t.ack_tag <- tag - 1;
-        ignore
-          (Ft_core.Trace.record t.trace ~pid:q.pid
-             (Ft_core.Event.Send { dest = coordinator.pid; tag }));
-        ignore
-          (Ft_core.Trace.record t.trace ~pid:coordinator.pid ~logged:true
-             (Ft_core.Event.Receive { src = q.pid; tag }));
-        if q.time > !finish then finish := q.time
+        (* A participant whose commit crashed (and rolled back) never
+           acknowledges; the coordinator still commits the others. *)
+        if do_local_commit ~round t q then begin
+          let tag = t.ack_tag in
+          t.ack_tag <- tag - 1;
+          ignore
+            (Ft_core.Trace.record t.trace ~pid:q.pid
+               (Ft_core.Event.Send { dest = coordinator.pid; tag }));
+          ignore
+            (Ft_core.Trace.record t.trace ~pid:coordinator.pid ~logged:true
+               (Ft_core.Event.Receive { src = q.pid; tag }));
+          if q.time > !finish then finish := q.time
+        end
       end)
     t.procs;
   (* the coordinator commits last, once every ack is in *)
   coordinator.time <- max coordinator.time (!finish + latency);
   do_local_commit ~round t coordinator
 
+(* Like [do_local_commit], [false] means the committing process crashed
+   mid-commit and was restored: abandon the surrounding control flow. *)
 let do_commit t p = function
   | Ft_core.Protocol.Local -> do_local_commit t p
   | Ft_core.Protocol.Global -> do_global_commit t p
-
-(* --- crash and recovery -------------------------------------------------- *)
-
-let record_crash t (p : proc) =
-  t.total_crashes <- t.total_crashes + 1;
-  let e = Ft_core.Trace.record t.trace ~pid:p.pid Ft_core.Event.Crash in
-  if t.first_crash = None then
-    t.first_crash <- Some (p.pid, e.Ft_core.Event.index)
-
-let recover t (p : proc) =
-  if p.recoveries >= t.cfg.max_recovery_attempts then begin
-    p.failed <- true;
-    if t.outcome = None then t.outcome <- Some Recovery_failed
-  end
-  else begin
-    p.recoveries <- p.recoveries + 1;
-    t.total_recoveries <- t.total_recoveries + 1;
-    if t.cfg.suppress_faults_on_recovery then begin
-      (* The paper's end-to-end check suppresses the fault activation
-         during recovery (§4.1): restore pristine code and tell the
-         injector to stand down. *)
-      Array.blit p.pristine_code 0 p.machine.Ft_vm.Machine.code 0
-        (Array.length p.pristine_code);
-      p.machine.Ft_vm.Machine.on_execute <- None;
-      match t.on_recover with Some f -> f p.pid | None -> ()
-    end;
-    if t.cfg.expand_resources_on_recovery then
-      Ft_os.Kernel.expand_resources t.kernel;
-    let kstate, cost = Checkpointer.restore t.ckpt ~pid:p.pid ~machine:p.machine in
-    Ft_os.Kernel.restore_kstate t.kernel p.pid kstate;
-    Ft_os.Kernel.requeue_uncommitted t.kernel p.pid;
-    p.time <- p.time + cost;
-    p.blocked <- false;
-    p.halted <- false
-  end
-
-let crash_proc t (p : proc) =
-  record_crash t p;
-  if t.cfg.auto_recover then recover t p else p.failed <- true
 
 (* A kernel panic stops the whole (shared) machine: every process sees a
    stop failure and is recovered after the reboot.  The reboot clears the
@@ -362,16 +417,20 @@ let maybe_deliver_signal t (p : proc) =
         loggable = false }
     in
     let reaction = t.protocol.Ft_core.Protocol.react ~pid:p.pid info in
-    (match reaction.Ft_core.Protocol.commit_before with
-    | Some scope -> do_commit t p scope
-    | None -> ());
-    if Ft_vm.Machine.deliver_signal p.machine then begin
+    let survived =
+      match reaction.Ft_core.Protocol.commit_before with
+      | Some scope -> do_commit t p scope
+      | None -> true
+    in
+    (* A commit crash restored the machine to its checkpoint: the signal
+       delivery belongs to the replay, not to this (dead) control flow. *)
+    if survived && Ft_vm.Machine.deliver_signal p.machine then begin
       p.nd_count <- p.nd_count + 1;
       ignore
         (Ft_core.Trace.record t.trace ~pid:p.pid
            (Ft_core.Event.Nd Ft_core.Event.Transient));
       match reaction.Ft_core.Protocol.commit_after with
-      | Some scope -> do_commit t p scope
+      | Some scope -> ignore (do_commit t p scope : bool)
       | None -> ()
     end
   end
@@ -393,9 +452,16 @@ let handle_syscall t (p : proc) (sys : Ft_vm.Syscall.t) =
         | Some info -> t.protocol.Ft_core.Protocol.react ~pid:p.pid info
         | None -> Ft_core.Protocol.no_reaction
       in
-      (match reaction.Ft_core.Protocol.commit_before with
-      | Some scope -> do_commit t p scope
-      | None -> ());
+      let survived =
+        match reaction.Ft_core.Protocol.commit_before with
+        | Some scope -> do_commit t p scope
+        | None -> true
+      in
+      (* A crash inside the pre-event commit restored the machine to its
+         last checkpoint: the syscall must not be serviced on the restored
+         state — the replay will re-issue it from the rewound pc. *)
+      if not survived then ()
+      else
       match Ft_os.Kernel.service t.kernel ~pid:p.pid ~now:p.time ~a0 ~a1 sys with
       | Ft_os.Kernel.Panic -> kernel_panic t
       | Ft_os.Kernel.Block_recv ->
@@ -479,8 +545,10 @@ let handle_syscall t (p : proc) (sys : Ft_vm.Syscall.t) =
               | _ -> ())
           | None -> ());
           Ft_vm.Machine.advance_past_syscall m;
+          (* The machine is already past the syscall: a crash in the
+             post-event commit just restores and replays from there. *)
           (match reaction.Ft_core.Protocol.commit_after with
-          | Some scope -> do_commit t p scope
+          | Some scope -> ignore (do_commit t p scope : bool)
           | None -> ()))
 
 (* --- scheduling ---------------------------------------------------------- *)
@@ -561,6 +629,7 @@ let result_of t outcome =
     visible_counts = arr (fun p -> p.visible_count);
     recoveries = t.total_recoveries;
     crashes = t.total_crashes;
+    recovery_crashes = t.recovery_crashes;
     activation = t.activation;
     first_crash = t.first_crash;
     commit_after_activation = t.commit_after_activation;

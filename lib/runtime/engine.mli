@@ -51,6 +51,9 @@ type result = {
   visible_counts : int array;
   recoveries : int;
   crashes : int;
+  recovery_crashes : int;
+      (** crashes injected during restore itself; each costs a reboot
+          delay and a retry from the same checkpoint *)
   activation : (int * int) option;  (** pid, trace index at activation *)
   first_crash : (int * int) option;
   commit_after_activation : bool;
@@ -69,6 +72,10 @@ val create :
 
 val machine : t -> int -> Ft_vm.Machine.t
 val kernel : t -> Ft_os.Kernel.t
+
+val checkpointer : t -> Checkpointer.t
+(** The engine's checkpointer — fault injectors reach the per-process
+    Rio regions through it ({!Checkpointer.vista}). *)
 
 val set_on_recover : t -> (int -> unit) -> unit
 (** Called on each recovery when fault suppression is on; injectors use

@@ -5,34 +5,60 @@
     synchronous disk write (paper §3).  We model a region as a
     word-addressable persistent array: simulated process and OS crashes
     never clear it (the recovery engine only ever resets machines), and
-    every write is accounted so commit costs can be charged. *)
+    every write is accounted so commit costs can be charged.
+
+    Every mutation goes through a single word-granular path guarded by an
+    optional write hook, so fault injectors ({!Ft_faults.Mem_injector})
+    can observe the exact persisted-write sequence, crash the simulation
+    between any two word writes ({!Crash_point}), and tear a {!blit_in}
+    partway through — the substrate the crash-point torture harness
+    drives. *)
+
+exception Crash_point of int
+(** Raised by a write hook to model a crash after the carried number of
+    word writes have persisted; the write the hook intercepted is NOT
+    performed. *)
 
 type t = {
   words : int array;
   mutable words_written : int;  (* lifetime accounting for cost models *)
+  mutable on_write : (int -> int -> unit) option;
+      (* called with (offset, value) BEFORE each word is persisted; a
+         raising hook (e.g. [Crash_point]) aborts that word and all
+         later ones *)
 }
 
-let create ~size = { words = Array.make size 0; words_written = 0 }
+let create ~size = { words = Array.make size 0; words_written = 0;
+                     on_write = None }
 
 let size t = Array.length t.words
+
+let set_on_write t hook = t.on_write <- hook
 
 let read t off =
   if off < 0 || off >= Array.length t.words then
     invalid_arg "Rio.read: out of range";
   t.words.(off)
 
-let write t off v =
-  if off < 0 || off >= Array.length t.words then
-    invalid_arg "Rio.write: out of range";
+(* The single persisted-write path: hook, then store, then account. *)
+let write_word t off v =
+  (match t.on_write with Some f -> f off v | None -> ());
   t.words.(off) <- v;
   t.words_written <- t.words_written + 1
 
-(* Bulk copy into the region (one page of a checkpoint). *)
+let write t off v =
+  if off < 0 || off >= Array.length t.words then
+    invalid_arg "Rio.write: out of range";
+  write_word t off v
+
+(* Bulk copy into the region (one page of a checkpoint), word by word so
+   a crash point can land between any two words and leave a torn blit. *)
 let blit_in t ~off src =
   if off < 0 || off + Array.length src > Array.length t.words then
     invalid_arg "Rio.blit_in: out of range";
-  Array.blit src 0 t.words off (Array.length src);
-  t.words_written <- t.words_written + Array.length src
+  for i = 0 to Array.length src - 1 do
+    write_word t (off + i) src.(i)
+  done
 
 (* Bulk copy out of the region (restoring a checkpoint). *)
 let blit_out t ~off dst =
@@ -44,5 +70,13 @@ let sub t ~off ~len =
   let dst = Array.make len 0 in
   blit_out t ~off dst;
   dst
+
+(* Out-of-band mutation for fault injectors (e.g. cold-region bit
+   flips): bypasses the hook and the write accounting, because it models
+   corruption, not a write the program performed. *)
+let poke t off v =
+  if off < 0 || off >= Array.length t.words then
+    invalid_arg "Rio.poke: out of range";
+  t.words.(off) <- v
 
 let words_written t = t.words_written

@@ -1,20 +1,38 @@
 (** A Rio-style reliable memory region (paper §3): word-addressable
     memory that survives simulated process and OS crashes, with write
-    accounting for the commit cost model. *)
+    accounting for the commit cost model and a word-granular write hook
+    for crash-point fault injection. *)
+
+exception Crash_point of int
+(** Raised by a write hook to model a crash after the carried number of
+    word writes have persisted; the intercepted write is NOT performed. *)
 
 type t
 
 val create : size:int -> t
 val size : t -> int
 
+val set_on_write : t -> (int -> int -> unit) option -> unit
+(** Install (or clear) the write hook.  The hook sees (offset, value)
+    before each word is persisted — including every word of a
+    {!blit_in} — and may raise (e.g. {!Crash_point}) to abort that word
+    and everything after it: a mid-blit raise leaves a torn blit, which
+    is exactly the failure the torture harness explores. *)
+
 val read : t -> int -> int
 val write : t -> int -> int -> unit
 
 val blit_in : t -> off:int -> int array -> unit
-(** Bulk copy into the region (e.g. one checkpoint page). *)
+(** Bulk copy into the region (e.g. one checkpoint page), performed word
+    by word through the hook path. *)
 
 val blit_out : t -> off:int -> int array -> unit
 val sub : t -> off:int -> len:int -> int array
+
+val poke : t -> int -> int -> unit
+(** Out-of-band mutation for fault injectors (cold-region bit flips):
+    bypasses the hook and the write accounting, because it models
+    corruption rather than a write the program performed. *)
 
 val words_written : t -> int
 (** Lifetime count of words written, for cost accounting. *)

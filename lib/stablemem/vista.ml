@@ -4,25 +4,79 @@
     or system calls: updates to the mapped region are trapped and their
     before-images appended to a persistent undo log; commit atomically
     discards the undo log; recovery (or abort) applies it backwards
-    (paper §3; Lowell & Chen, SOSP'97).  A crash in the middle of a
-    transaction therefore leaves the region recoverable to its state at
-    the last commit — the property Discount Checking's checkpoints rely
-    on, and one our tests exercise directly. *)
+    (paper §3; Lowell & Chen, SOSP'97).
 
-type undo_record = { off : int; before : int array }
+    The undo log lives IN the region, laid out in words, so the
+    persisted words are the sole input to recovery: {!recover} rebuilds
+    the record list from region contents and replays it, and works just
+    as well on a freshly created [t] over an old region (a process that
+    lost all its heap state in a crash).  A crash between any two word
+    writes leaves the region recoverable to its state at the last
+    commit — the property Discount Checking's checkpoints rely on, and
+    one the torture harness ({!Ft_harness.Torture}) checks exhaustively.
+
+    Region layout (data area first, log area after it):
+
+    {v
+      [0, data_words)                the transactional data area
+      [data_words, size)             the log area:
+        log+0   record-area words in use   (the atomic commit point)
+        log+1   commits counter
+        log+2   aborts counter
+        log+3.. records, each  [off; len; before_0 .. before_{len-1}]
+    v}
+
+    Crash-safety rests on write ordering, checked by the torture
+    harness:
+    - a record's body is written BEFORE the header word publishes it, so
+      a crash mid-append leaves an unpublished (ignored) record;
+    - the data words are only updated after their record is published,
+      so a torn data write is always covered by a complete before-image;
+    - commit transactionally bumps the commits counter (its before-image
+      is logged) and then discards the log with the single word write
+      [count := 0] — the atomic commit point;
+    - recovery is idempotent: replaying before-images rewrites the same
+      words, the aborts counter is derived from post-replay contents,
+      and the log is only discarded last, so a crash during recovery
+      just makes the next recovery start over. *)
 
 type t = {
   region : Rio.t;
-  mutable undo_log : undo_record list;  (* newest first *)
+  data_words : int;  (* log area starts here *)
   mutable in_tx : bool;
-  mutable commits : int;
-  mutable aborts : int;
+  mutable defect : defect option;
 }
 
-let create region = { region; undo_log = []; in_tx = false;
-                      commits = 0; aborts = 0 }
+and defect = Publish_header_first
+
+(* Header word offsets within the log area. *)
+let hdr_count = 0
+let hdr_commits = 1
+let hdr_aborts = 2
+let hdr_words = 3
+
+let log_overhead_words = hdr_words
+
+(* Words of log a transactional write of [len] words consumes. *)
+let record_words ~len = len + 2
+
+let create ?(data_words = -1) region =
+  let size = Rio.size region in
+  let data_words = if data_words < 0 then size / 2 else data_words in
+  if data_words < 0 || data_words + hdr_words > size then
+    invalid_arg "Vista.create: no room for the log area";
+  { region; data_words; in_tx = false; defect = None }
 
 let region t = t.region
+let data_words t = t.data_words
+let inject_defect t d = t.defect <- d
+
+let log_base t = t.data_words
+let rec_base t = t.data_words + hdr_words
+
+let commits t = Rio.read t.region (log_base t + hdr_commits)
+let aborts t = Rio.read t.region (log_base t + hdr_aborts)
+let log_words t = Rio.read t.region (log_base t + hdr_count)
 
 let begin_tx t =
   if t.in_tx then invalid_arg "Vista.begin_tx: transaction already open";
@@ -31,39 +85,96 @@ let begin_tx t =
 let require_tx t name =
   if not t.in_tx then invalid_arg (name ^ ": no open transaction")
 
+(* Append one undo record for [len] words at [off]: body first, then the
+   single header write that publishes it.  (The [Publish_header_first]
+   defect deliberately inverts that order so tests can prove the torture
+   harness catches the resulting unrecoverable crash points.) *)
+let append_record t ~off ~before =
+  let len = Array.length before in
+  let count = log_words t in
+  let base = rec_base t + count in
+  if base + record_words ~len > Rio.size t.region then
+    invalid_arg "Vista: undo log overflow";
+  let publish () =
+    Rio.write t.region (log_base t + hdr_count) (count + record_words ~len)
+  in
+  if t.defect = Some Publish_header_first then publish ();
+  Rio.write t.region base off;
+  Rio.write t.region (base + 1) len;
+  Rio.blit_in t.region ~off:(base + 2) before;
+  if t.defect <> Some Publish_header_first then publish ()
+
 (* Transactional write of a range: log the before-image, then update. *)
 let write_range t ~off src =
   require_tx t "Vista.write_range";
-  let before = Rio.sub t.region ~off ~len:(Array.length src) in
-  t.undo_log <- { off; before } :: t.undo_log;
+  let len = Array.length src in
+  if off < 0 || off + len > t.data_words then
+    invalid_arg "Vista.write_range: outside the data area";
+  append_record t ~off ~before:(Rio.sub t.region ~off ~len);
   Rio.blit_in t.region ~off src
 
 let write_word t ~off v = write_range t ~off [| v |]
 
-(* Atomic commit: discarding the undo log is the commit point. *)
+(* Atomic commit: bump the commits counter under the protection of the
+   undo log, then discard the log.  The single [count := 0] word write
+   is the commit point: crash before it and recovery rolls everything
+   (counter included) back; crash after it and the transaction — counter
+   included — is durable. *)
 let commit t =
   require_tx t "Vista.commit";
-  t.undo_log <- [];
-  t.in_tx <- false;
-  t.commits <- t.commits + 1
+  let c = commits t in
+  append_record t ~off:(log_base t + hdr_commits) ~before:[| c |];
+  Rio.write t.region (log_base t + hdr_commits) (c + 1);
+  Rio.write t.region (log_base t + hdr_count) 0;
+  t.in_tx <- false
 
-(* Abort (or crash recovery): apply before-images newest-first. *)
+(* Rebuild the record list from the published log words, newest first.
+   Only the words below the header count exist; a record partially
+   appended at crash time was never published and is invisible here. *)
+let records_newest_first t =
+  let count = log_words t in
+  let base = rec_base t in
+  let rec scan pos acc =
+    if pos = count then acc
+    else begin
+      let off = Rio.read t.region (base + pos) in
+      let len = Rio.read t.region (base + pos + 1) in
+      if len < 0 || pos + record_words ~len > count then
+        invalid_arg "Vista: corrupt undo log";
+      scan (pos + record_words ~len) ((off, base + pos + 2, len) :: acc)
+    end
+  in
+  scan 0 []
+
+(* Replay the published log backwards and then discard it.  Idempotent
+   until the final [count := 0]: before-image writes are absolute, and
+   the aborts counter is set from its post-replay value rather than
+   read-modify-written, so a crash anywhere inside recovery leaves a
+   state from which recovery simply runs again. *)
+let rollback t =
+  if log_words t > 0 then begin
+    List.iter
+      (fun (off, body, len) ->
+        Rio.blit_in t.region ~off (Rio.sub t.region ~off:body ~len))
+      (records_newest_first t);
+    Rio.write t.region (log_base t + hdr_aborts) (aborts t + 1);
+    Rio.write t.region (log_base t + hdr_count) 0
+  end
+
+(* Abort: apply before-images newest-first.  An empty transaction still
+   counts as an abort. *)
 let abort t =
   require_tx t "Vista.abort";
-  List.iter
-    (fun { off; before } -> Rio.blit_in t.region ~off before)
-    t.undo_log;
-  t.undo_log <- [];
-  t.in_tx <- false;
-  t.aborts <- t.aborts + 1
+  if log_words t > 0 then rollback t
+  else Rio.write t.region (log_base t + hdr_aborts) (aborts t + 1);
+  t.in_tx <- false
 
-(* A simulated crash mid-transaction: recovery runs the undo log just as
-   abort does.  Exposed separately so tests and the engine can model
-   failures during commit. *)
+(* Crash recovery: a pure function of region contents.  A published log
+   means a transaction (possibly a commit) was torn; replay it.  An
+   empty log means the last commit — or nothing at all — completed. *)
 let recover t =
-  if t.in_tx then abort t
+  rollback t;
+  t.in_tx <- false
 
 let in_tx t = t.in_tx
-let undo_log_length t = List.length t.undo_log
-let commits t = t.commits
-let aborts t = t.aborts
+let undo_records t = List.length (records_newest_first t)

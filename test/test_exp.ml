@@ -98,6 +98,29 @@ let test_pool_timeout () =
         (String.length error >= 7 && String.sub error 0 7 = "timeout")
   | _ -> Alcotest.fail "slow job not timed out / fast job affected"
 
+let test_pool_timeout_per_attempt () =
+  (* The first attempt fails fast; the retry succeeds but takes most of
+     the limit.  Measured cumulatively the two attempts overrun the
+     timeout — the clock must restart for each attempt, so the job is
+     [Done], not a spurious timeout failure. *)
+  let tries = Atomic.make 0 in
+  let jobs =
+    [
+      Ft_exp.Job.make ~key:"flaky-slow" ~seed:0 (fun () ->
+          if Atomic.fetch_and_add tries 1 = 0 then begin
+            Unix.sleepf 0.06;
+            failwith "first attempt"
+          end;
+          Unix.sleepf 0.06;
+          Ft_exp.Jstore.Bool true);
+    ]
+  in
+  match Ft_exp.Pool.run ~workers:1 ~timeout_s:0.1 ~retries:1 jobs with
+  | [ (_, Ft_exp.Pool.Done (Ft_exp.Jstore.Bool true), _) ] -> ()
+  | [ (_, Ft_exp.Pool.Failed { error; _ }, _) ] ->
+      Alcotest.failf "within-limit retry misreported: %s" error
+  | _ -> Alcotest.fail "unexpected pool result shape"
+
 (* --- jstore --------------------------------------------------------------- *)
 
 let value_gen =
@@ -346,6 +369,8 @@ let tests =
       test_pool_contains_failures;
     Alcotest.test_case "pool retry recovers" `Quick test_pool_retry_recovers;
     Alcotest.test_case "pool timeout" `Quick test_pool_timeout;
+    Alcotest.test_case "pool timeout is per attempt" `Quick
+      test_pool_timeout_per_attempt;
     QCheck_alcotest.to_alcotest prop_jstore_roundtrip;
     Alcotest.test_case "jstore rejects garbage" `Quick
       test_jstore_rejects_garbage;

@@ -223,6 +223,77 @@ let prop_injection_always_terminates =
           | Ft_runtime.Engine.Deadline | Ft_runtime.Engine.Deadlocked ->
               false))
 
+(* --- stable-memory injector --------------------------------------------- *)
+
+let test_mem_injector_counts_and_tears () =
+  let r = Ft_stablemem.Rio.create ~size:64 in
+  let inj = Ft_faults.Mem_injector.attach r in
+  Ft_stablemem.Rio.write r 0 1;
+  Ft_stablemem.Rio.blit_in r ~off:1 [| 2; 3; 4 |];
+  Alcotest.(check int) "blit counts word by word" 4
+    (Ft_faults.Mem_injector.writes inj);
+  (* tear a blit: two of five words persist, the rest never land *)
+  Ft_faults.Mem_injector.arm_crash inj ~after:6;
+  (try Ft_stablemem.Rio.blit_in r ~off:10 [| 7; 7; 7; 7; 7 |] with
+  | Ft_stablemem.Rio.Crash_point _ -> ());
+  Alcotest.(check (list int)) "torn blit"
+    [ 7; 7; 0; 0; 0 ]
+    (Array.to_list (Ft_stablemem.Rio.sub r ~off:10 ~len:5));
+  Alcotest.(check bool) "one-shot crash disarmed" false
+    (Ft_faults.Mem_injector.armed inj)
+
+let test_mem_injector_sticky_and_reset () =
+  let r = Ft_stablemem.Rio.create ~size:16 in
+  let inj = Ft_faults.Mem_injector.attach r in
+  Ft_stablemem.Rio.write r 0 1;
+  Ft_stablemem.Rio.write r 1 1;
+  Ft_faults.Mem_injector.arm_crash ~sticky:true inj ~after:2;
+  let crashes = ref 0 in
+  for _ = 1 to 3 do
+    try Ft_stablemem.Rio.write r 2 9 with
+    | Ft_stablemem.Rio.Crash_point _ -> incr crashes
+  done;
+  Alcotest.(check int) "sticky keeps firing" 3 !crashes;
+  Alcotest.(check int) "refused writes never landed" 0
+    (Ft_stablemem.Rio.read r 2);
+  (* a reset opens a fresh window: the armed threshold is ahead again *)
+  Ft_faults.Mem_injector.reset inj;
+  Ft_stablemem.Rio.write r 2 9;
+  Alcotest.(check int) "post-reset write lands" 9
+    (Ft_stablemem.Rio.read r 2);
+  Ft_faults.Mem_injector.disarm inj;
+  Alcotest.(check bool) "disarmed" false (Ft_faults.Mem_injector.armed inj)
+
+let test_mem_injector_flips_only_cold_words () =
+  let r = Ft_stablemem.Rio.create ~size:32 in
+  let inj = Ft_faults.Mem_injector.attach r in
+  for off = 0 to 15 do
+    Ft_stablemem.Rio.write r off 1000
+  done;
+  let flipped = Ft_faults.Mem_injector.flip_cold_bits inj ~seed:7 ~flips:4 in
+  Alcotest.(check bool) "flips requested count" true (List.length flipped > 0);
+  List.iter
+    (fun off ->
+      Alcotest.(check bool) "flip landed in a cold word" true (off >= 16);
+      Alcotest.(check bool) "bit actually flipped" true
+        (Ft_stablemem.Rio.read r off <> 0))
+    flipped;
+  for off = 0 to 15 do
+    Alcotest.(check int) "hot words untouched" 1000
+      (Ft_stablemem.Rio.read r off)
+  done;
+  (* corruption is not a program write *)
+  Alcotest.(check int) "flips not accounted" 16
+    (Ft_faults.Mem_injector.writes inj);
+  (* deterministic: the same seed flips the same offsets *)
+  let r2 = Ft_stablemem.Rio.create ~size:32 in
+  let inj2 = Ft_faults.Mem_injector.attach r2 in
+  for off = 0 to 15 do
+    Ft_stablemem.Rio.write r2 off 1000
+  done;
+  Alcotest.(check (list int)) "replayable from seed" flipped
+    (Ft_faults.Mem_injector.flip_cold_bits inj2 ~seed:7 ~flips:4)
+
 let tests =
   [
     Alcotest.test_case "plans exist per type" `Quick test_plans_exist_per_type;
@@ -239,6 +310,12 @@ let tests =
       test_os_weights_follow_usage;
     Alcotest.test_case "os stop failure recovers" `Quick
       test_os_fault_stop_failure_recovers;
+    Alcotest.test_case "mem injector counts and tears" `Quick
+      test_mem_injector_counts_and_tears;
+    Alcotest.test_case "mem injector sticky and reset" `Quick
+      test_mem_injector_sticky_and_reset;
+    Alcotest.test_case "mem injector cold-bit flips" `Quick
+      test_mem_injector_flips_only_cold_words;
     QCheck_alcotest.to_alcotest prop_injection_always_terminates;
   ]
 

@@ -132,6 +132,57 @@ let test_protocol_space_render () =
          contains 0))
     [ "CAND"; "CPVS"; "Hypervisor"; "Manetho" ]
 
+(* --- crash-point torture -------------------------------------------------- *)
+
+(* Small enough to explore every crash point in-test. *)
+let small_scenario =
+  { Ft_harness.Torture.default_scenario with
+    heap_words = 256;
+    dirty_pages = 2;
+    stack_depth = 8 }
+
+let test_torture_all_points_clean () =
+  let rep =
+    Ft_harness.Torture.run ~quiet:true ~points:Ft_harness.Torture.All
+      small_scenario
+  in
+  Alcotest.(check bool) "commit has crash points" true
+    (rep.Ft_harness.Torture.total_writes > 0);
+  Alcotest.(check int) "every point explored"
+    rep.Ft_harness.Torture.requested rep.Ft_harness.Torture.explored;
+  Alcotest.(check int) "no violations" 0
+    (List.length rep.Ft_harness.Torture.violations);
+  (* only the no-crash endpoint commits; every interception rolls back *)
+  Alcotest.(check int) "exactly one committed endpoint" 1
+    rep.Ft_harness.Torture.committed;
+  Alcotest.(check int) "the rest rolled back"
+    (rep.Ft_harness.Torture.explored - 1)
+    rep.Ft_harness.Torture.rolled_back
+
+let test_torture_catches_defect () =
+  (* Publishing the record header before its body makes a mid-record
+     crash replay garbage before-images: the checker must see hybrids. *)
+  let rep =
+    Ft_harness.Torture.run ~quiet:true
+      ~defect:Ft_stablemem.Vista.Publish_header_first
+      ~points:Ft_harness.Torture.All small_scenario
+  in
+  Alcotest.(check bool) "defect caught" true
+    (List.length rep.Ft_harness.Torture.violations > 0)
+
+let test_torture_sample_reproducible () =
+  let run () =
+    Ft_harness.Torture.run ~quiet:true
+      ~points:(Ft_harness.Torture.Sample 12) small_scenario
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same explored" a.Ft_harness.Torture.explored
+    b.Ft_harness.Torture.explored;
+  Alcotest.(check int) "sample of the requested size" 12
+    a.Ft_harness.Torture.requested;
+  Alcotest.(check int) "clean sample" 0
+    (List.length a.Ft_harness.Torture.violations)
+
 let tests =
   [
     Alcotest.test_case "figure8 nvi shape" `Slow test_figure8_nvi_shape;
@@ -145,6 +196,12 @@ let tests =
     Alcotest.test_case "report renderer" `Quick test_report_renderer;
     Alcotest.test_case "protocol space render" `Quick
       test_protocol_space_render;
+    Alcotest.test_case "torture all points clean" `Slow
+      test_torture_all_points_clean;
+    Alcotest.test_case "torture catches ordering defect" `Slow
+      test_torture_catches_defect;
+    Alcotest.test_case "torture sample reproducible" `Quick
+      test_torture_sample_reproducible;
   ]
 
 let () = Alcotest.run "ft_harness" [ ("harness", tests) ]

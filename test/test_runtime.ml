@@ -403,9 +403,140 @@ let test_recovery_cap_gives_up () =
   Alcotest.(check int) "two recovery attempts" 2
     r.Ft_runtime.Engine.recoveries
 
+let test_recoveries_reset_on_progress () =
+  (* Three separate kills, a budget of two attempts: each recovery is
+     followed by real progress (CPVS commits past the restore point), so
+     the attempt counter must reset and the run complete.  Before the
+     reset existed, the third kill tripped the cap even though every
+     failure was transient. *)
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      max_recovery_attempts = 2;
+      (* a short reboot, so each kill lands during live execution with
+         committed progress in between rather than piling up while the
+         clock sits inside the first 30 s reboot *)
+      reboot_delay_ns = 1_000;
+      (* spaced wider than one replay cycle (1 ms think-time per input),
+         so a fresh commit lands between consecutive kills *)
+      kills = [ (2_100_000, 0); (4_600_000, 0); (7_100_000, 0) ] }
+  in
+  let r = run_echo ~cfg () in
+  Alcotest.(check int) "three crashes" 3 r.Ft_runtime.Engine.crashes;
+  Alcotest.(check bool) "completed: transient failures never hit the cap"
+    true (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check bool) "consistent" true
+    (Ft_core.Consistency.is_consistent ~reference:expected_output
+       ~observed:r.Ft_runtime.Engine.visible)
+
+(* The engine's own vista/region, for commit/restore fault injection. *)
+let engine_vista eng =
+  Ft_runtime.Checkpointer.vista (Ft_runtime.Engine.checkpointer eng) ~pid:0
+
+let engine_region eng = Ft_stablemem.Vista.region (engine_vista eng)
+
+(* Probe run: the write index (counted from after checkpoint zero) of
+   the write that completes the first protocol commit — the [count := 0]
+   store into the log-area header.  Crashing a couple of words earlier
+   lands inside that commit with its undo records fully published, so
+   the subsequent rollback is guaranteed to write (and can itself be
+   crash-injected). *)
+let first_commit_end_index =
+  lazy
+    (let code = Ft_vm.Asm.compile echo_program in
+     let kernel = make_kernel () in
+     let eng = Ft_runtime.Engine.create ~kernel ~programs:[| code |] () in
+     let hdr_off = Ft_stablemem.Vista.data_words (engine_vista eng) in
+     let n = ref 0 and boundary = ref (-1) in
+     Ft_stablemem.Rio.set_on_write (engine_region eng)
+       (Some
+          (fun off v ->
+            incr n;
+            if !boundary < 0 && off = hdr_off && v = 0 then boundary := !n));
+     ignore (Ft_runtime.Engine.run eng);
+     Alcotest.(check bool) "probe saw a commit" true (!boundary > 0);
+     !boundary)
+
+let test_commit_crash_recovers () =
+  (* Crash the first protocol commit two words short of its commit point
+     (one-shot): the torn transaction rolls back, the process replays,
+     and the re-executed commit goes through. *)
+  let code = Ft_vm.Asm.compile echo_program in
+  let kernel = make_kernel () in
+  let eng = Ft_runtime.Engine.create ~kernel ~programs:[| code |] () in
+  let inj = Ft_faults.Mem_injector.attach (engine_region eng) in
+  Ft_faults.Mem_injector.arm_crash inj
+    ~after:(Lazy.force first_commit_end_index - 2);
+  let r = Ft_runtime.Engine.run eng in
+  Alcotest.(check int) "one crash" 1 r.Ft_runtime.Engine.crashes;
+  Alcotest.(check int) "restore itself never crashed" 0
+    r.Ft_runtime.Engine.recovery_crashes;
+  Alcotest.(check bool) "completed" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check bool) "consistent" true
+    (Ft_core.Consistency.is_consistent ~reference:expected_output
+       ~observed:r.Ft_runtime.Engine.visible)
+
+let test_restore_crash_retries_then_succeeds () =
+  (* Crash near the end of the first commit (undo records published),
+     then the first word of the rollback replay too: the engine must
+     charge a reboot, retry the restore from the same checkpoint, and
+     finish the run. *)
+  let crash_at = Lazy.force first_commit_end_index - 1 in
+  let code = Ft_vm.Asm.compile echo_program in
+  let kernel = make_kernel () in
+  let eng = Ft_runtime.Engine.create ~kernel ~programs:[| code |] () in
+  let region = engine_region eng in
+  let n = ref 0 and phase = ref 0 in
+  Ft_stablemem.Rio.set_on_write region
+    (Some
+       (fun _ _ ->
+         incr n;
+         if !phase = 0 && !n = crash_at then begin
+           phase := 1;
+           raise (Ft_stablemem.Rio.Crash_point !n)
+         end
+         else if !phase = 1 then begin
+           phase := 2;
+           raise (Ft_stablemem.Rio.Crash_point !n)
+         end));
+  let r = Ft_runtime.Engine.run eng in
+  Alcotest.(check int) "one process crash" 1 r.Ft_runtime.Engine.crashes;
+  Alcotest.(check int) "one restore crash" 1
+    r.Ft_runtime.Engine.recovery_crashes;
+  Alcotest.(check bool) "completed despite the restore crash" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check bool) "consistent" true
+    (Ft_core.Consistency.is_consistent ~reference:expected_output
+       ~observed:r.Ft_runtime.Engine.visible)
+
+let test_restore_crash_sticky_gives_up () =
+  (* A sticky injector keeps crashing every restore attempt: the engine
+     must degrade to Recovery_failed after max_recovery_attempts tries
+     instead of looping forever. *)
+  let code = Ft_vm.Asm.compile echo_program in
+  let kernel = make_kernel () in
+  let eng = Ft_runtime.Engine.create ~kernel ~programs:[| code |] () in
+  let inj = Ft_faults.Mem_injector.attach (engine_region eng) in
+  Ft_faults.Mem_injector.arm_crash ~sticky:true inj
+    ~after:(Lazy.force first_commit_end_index - 2);
+  let r = Ft_runtime.Engine.run eng in
+  Alcotest.(check bool) "gave up" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Recovery_failed);
+  Alcotest.(check int) "every restore attempt crashed"
+    Ft_runtime.Engine.default_config.Ft_runtime.Engine.max_recovery_attempts
+    r.Ft_runtime.Engine.recovery_crashes
+
 let tests =
   [
     Alcotest.test_case "plain run" `Quick test_plain_run;
+    Alcotest.test_case "recoveries reset on progress" `Quick
+      test_recoveries_reset_on_progress;
+    Alcotest.test_case "commit crash recovers" `Quick
+      test_commit_crash_recovers;
+    Alcotest.test_case "restore crash retries" `Quick
+      test_restore_crash_retries_then_succeeds;
+    Alcotest.test_case "restore crash sticky gives up" `Quick
+      test_restore_crash_sticky_gives_up;
     Alcotest.test_case "deadline outcome" `Quick test_deadline_outcome;
     Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
     Alcotest.test_case "instruction budget" `Quick

@@ -1,5 +1,6 @@
-(* Tests for the Rio/Vista/Disk substrate: persistence accounting, undo-log
-   atomicity (including crash-during-commit), and the disk cost model. *)
+(* Tests for the Rio/Vista/Disk substrate: persistence accounting, the
+   write hook, the persisted undo log (including crash-during-commit and
+   recovery from region words alone), and the disk cost model. *)
 
 open Ft_stablemem
 
@@ -20,18 +21,43 @@ let test_rio_bounds () =
     (Invalid_argument "Rio.blit_in: out of range") (fun () ->
       Rio.blit_in r ~off:6 [| 1; 2; 3 |])
 
+let test_rio_write_hook () =
+  (* the hook sees every word, blits included, before it persists; a
+     raising hook aborts the word and everything after it *)
+  let r = Rio.create ~size:16 in
+  let seen = ref [] in
+  Rio.set_on_write r (Some (fun off v -> seen := (off, v) :: !seen));
+  Rio.write r 0 7;
+  Rio.blit_in r ~off:4 [| 1; 2 |];
+  Alcotest.(check (list (pair int int)))
+    "hook saw the word sequence"
+    [ (0, 7); (4, 1); (5, 2) ]
+    (List.rev !seen);
+  Rio.set_on_write r
+    (Some
+       (fun _ _ -> raise (Rio.Crash_point (Rio.words_written r))));
+  (try Rio.blit_in r ~off:8 [| 9; 9 |] with Rio.Crash_point _ -> ());
+  Alcotest.(check int) "intercepted write never landed" 0 (Rio.read r 8);
+  Rio.set_on_write r None;
+  (* poke bypasses both the hook and the accounting *)
+  let before = Rio.words_written r in
+  Rio.poke r 8 5;
+  Alcotest.(check int) "poke landed" 5 (Rio.read r 8);
+  Alcotest.(check int) "poke not accounted" before (Rio.words_written r)
+
 let test_vista_commit () =
-  let r = Rio.create ~size:32 in
+  let r = Rio.create ~size:64 in
   let v = Vista.create r in
   Vista.begin_tx v;
   Vista.write_range v ~off:0 [| 7; 8; 9 |];
   Vista.commit v;
   Alcotest.(check (list int)) "committed" [ 7; 8; 9 ]
     (Array.to_list (Rio.sub r ~off:0 ~len:3));
-  Alcotest.(check int) "one commit" 1 (Vista.commits v)
+  Alcotest.(check int) "one commit" 1 (Vista.commits v);
+  Alcotest.(check int) "log discarded" 0 (Vista.log_words v)
 
 let test_vista_abort_restores () =
-  let r = Rio.create ~size:32 in
+  let r = Rio.create ~size:64 in
   let v = Vista.create r in
   Vista.begin_tx v;
   Vista.write_range v ~off:0 [| 1; 1; 1 |];
@@ -42,11 +68,12 @@ let test_vista_abort_restores () =
   Alcotest.(check int) "mid-tx visible" 99 (Rio.read r 1);
   Vista.abort v;
   Alcotest.(check (list int)) "before-images applied" [ 1; 1; 1 ]
-    (Array.to_list (Rio.sub r ~off:0 ~len:3))
+    (Array.to_list (Rio.sub r ~off:0 ~len:3));
+  Alcotest.(check int) "abort counted" 1 (Vista.aborts v)
 
 let test_vista_crash_mid_commit () =
   (* a crash with an open transaction recovers to the previous state *)
-  let r = Rio.create ~size:32 in
+  let r = Rio.create ~size:64 in
   let v = Vista.create r in
   Vista.begin_tx v;
   Vista.write_range v ~off:4 [| 5; 5 |];
@@ -59,8 +86,39 @@ let test_vista_crash_mid_commit () =
     (Array.to_list (Rio.sub r ~off:4 ~len:2));
   Alcotest.(check bool) "no open tx" false (Vista.in_tx v)
 
+let test_vista_recovery_from_region_alone () =
+  (* the undo log lives in the region: a FRESH Vista over the old region
+     (a process that lost all heap state) recovers identically, and the
+     persisted counters survive with it *)
+  let r = Rio.create ~size:64 in
+  let v = Vista.create r in
+  Vista.begin_tx v;
+  Vista.write_range v ~off:0 [| 3; 4; 5 |];
+  Vista.commit v;
+  Vista.begin_tx v;
+  Vista.write_range v ~off:0 [| 8; 8; 8 |];
+  (* crash: [v] and its heap state are gone; only [r]'s words remain *)
+  let v2 = Vista.create r in
+  Alcotest.(check int) "commit counter persisted" 1 (Vista.commits v2);
+  Alcotest.(check bool) "torn tx visible in the log" true
+    (Vista.undo_records v2 > 0);
+  Vista.recover v2;
+  Alcotest.(check (list int)) "recovered from words alone" [ 3; 4; 5 ]
+    (Array.to_list (Rio.sub r ~off:0 ~len:3));
+  Alcotest.(check int) "rollback counted as abort" 1 (Vista.aborts v2)
+
+let test_vista_outside_data_area_rejected () =
+  let r = Rio.create ~size:64 in
+  let v = Vista.create r in
+  (* default data area is half the region *)
+  Alcotest.(check int) "default data area" 32 (Vista.data_words v);
+  Vista.begin_tx v;
+  Alcotest.check_raises "log area protected"
+    (Invalid_argument "Vista.write_range: outside the data area")
+    (fun () -> Vista.write_range v ~off:31 [| 1; 2 |])
+
 let test_vista_nesting_rejected () =
-  let v = Vista.create (Rio.create ~size:8) in
+  let v = Vista.create (Rio.create ~size:16) in
   Vista.begin_tx v;
   Alcotest.check_raises "no nesting"
     (Invalid_argument "Vista.begin_tx: transaction already open") (fun () ->
@@ -78,16 +136,17 @@ let test_disk_costs () =
     (Disk.write_cost Disk.fast ~words:100 < Disk.write_cost d ~words:100)
 
 (* qcheck: any interleaving of committed and aborted transactions leaves
-   the region equal to replaying only the committed ones. *)
+   the data area equal to replaying only the committed ones. *)
 let prop_vista_atomicity =
   QCheck.Test.make ~name:"aborted transactions leave no trace" ~count:200
     QCheck.(
       list_of_size (QCheck.Gen.int_bound 20)
         (triple (0 -- 27) (0 -- 100) bool))
     (fun ops ->
-      let r = Rio.create ~size:32 in
+      let r = Rio.create ~size:64 in
       let v = Vista.create r in
-      let model = Array.make 32 0 in
+      let data = Vista.data_words v in
+      let model = Array.make data 0 in
       List.iter
         (fun (off, value, commit) ->
           Vista.begin_tx v;
@@ -99,19 +158,89 @@ let prop_vista_atomicity =
           end
           else Vista.abort v)
         ops;
-      Array.to_list (Rio.sub r ~off:0 ~len:32) = Array.to_list model)
+      Array.to_list (Rio.sub r ~off:0 ~len:data) = Array.to_list model)
+
+(* qcheck: arbitrary transactional writes, then a crash after an
+   arbitrary number of persisted word writes inside commit.  Recovery —
+   through a fresh Vista, from region words alone — must restore exactly
+   the last committed image, commits and aborts counters included. *)
+let prop_crash_point_atomicity =
+  QCheck.Test.make
+    ~name:"any crash point inside commit recovers the committed image"
+    ~count:300
+    QCheck.(
+      triple
+        (list_of_size (QCheck.Gen.int_bound 6)
+           (triple (0 -- 27) (1 -- 1000) bool))
+        (list_of_size (QCheck.Gen.int_bound 6) (pair (0 -- 27) (1 -- 1000)))
+        (0 -- 200))
+    (fun (history, final_writes, crash_after) ->
+      let r = Rio.create ~size:256 in
+      let v = Vista.create ~data_words:32 r in
+      let model = Array.make 32 0 in
+      List.iter
+        (fun (off, value, commit) ->
+          Vista.begin_tx v;
+          Vista.write_range v ~off [| value; value + 1 |];
+          if commit then begin
+            Vista.commit v;
+            model.(off) <- value;
+            model.(off + 1) <- value + 1
+          end
+          else Vista.abort v)
+        history;
+      let commits_before = Vista.commits v and aborts_before = Vista.aborts v in
+      (* the final transaction, with a crash armed inside commit *)
+      Vista.begin_tx v;
+      List.iter
+        (fun (off, value) -> Vista.write_range v ~off [| value; value |])
+        final_writes;
+      let writes = ref 0 in
+      Rio.set_on_write r
+        (Some
+           (fun _ _ ->
+             if !writes >= crash_after then raise (Rio.Crash_point !writes);
+             incr writes));
+      let crashed =
+        match Vista.commit v with
+        | () -> false
+        | exception Rio.Crash_point _ -> true
+      in
+      Rio.set_on_write r None;
+      let committed = Vista.commits v > commits_before in
+      (* recovery is a pure function of region words *)
+      let v2 = Vista.create ~data_words:32 r in
+      let log_was_published = Vista.log_words v2 > 0 in
+      Vista.recover v2;
+      if committed && not crashed then
+        (* commit point passed before the armed crash *)
+        List.iter
+          (fun (off, value) ->
+            model.(off) <- value;
+            model.(off + 1) <- value)
+          final_writes;
+      Array.to_list (Rio.sub r ~off:0 ~len:32) = Array.to_list model
+      && Vista.commits v2 = commits_before + (if crashed then 0 else 1)
+      && Vista.aborts v2
+         = aborts_before + (if crashed && log_was_published then 1 else 0))
 
 let tests =
   [
     Alcotest.test_case "rio basics" `Quick test_rio_basics;
     Alcotest.test_case "rio bounds" `Quick test_rio_bounds;
+    Alcotest.test_case "rio write hook" `Quick test_rio_write_hook;
     Alcotest.test_case "vista commit" `Quick test_vista_commit;
     Alcotest.test_case "vista abort" `Quick test_vista_abort_restores;
     Alcotest.test_case "vista crash mid-commit" `Quick
       test_vista_crash_mid_commit;
+    Alcotest.test_case "vista recovery from region alone" `Quick
+      test_vista_recovery_from_region_alone;
+    Alcotest.test_case "vista data-area bounds" `Quick
+      test_vista_outside_data_area_rejected;
     Alcotest.test_case "vista nesting" `Quick test_vista_nesting_rejected;
     Alcotest.test_case "disk costs" `Quick test_disk_costs;
     QCheck_alcotest.to_alcotest prop_vista_atomicity;
+    QCheck_alcotest.to_alcotest prop_crash_point_atomicity;
   ]
 
 let () = Alcotest.run "ft_stablemem" [ ("stablemem", tests) ]
