@@ -363,6 +363,34 @@ let micro_checkpoint =
          Sys.opaque_identity
            (Ft_runtime.Checkpointer.commit ck ~pid:0 ~machine:m ~kstate)))
 
+(* The model checker's DFS over a small bound: one complete exhaustive
+   exploration (schedules x crash points, memoized) per run. *)
+let micro_mc_dfs =
+  let program = Ft_mc.Model.default_program ~nprocs:2 ~depth:5 in
+  Test.make ~name:"micro_mc_dfs_2x5"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Ft_mc.Checker.check ~spec:Ft_core.Protocols.cpvs
+              ~defect:Ft_mc.Model.Honest ~program ())))
+
+(* Checker throughput in model states per second, the unit DESIGN.md
+   quotes for exploration budgets. *)
+let mc_throughput () =
+  print_string
+    (Ft_harness.Report.section "Model checker throughput (states/sec)");
+  let program = Ft_mc.Model.default_program ~nprocs:2 ~depth:6 in
+  List.iter
+    (fun spec ->
+      let t0 = Unix.gettimeofday () in
+      let s = Ft_mc.Checker.check ~spec ~defect:Ft_mc.Model.Honest ~program () in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "%-12s %5d nodes %6d runs %8d steps in %6.3fs = %9.0f states/s\n"
+        spec.Ft_core.Protocol.spec_name s.Ft_mc.Checker.nodes
+        s.Ft_mc.Checker.runs s.Ft_mc.Checker.steps dt
+        (float_of_int s.Ft_mc.Checker.nodes /. dt))
+    Ft_core.Protocols.figure8
+
 let tests =
   [
     fig3; fig8a; fig8b; fig8c; fig8d; fig8d_tree; table1_bench;
@@ -370,7 +398,7 @@ let tests =
     ablation_medium; ablation_page_size 16; ablation_page_size 256;
     ablation_crash_early 1; ablation_crash_early 32; micro_save_work;
     micro_dangerous; micro_vm; micro_vista_persisted_log;
-    micro_vista_heap_list; micro_checkpoint;
+    micro_vista_heap_list; micro_checkpoint; micro_mc_dfs;
     micro_pool_dispatch 1; micro_pool_dispatch (Ft_exp.Pool.default_workers ());
     micro_jstore_roundtrip;
   ]
@@ -401,5 +429,6 @@ let run_benchmarks () =
 let () =
   regenerate ();
   pool_speedup ();
+  mc_throughput ();
   run_benchmarks ();
   print_endline "\nbench: done."

@@ -171,6 +171,161 @@ let run_ablation opts =
   print_string (Ft_harness.Ablation.render_records lookup);
   `Ok ()
 
+(* Bounded model checking: every schedule x every crash point of a
+   small program, per protocol, plus the mutant suite that keeps the
+   checker honest.  Exits non-zero on any honest-protocol violation, on
+   any surviving mutant, and on sweep jobs that died without a verdict,
+   so CI can gate on it. *)
+let run_mc nprocs depth proto_names mutants no_prune engine_xcheck opts =
+  let bad = ref [] in
+  let specs =
+    match proto_names with
+    | [] -> Ft_core.Protocols.figure8
+    | names ->
+        List.filter_map
+          (fun n ->
+            match Ft_core.Protocols.by_name n with
+            | Some s -> Some s
+            | None ->
+                bad := n :: !bad;
+                None)
+          names
+  in
+  if !bad <> [] then
+    `Error (false, "unknown protocol(s): " ^ String.concat ", " !bad)
+  else begin
+    let program = Ft_mc.Model.default_program ~nprocs ~depth in
+    let honest_jobs =
+      Ft_mc.Checker.jobs ~no_prune
+        ~specs:(List.map (fun s -> (s, Ft_mc.Model.Honest)) specs)
+        ~program ()
+    in
+    let mutant_jobs =
+      if not mutants then []
+      else
+        Ft_mc.Checker.jobs ~no_prune ~lose_work:false
+          ~specs:
+            (List.map
+               (fun m -> (m.Ft_mc.Mutants.spec, m.Ft_mc.Mutants.defect))
+               Ft_mc.Mutants.all)
+          ~program ()
+    in
+    let xcheck_jobs =
+      if engine_xcheck then Ft_mc.Engine_xcheck.jobs ~specs () else []
+    in
+    let lookup =
+      sweep opts ~name:"mc" (honest_jobs @ mutant_jobs @ xcheck_jobs)
+    in
+    let missing = ref 0 in
+    let stats_of jobs =
+      List.fold_left
+        (fun acc j ->
+          match Option.bind (lookup j.Ft_exp.Job.key)
+                  Ft_mc.Checker.stats_of_value
+          with
+          | Some s -> Ft_mc.Checker.add_stats acc s
+          | None ->
+              incr missing;
+              acc)
+        Ft_mc.Checker.zero_stats jobs
+    in
+    Printf.printf "Model checker: %d procs x %d events, program %s\n" nprocs
+      depth
+      (String.sub (Ft_mc.Model.program_digest program) 0 12);
+    Printf.printf "%-12s %8s %8s %8s %10s %6s\n" "protocol" "nodes" "runs"
+      "memo" "steps" "viol";
+    let honest_viol = ref 0 in
+    List.iter
+      (fun spec ->
+        let jobs =
+          Ft_mc.Checker.jobs ~no_prune
+            ~specs:[ (spec, Ft_mc.Model.Honest) ]
+            ~program ()
+        in
+        let s = stats_of jobs in
+        let nviol = List.length s.Ft_mc.Checker.violations in
+        honest_viol := !honest_viol + nviol;
+        Printf.printf "%-12s %8d %8d %8d %10d %6d\n"
+          spec.Ft_core.Protocol.spec_name s.Ft_mc.Checker.nodes
+          s.Ft_mc.Checker.runs s.Ft_mc.Checker.memo_hits
+          s.Ft_mc.Checker.steps nviol;
+        List.iteri
+          (fun i v ->
+            if i < 3 then
+              Printf.printf "    %s at sched=%s crash=%s: %s\n"
+                (Ft_mc.Checker.oracle_to_string v.Ft_mc.Checker.v_oracle)
+                (Ft_mc.Checker.prefix_to_string v.Ft_mc.Checker.v_prefix)
+                (Ft_mc.Checker.crash_to_string v.Ft_mc.Checker.v_crash)
+                v.Ft_mc.Checker.v_detail)
+          s.Ft_mc.Checker.violations)
+      specs;
+    let surviving = ref [] in
+    if mutants then begin
+      print_newline ();
+      print_endline "Mutant suite (every mutant must be killed):";
+      List.iter
+        (fun m ->
+          let jobs =
+            Ft_mc.Checker.jobs ~no_prune ~lose_work:false
+              ~specs:[ (m.Ft_mc.Mutants.spec, m.Ft_mc.Mutants.defect) ]
+              ~program ()
+          in
+          let s = stats_of jobs in
+          match s.Ft_mc.Checker.violations with
+          | [] ->
+              surviving := m.Ft_mc.Mutants.mutant_name :: !surviving;
+              Printf.printf "  %-22s SURVIVED (expected: %s)\n"
+                m.Ft_mc.Mutants.mutant_name m.Ft_mc.Mutants.expected
+          | v :: _ ->
+              let r =
+                Ft_mc.Shrink.minimize ~lose_work:false
+                  ~spec:m.Ft_mc.Mutants.spec ~defect:m.Ft_mc.Mutants.defect
+                  ~program v
+              in
+              Printf.printf
+                "  %-22s killed by %s (%d violations); shrunk repro:\n"
+                m.Ft_mc.Mutants.mutant_name
+                (Ft_mc.Checker.oracle_to_string v.Ft_mc.Checker.v_oracle)
+                (List.length s.Ft_mc.Checker.violations);
+              String.split_on_char '\n'
+                (Ft_mc.Shrink.to_script ~spec:m.Ft_mc.Mutants.spec r)
+              |> List.iter (fun l -> Printf.printf "    | %s\n" l))
+        Ft_mc.Mutants.all
+    end;
+    let xcheck_failures = ref 0 in
+    if engine_xcheck then begin
+      print_newline ();
+      print_endline "Engine cross-check (real VM + kernel + checkpointer):";
+      List.iter
+        (fun j ->
+          match Option.bind (lookup j.Ft_exp.Job.key)
+                  Ft_mc.Engine_xcheck.stats_of_value
+          with
+          | Some s ->
+              xcheck_failures :=
+                !xcheck_failures + List.length s.Ft_mc.Engine_xcheck.x_failures;
+              Printf.printf "  %-40s runs=%5d kills=%5d failures=%d\n"
+                j.Ft_exp.Job.key s.Ft_mc.Engine_xcheck.x_runs
+                s.Ft_mc.Engine_xcheck.x_kills
+                (List.length s.Ft_mc.Engine_xcheck.x_failures);
+              List.iteri
+                (fun i f -> if i < 3 then Printf.printf "    %s\n" f)
+                s.Ft_mc.Engine_xcheck.x_failures
+          | None -> incr missing)
+        xcheck_jobs
+    end;
+    if !honest_viol > 0 then
+      `Error (false, "model checker found protocol violations")
+    else if !surviving <> [] then
+      `Error
+        (false, "surviving mutants: " ^ String.concat ", " !surviving)
+    else if !xcheck_failures > 0 then
+      `Error (false, "engine cross-check failures")
+    else if !missing > 0 then
+      `Error (false, "sweep jobs died without a verdict")
+    else `Ok ()
+  end
+
 (* Run one application under one protocol and print the run's vitals. *)
 let run_single app_name proto_name medium_name seed scale kills_ms =
   match
@@ -343,6 +498,43 @@ let ablation_cmd =
   Cmd.v (Cmd.info "ablation" ~doc:"Run the DESIGN.md ablations (2.6).")
     Term.(ret (const run_ablation $ sweep_opts_term))
 
+let mc_cmd =
+  let procs_arg =
+    Arg.(value & opt int 2
+         & info [ "procs" ] ~doc:"Number of model processes.")
+  in
+  let depth_arg =
+    Arg.(value & opt int 6
+         & info [ "depth" ] ~doc:"Events per process.")
+  in
+  let proto_arg =
+    Arg.(value & opt_all string []
+         & info [ "protocol" ]
+             ~doc:"Protocol to check (repeatable; default: all of Figure 8).")
+  in
+  let mutants_arg =
+    Arg.(value & flag
+         & info [ "mutants" ]
+             ~doc:"Also run the mutant suite; a surviving mutant fails the \
+                   run.")
+  in
+  let no_prune_arg =
+    Arg.(value & flag
+         & info [ "no-prune" ] ~doc:"Disable state-hash memoization.")
+  in
+  let xcheck_arg =
+    Arg.(value & flag
+         & info [ "engine-xcheck" ]
+             ~doc:"Cross-check schedules and crash points on the real \
+                   runtime engine.")
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:"Model-check every schedule and crash point of a small program.")
+    Term.(ret
+            (const run_mc $ procs_arg $ depth_arg $ proto_arg $ mutants_arg
+            $ no_prune_arg $ xcheck_arg $ sweep_opts_term))
+
 let run_cmd =
   let app_arg =
     Arg.(value & opt string "nvi" & info [ "app" ] ~doc:"Application.")
@@ -388,4 +580,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ space_cmd; figure8_cmd; table1_cmd; table2_cmd; analysis_cmd;
-            ablation_cmd; torture_cmd; run_cmd; disasm_cmd; all_cmd ]))
+            ablation_cmd; torture_cmd; mc_cmd; run_cmd; disasm_cmd; all_cmd ]))

@@ -100,3 +100,82 @@ let upholds_save_work spec ~nprocs script =
 
 let violations spec ~nprocs script =
   Save_work.violations (run spec ~nprocs script)
+
+(* --- replayable scripts -------------------------------------------------- *)
+
+(* One step per line: "p<pid> <op>".  The format is the interchange
+   language between the model checker's shrunk counterexamples and this
+   module's [run]: anything the checker prints can be replayed. *)
+let step_to_string { pid; info } =
+  let op =
+    match info.Protocol.kind with
+    | Event.Internal -> "internal"
+    | Event.Nd c ->
+        Printf.sprintf "nd %s%s"
+          (match c with Event.Transient -> "transient" | Event.Fixed -> "fixed")
+          (if info.Protocol.loggable then " loggable" else "")
+    | Event.Visible v -> Printf.sprintf "visible %d" v
+    | Event.Send { dest; _ } -> Printf.sprintf "send %d" dest
+    | Event.Receive _ -> "recv"
+    | Event.Commit -> "commit"
+    | Event.Commit_round r -> Printf.sprintf "commit-round %d" r
+    | Event.Crash -> "crash"
+  in
+  Printf.sprintf "p%d %s" pid op
+
+let steps_to_string steps =
+  String.concat "" (List.map (fun s -> step_to_string s ^ "\n") steps)
+
+let step_of_tokens = function
+  | [ "internal" ] -> Ok { Protocol.kind = Event.Internal; loggable = false }
+  | "nd" :: cls :: rest -> (
+      let loggable =
+        match rest with
+        | [] -> Ok false
+        | [ "loggable" ] -> Ok true
+        | _ -> Error "trailing tokens after nd class"
+      in
+      match (cls, loggable) with
+      | _, Error e -> Error e
+      | "transient", Ok l ->
+          Ok { Protocol.kind = Event.Nd Event.Transient; loggable = l }
+      | "fixed", Ok l ->
+          Ok { Protocol.kind = Event.Nd Event.Fixed; loggable = l }
+      | c, _ -> Error (Printf.sprintf "unknown nd class %S" c))
+  | [ "visible"; v ] -> (
+      match int_of_string_opt v with
+      | Some v -> Ok { Protocol.kind = Event.Visible v; loggable = false }
+      | None -> Error ("bad visible value " ^ v))
+  | [ "send"; d ] -> (
+      match int_of_string_opt d with
+      | Some dest ->
+          Ok { Protocol.kind = Event.Send { dest; tag = -1 }; loggable = false }
+      | None -> Error ("bad send destination " ^ d))
+  | [ "recv" ] ->
+      Ok { Protocol.kind = Event.Receive { src = -1; tag = -1 }; loggable = true }
+  | toks -> Error ("unknown step: p? " ^ String.concat " " toks)
+
+let steps_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc (lineno + 1) rest
+        else
+          match String.split_on_char ' ' line with
+          | proc :: toks
+            when String.length proc >= 2 && proc.[0] = 'p'
+                 && int_of_string_opt
+                      (String.sub proc 1 (String.length proc - 1))
+                    <> None -> (
+              let pid =
+                int_of_string (String.sub proc 1 (String.length proc - 1))
+              in
+              match step_of_tokens (List.filter (( <> ) "") toks) with
+              | Ok info -> go (step ~pid info :: acc) (lineno + 1) rest
+              | Error e ->
+                  Error (Printf.sprintf "line %d: %s" lineno e))
+          | _ -> Error (Printf.sprintf "line %d: expected \"p<pid> <op>\"" lineno))
+  in
+  go [] 1 lines

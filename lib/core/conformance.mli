@@ -15,3 +15,20 @@ val run : Protocol.spec -> nprocs:int -> step list -> Trace.t
 val upholds_save_work : Protocol.spec -> nprocs:int -> step list -> bool
 val violations : Protocol.spec -> nprocs:int -> step list ->
   Save_work.violation list
+
+(** {2 Replayable scripts}
+
+    A stable one-step-per-line text form, so counterexamples found by
+    the model checker ({!Ft_mc}) can be printed, stored, and replayed
+    through {!run} later.  [steps_of_string (steps_to_string s) = Ok s]
+    for every script. *)
+
+val step_to_string : step -> string
+(** e.g. ["p0 nd transient"], ["p1 send 0"], ["p0 visible 7"],
+    ["p1 recv"], ["p0 nd fixed loggable"]. *)
+
+val steps_to_string : step list -> string
+
+val steps_of_string : string -> (step list, string) result
+(** Parses the {!steps_to_string} form; blank lines and [#] comment
+    lines are ignored. *)

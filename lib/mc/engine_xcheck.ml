@@ -1,0 +1,190 @@
+(* Cross-validate the abstract checker's verdicts against the real
+   runtime: same properties, real machinery (VM, kernel, checkpointer,
+   rollback, replay), over an enumerated schedule × crash-point space
+   reached through the engine's deterministic scheduling hooks. *)
+
+open Ft_core
+open Ft_vm.Instr
+
+type stats = {
+  x_runs : int;
+  x_kills : int;
+  x_failures : string list;
+}
+
+let zero_stats = { x_runs = 0; x_kills = 0; x_failures = [] }
+
+let add_stats a b =
+  {
+    x_runs = a.x_runs + b.x_runs;
+    x_kills = a.x_kills + b.x_kills;
+    x_failures = a.x_failures @ b.x_failures;
+  }
+
+(* p0, per round i:  v <- v*3 + i; send v to p1; v <- v + reply;
+   print v.  p1, per round: x <- recv; reply 2x + 5.  Unrolled: no
+   loops to go wrong, every syscall a scheduling decision. *)
+let ping_pong ~rounds =
+  let p0 =
+    [ Const (2, 7) ]
+    @ List.concat
+        (List.init rounds (fun i ->
+             [
+               Const (4, 3);
+               Bin (Mul, 2, 2, 4);
+               Const (4, i + 1);
+               Bin (Add, 2, 2, 4);
+               Const (0, 1);
+               Mov (1, 2);
+               Sys Ft_vm.Syscall.Send;
+               Sys Ft_vm.Syscall.Recv;
+               Bin (Add, 2, 2, 0);
+               Mov (0, 2);
+               Sys Ft_vm.Syscall.Write_output;
+             ]))
+    (* a final "done" message keeps p1 alive (blocked receiving) until
+       after p0's last visible: a halted process is correctly left out
+       of 2PC commit rounds, which would orphan its last receive *)
+    @ [ Const (0, 1); Const (1, 999); Sys Ft_vm.Syscall.Send; Halt ]
+  in
+  let p1 =
+    List.concat
+      (List.init rounds (fun _ ->
+           [
+             Sys Ft_vm.Syscall.Recv;
+             Const (4, 2);
+             Bin (Mul, 2, 0, 4);
+             Const (4, 5);
+             Bin (Add, 2, 2, 4);
+             Const (0, 0);
+             Mov (1, 2);
+             Sys Ft_vm.Syscall.Send;
+           ]))
+    @ [ Sys Ft_vm.Syscall.Recv; Halt ]
+  in
+  [| Array.of_list p0; Array.of_list p1 |]
+
+let schedules ~nprocs ~depth =
+  let rec go d =
+    if d = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun s -> List.init nprocs (fun p -> s @ [ p ]))
+        (go (d - 1))
+  in
+  go depth
+
+let run_one ~spec ~programs ~sched ~kill =
+  let kernel = Ft_os.Kernel.create ~seed:42 ~nprocs:2 () in
+  let sched = Array.of_list sched in
+  let decision = ref 0 in
+  let cfg =
+    {
+      Ft_runtime.Engine.default_config with
+      protocol = spec;
+      heap_words = 1_024;
+      stack_words = 256;
+      kill_at_decision = (match kill with None -> [] | Some k -> [ k ]);
+      pick_override =
+        Some
+          (fun candidates ->
+            let d = !decision in
+            incr decision;
+            if d < Array.length sched && List.mem sched.(d) candidates then
+              Some sched.(d)
+            else None);
+    }
+  in
+  snd (Ft_runtime.Engine.execute ~cfg ~kernel ~programs ())
+
+let check ?(rounds = 2) ?(sched_depth = 4) ?(kill_decisions = 10) ~spec () =
+  let programs = ping_pong ~rounds in
+  let runs = ref 0 and kills = ref 0 and failures = ref [] in
+  let fail sched kill what =
+    let k =
+      match kill with
+      | None -> "none"
+      | Some (d, pid) -> Printf.sprintf "d%d:p%d" d pid
+    in
+    failures :=
+      Printf.sprintf "%s sched=%s kill=%s: %s" spec.Protocol.spec_name
+        (String.concat "" (List.map string_of_int sched))
+        k what
+      :: !failures
+  in
+  List.iter
+    (fun sched ->
+      let reference = run_one ~spec ~programs ~sched ~kill:None in
+      incr runs;
+      if reference.Ft_runtime.Engine.outcome <> Ft_runtime.Engine.Completed
+      then fail sched None "kill-free run did not complete"
+      else begin
+        if not (Save_work.holds reference.Ft_runtime.Engine.trace) then
+          fail sched None "save-work violated on the kill-free trace";
+        let ref_visible = reference.Ft_runtime.Engine.visible in
+        for d = 0 to kill_decisions - 1 do
+          for victim = 0 to 1 do
+            let kill = Some (d, victim) in
+            let r = run_one ~spec ~programs ~sched ~kill in
+            incr runs;
+            if r.Ft_runtime.Engine.crashes > 0 then incr kills;
+            if r.Ft_runtime.Engine.outcome <> Ft_runtime.Engine.Completed then
+              fail sched kill "did not complete after recovery"
+            else begin
+              if not (Save_work.holds r.Ft_runtime.Engine.trace) then
+                fail sched kill "save-work violated";
+              if
+                not
+                  (Consistency.is_consistent ~reference:ref_visible
+                     ~observed:r.Ft_runtime.Engine.visible)
+              then fail sched kill "visible output inconsistent with reference"
+            end
+          done
+        done
+      end)
+    (schedules ~nprocs:2 ~depth:sched_depth);
+  { x_runs = !runs; x_kills = !kills; x_failures = List.rev !failures }
+
+(* ---- Exp fan-out -------------------------------------------------------- *)
+
+open Ft_exp
+
+let stats_to_value s =
+  Jstore.Obj
+    [
+      ("runs", Jstore.Int s.x_runs);
+      ("kills", Jstore.Int s.x_kills);
+      ( "failures",
+        Jstore.List (List.map (fun f -> Jstore.String f) s.x_failures) );
+    ]
+
+let stats_of_value v =
+  match Jstore.member "runs" v with
+  | None -> None
+  | Some _ ->
+      let failures =
+        match Jstore.member "failures" v with
+        | Some (Jstore.List l) ->
+            List.filter_map
+              (function Jstore.String s -> Some s | _ -> None)
+              l
+        | _ -> []
+      in
+      Some
+        {
+          x_runs = Jstore.get_int "runs" v;
+          x_kills = Jstore.get_int "kills" v;
+          x_failures = failures;
+        }
+
+let jobs ?(rounds = 2) ?(sched_depth = 4) ?(kill_decisions = 10) ~specs () =
+  List.map
+    (fun spec ->
+      let key =
+        Printf.sprintf "mcx/%s/r%ds%dk%d" spec.Protocol.spec_name rounds
+          sched_depth kill_decisions
+      in
+      Job.make ~key ~seed:0 (fun () ->
+          stats_to_value
+            (check ~rounds ~sched_depth ~kill_decisions ~spec ())))
+    specs

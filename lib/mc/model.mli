@@ -1,0 +1,104 @@
+(** The model checker's small-scope execution model.
+
+    A {e program} is a per-process array of abstract operations (the
+    same event alphabet as {!Ft_core.Conformance}).  The executor runs
+    one interleaving (a {e schedule prefix}) under a protocol, optionally
+    injects a single stop failure — between steps or in the middle of a
+    commit, with Vista's all-or-nothing semantics — performs recovery
+    (rollback of the victim to its last commit, cascading to processes
+    holding messages the rollback un-sends), and completes the run with
+    a canonical round-robin schedule.
+
+    Values are {e lineages}: every non-deterministic draw feeds an
+    accumulator hash per process, message payloads carry the sender's
+    accumulator, and visible values mix the emitter's accumulator — so
+    any lost-and-redrawn non-determinism that leaks into output is
+    detectable by {!Ft_core.Consistency.check} against the surviving
+    lineage's reference run. *)
+
+type op =
+  | Internal
+  | Nd of Ft_core.Event.nd_class * bool  (** class, loggable *)
+  | Visible
+  | Send of int  (** destination pid *)
+  | Receive
+
+type program = op array array  (** [program.(pid).(pc)] *)
+
+val default_program : nprocs:int -> depth:int -> program
+(** A deterministic mix covering every operation class, with message
+    traffic in both directions and ND events ahead of visibles and
+    sends (the Save-work danger patterns). *)
+
+val op_to_string : op -> string
+val program_digest : program -> string
+
+(** Defects of the {e runtime} layers (commit machinery, logger,
+    publisher) under which a protocol executes; the protocol itself can
+    additionally be mutated via its {!Ft_core.Protocol.spec}. *)
+type defect =
+  | Honest
+  | Skip_orphan  (** 2PC participants never commit; only the coordinator *)
+  | Drop_log  (** log writes are lost: replay of a logged event redraws *)
+  | Publish_first
+      (** visible output is published before the protocol's pre-visible
+          commit instead of after it *)
+
+(** The single injected stop failure. *)
+type crash =
+  | No_crash
+  | Stop of int  (** victim pid; crashes after the prefix completes *)
+  | Mid_commit of { landed : bool }
+      (** the process scheduled by the last prefix step crashes inside
+          that step's commit: [landed] selects the Vista-atomic outcome
+          (the whole commit is durable, or none of it) *)
+
+type run = {
+  trace : Ft_core.Trace.t;  (** everything executed, crash included *)
+  prefix_trace : Ft_core.Trace.t;
+      (** the crash-free prefix alone: the Save-work invariant must hold
+          on it — this is the state of the world at the crash instant *)
+  observed : int list;  (** visible values, in order, across the crash *)
+  reference : int list;
+      (** visible values of the surviving lineage's failure-free run *)
+  commit_pcs : (int * int) list;  (** (pid, pc at commit), run order *)
+  crash_pc : (int * int) option;  (** (victim, pc when it crashed) *)
+  last_step_committed : bool;
+      (** the final prefix step performed at least one commit: tells the
+          checker whether [Mid_commit] variants exist at this node *)
+  bindings : ((int * int) * (int * int) option) list;
+      (** surviving receive bindings: (pid, pc) -> (src, seq), [None]
+          for a receive that found nothing pending *)
+  prefix_bindings : ((int * int) * (int * int) option) list;
+      (** the bindings as of the crash instant, aligned with
+          [prefix_trace] — what the dangerous-path classification of the
+          pre-crash world must be computed from *)
+  logged_pcs : (int * int) list;
+      (** (pid, pc) whose result the recovery system actually logged *)
+  next_pids : int list;
+      (** schedule choices after the prefix: processes that can make
+          progress, or, at quiescence, the blocked ones (whose next step
+          is the deterministic skip of their receive) *)
+  steps : int;  (** total step executions, replay included *)
+  state_key : string;  (** digest of the post-prefix machine state *)
+}
+
+val run :
+  spec:Ft_core.Protocol.spec ->
+  defect:defect ->
+  program:program ->
+  prefix:int list ->
+  crash:crash ->
+  run
+(** Executes [prefix] (a pid per step; scheduling a finished process is
+    ignored, scheduling a blocked one is a no-op except at quiescence,
+    where its receive deterministically resolves to a skip), injects
+    [crash], recovers, and completes every process's script round-robin.
+    Deterministic. *)
+
+val runnable : program -> pcs:int array -> int list
+(** Processes with script left, ascending. *)
+
+val prefix_to_steps : program -> int list -> Ft_core.Conformance.step list
+(** The prefix as a replayable {!Ft_core.Conformance} script (resolving
+    each scheduled pid to the op at its pc). *)

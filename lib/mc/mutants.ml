@@ -1,0 +1,133 @@
+(* The mutant suite: each entry breaks one protocol (or the runtime
+   under it) in one specific way, and names the oracle that should
+   convict it.  The checker is only trusted while it kills every one of
+   these. *)
+
+open Ft_core
+
+type t = {
+  mutant_name : string;
+  spec : Protocol.spec;
+  defect : Model.defect;
+  based_on : string;
+  expected : string;
+}
+
+let base name =
+  match Protocols.by_name name with
+  | Some s -> s
+  | None -> invalid_arg ("Mutants: unknown base protocol " ^ name)
+
+(* CPVS that commits just *after* each visible or send instead of just
+   before: the visible escapes with its non-determinism uncommitted, a
+   straight Save-work-visible violation on crash-free traces. *)
+let commit_after_visible =
+  let cpvs = base "CPVS" in
+  {
+    mutant_name = "commit-after-visible";
+    based_on = "CPVS";
+    defect = Model.Honest;
+    expected = "Save-work violation on the crash-free prefix";
+    spec =
+      {
+        cpvs with
+        spec_name = "CPVS!after";
+        instantiate =
+          (fun ~nprocs ->
+            let inner = cpvs.Protocol.instantiate ~nprocs in
+            {
+              inner with
+              Protocol.react =
+                (fun ~pid info ->
+                  let r = inner.Protocol.react ~pid info in
+                  match r.Protocol.commit_before with
+                  | Some scope ->
+                      { r with commit_before = None; commit_after = Some scope }
+                  | None -> r);
+            });
+      };
+  }
+
+(* CAND whose commit machinery has a budget of two commits and never
+   replenishes it: once exhausted, ND events run uncommitted and the
+   next visible anywhere convicts it. *)
+let budget_never_reset =
+  let cand = base "CAND" in
+  {
+    mutant_name = "budget-never-reset";
+    based_on = "CAND";
+    defect = Model.Honest;
+    expected = "commits stop after the budget; later visibles violate Save-work";
+    spec =
+      {
+        cand with
+        spec_name = "CAND!budget";
+        instantiate =
+          (fun ~nprocs ->
+            let inner = cand.Protocol.instantiate ~nprocs in
+            let budget = ref 2 in
+            {
+              inner with
+              Protocol.react =
+                (fun ~pid info ->
+                  let r = inner.Protocol.react ~pid info in
+                  if r.Protocol.commit_before <> None
+                     || r.Protocol.commit_after <> None
+                  then
+                    if !budget > 0 then begin
+                      decr budget;
+                      r
+                    end
+                    else { r with commit_before = None; commit_after = None }
+                  else r);
+            });
+      };
+  }
+
+(* CPV-2PC whose participants never actually commit their half of the
+   round: the coordinator publishes on the strength of commits that did
+   not happen, and a participant crash loses non-determinism the output
+   already depends on. *)
+let skip_orphan_commit =
+  {
+    mutant_name = "skip-orphan-commit";
+    based_on = "CPV-2PC";
+    defect = Model.Skip_orphan;
+    expected = "participant crash redraws ND the published output used";
+    spec = base "CPV-2PC";
+  }
+
+(* CAND-LOG over a logger that loses entries: the trace claims the ND
+   result was logged, but replay after a crash redraws it.  Only the
+   end-to-end consistency oracle can see this — the trace looks clean. *)
+let drop_log_entry =
+  {
+    mutant_name = "drop-log-entry";
+    based_on = "CAND-LOG";
+    defect = Model.Drop_log;
+    expected = "replay redraws a 'logged' result; outputs diverge across the crash";
+    spec = base "CAND-LOG";
+  }
+
+(* CBNDVS-LOG over a runtime that hands output to the user before the
+   protocol's pre-visible commit lands: a crash inside that commit
+   leaves published output depending on rolled-back non-determinism. *)
+let publish_before_log =
+  {
+    mutant_name = "publish-before-log";
+    based_on = "CBNDVS-LOG";
+    defect = Model.Publish_first;
+    expected = "mid-commit crash republishes a different value for shown output";
+    spec = base "CBNDVS-LOG";
+  }
+
+let all =
+  [
+    commit_after_visible;
+    budget_never_reset;
+    skip_orphan_commit;
+    drop_log_entry;
+    publish_before_log;
+  ]
+
+let by_name n = List.find_opt (fun m -> m.mutant_name = n) all

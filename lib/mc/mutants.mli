@@ -1,0 +1,18 @@
+(** Deliberately broken protocol/runtime variants the checker must kill.
+    A mutant that survives the default bound means the checker has a
+    blind spot — the test suite treats a surviving mutant as a failing
+    build. *)
+
+type t = {
+  mutant_name : string;
+  spec : Ft_core.Protocol.spec;  (** possibly a spec-level mutation *)
+  defect : Model.defect;  (** possibly a runtime-level defect *)
+  based_on : string;  (** the honest protocol this mutates *)
+  expected : string;  (** one line: why and how it should die *)
+}
+
+val all : t list
+(** At least five: skip-orphan-commit, commit-after-visible,
+    drop-log-entry, publish-before-log, budget-never-reset. *)
+
+val by_name : string -> t option

@@ -47,6 +47,13 @@ type config = {
   max_recovery_attempts : int;
   reboot_delay_ns : int;        (* after a kernel panic *)
   kills : (int * int) list;     (* (time_ns, pid) stop failures to inject *)
+  kill_at_decision : (int * int) list;
+      (* (decision_index, pid) stop failures: applied just before the
+         scheduler's Nth pick, so crash points can be enumerated
+         deterministically (model-checker cross-check) *)
+  pick_override : (int list -> int option) option;
+      (* given the runnable pids (ascending), choose who runs next;
+         [None] falls back to the smallest-local-clock default *)
   heap_words : int;
   stack_words : int;
   page_size : int;
@@ -70,6 +77,8 @@ let default_config =
     max_recovery_attempts = 3;
     reboot_delay_ns = 30_000_000_000;
     kills = [];
+    kill_at_decision = [];
+    pick_override = None;
     heap_words = 65_536;
     stack_words = 4_096;
     page_size = 64;
@@ -116,6 +125,8 @@ type t = {
   mutable total_crashes : int;
   mutable recovery_crashes : int;
   mutable kills_pending : (int * int) list;
+  mutable decision_kills : (int * int) list;
+  mutable decisions : int;  (* scheduling decisions taken so far *)
   mutable activation : (int * int) option;
   mutable first_crash : (int * int) option;
   mutable commit_after_activation : bool;
@@ -174,6 +185,8 @@ let create ?(cfg = default_config) ~kernel ~programs () =
       total_crashes = 0;
       recovery_crashes = 0;
       kills_pending = List.sort compare cfg.kills;
+      decision_kills = List.sort compare cfg.kill_at_decision;
+      decisions = 0;
       activation = None;
       first_crash = None;
       commit_after_activation = false;
@@ -558,6 +571,21 @@ let runnable t (p : proc) =
   && ((not p.blocked) || Ft_os.Kernel.mailbox_nonempty t.kernel p.pid)
 
 let pick t =
+  (* deterministic stop failures keyed by scheduling-decision index:
+     applied before the pick, so the kill changes this decision's
+     runnable set *)
+  let due, later =
+    List.partition (fun (d, _) -> d <= t.decisions) t.decision_kills
+  in
+  t.decision_kills <- later;
+  List.iter
+    (fun (_, pid) ->
+      let p = t.procs.(pid) in
+      if (not p.halted) && not p.failed then begin
+        Ft_vm.Machine.kill p.machine;
+        crash_proc t p
+      end)
+    due;
   let best = ref None in
   Array.iter
     (fun p ->
@@ -566,7 +594,20 @@ let pick t =
         | Some q when q.time <= p.time -> ()
         | _ -> best := Some p)
     t.procs;
-  !best
+  match !best with
+  | None -> None
+  | Some _ as default ->
+      t.decisions <- t.decisions + 1;
+      (match t.cfg.pick_override with
+      | None -> default
+      | Some f -> (
+          let candidates =
+            Array.to_list t.procs |> List.filter (runnable t)
+            |> List.map (fun p -> p.pid)
+          in
+          match f candidates with
+          | Some pid when List.mem pid candidates -> Some t.procs.(pid)
+          | _ -> default))
 
 let apply_due_kills t =
   let due, later =

@@ -19,6 +19,14 @@ type config = {
   max_recovery_attempts : int;
   reboot_delay_ns : int;  (** after a kernel panic *)
   kills : (int * int) list;  (** (time_ns, pid) stop failures to inject *)
+  kill_at_decision : (int * int) list;
+      (** (decision_index, pid) stop failures, applied just before the
+          scheduler's Nth pick — lets the model-checker cross-check
+          enumerate crash points deterministically *)
+  pick_override : (int list -> int option) option;
+      (** schedule replay hook: given the runnable pids (ascending),
+          choose who runs next; [None] (the value or the result) falls
+          back to the smallest-local-clock default *)
   heap_words : int;
   stack_words : int;
   page_size : int;

@@ -537,6 +537,171 @@ let prop_dangerous_reaches_crash =
       done;
       !ok)
 
+(* ---- hand-computed coloring: fixed vs transient ND (paper §2.5) ----
+
+   The user-input machine: a deterministic prologue, a fixed-ND input
+   branch, then a timing-dependent branch on the input=A side where one
+   arm crashes.
+
+        0 --det--> 1 --fixed(A)--> 2 --nd--> 4 --det--> [6]   (crash)
+                   |               `--nd--> 5 --det--> 7      (ok)
+                   `--fixed(B)--> 3 --det--> 7                (ok)
+
+   When the inner branch is transient, danger stays local: a retry can
+   take the safe arm, so only the edge into the all-exits-crash state 4
+   is colored.  When the inner branch is fixed, the redraw repeats the
+   crash arm, so danger propagates backwards through every fixed edge
+   all the way to the initial state. *)
+
+let input_machine inner =
+  State_graph.make ~nstates:8
+    ~edges:
+      [
+        (0, 1, State_graph.Det);
+        (* e0 *)
+        (1, 2, State_graph.Fixed_nd);
+        (* e1: input = A *)
+        (1, 3, State_graph.Fixed_nd);
+        (* e2: input = B *)
+        (2, 4, inner);
+        (* e3: crash-bound arm *)
+        (2, 5, inner);
+        (* e4: safe arm *)
+        (4, 6, State_graph.Det);
+        (* e5: the crash event *)
+        (3, 7, State_graph.Det);
+        (* e6 *)
+        (5, 7, State_graph.Det);
+        (* e7 *)
+      ]
+    ~crash_states:[ 6 ] ()
+
+let check_coloring g ~edges ~states =
+  let colored = Dangerous_paths.dangerous_edges g in
+  Array.iteri
+    (fun i want ->
+      Alcotest.(check bool) (Printf.sprintf "edge %d" i) want colored.(i))
+    edges;
+  let doomed = Dangerous_paths.doomed_states g in
+  Array.iteri
+    (fun s want ->
+      Alcotest.(check bool) (Printf.sprintf "state %d" s) want doomed.(s))
+    states
+
+let test_coloring_transient_inner () =
+  check_coloring
+    (input_machine State_graph.Transient_nd)
+    ~edges:[| false; false; false; true; false; true; false; false |]
+    ~states:[| false; false; false; false; true; false; true; false |]
+
+let test_coloring_fixed_inner () =
+  check_coloring
+    (input_machine State_graph.Fixed_nd)
+    ~edges:[| true; true; false; true; false; true; false; false |]
+    ~states:[| true; true; true; false; true; false; true; false |]
+
+let test_coloring_receive_classification () =
+  (* same machine with the inner branch a receive: its danger footprint
+     is exactly the transient machine's or the fixed machine's,
+     depending on how the multi-process rule classifies the receive *)
+  let g = input_machine (State_graph.Receive_nd 1) in
+  check_coloring g (* default: receives treated as transient *)
+    ~edges:[| false; false; false; true; false; true; false; false |]
+    ~states:[| false; false; false; false; true; false; true; false |];
+  let fixed _ = Event.Fixed in
+  let colored = Dangerous_paths.dangerous_edges ~receive_class:fixed g in
+  Alcotest.(check (list bool))
+    "fixed-classified receive == fixed machine"
+    (Array.to_list
+       (Dangerous_paths.dangerous_edges
+          (input_machine State_graph.Fixed_nd)))
+    (Array.to_list colored);
+  let doomed = Dangerous_paths.doomed_states ~receive_class:fixed g in
+  Alcotest.(check (list bool))
+    "doomed states likewise"
+    (Array.to_list
+       (Dangerous_paths.doomed_states (input_machine State_graph.Fixed_nd)))
+    (Array.to_list doomed)
+
+(* ---- Vclock laws (qcheck) ---- *)
+
+let clock_of_list l =
+  let t = Vclock.create (List.length l) in
+  List.iteri
+    (fun i n ->
+      for _ = 1 to n do
+        Vclock.tick t i
+      done)
+    l;
+  t
+
+let arb_vclock =
+  QCheck.make
+    ~print:(fun c -> Vclock.to_string c)
+    QCheck.Gen.(map clock_of_list (list_repeat 3 (int_bound 5)))
+
+let prop_vclock_antisymmetric =
+  QCheck.Test.make ~name:"vclock leq antisymmetric, lt asymmetric" ~count:500
+    QCheck.(pair arb_vclock arb_vclock)
+    (fun (a, b) ->
+      (if Vclock.leq a b && Vclock.leq b a then Vclock.equal a b else true)
+      && if Vclock.lt a b then not (Vclock.lt b a) else true)
+
+let prop_vclock_merge_lub =
+  QCheck.Test.make ~name:"vclock merge is the least upper bound" ~count:500
+    QCheck.(triple arb_vclock arb_vclock arb_vclock)
+    (fun (a, b, c) ->
+      let m = Vclock.copy a in
+      Vclock.merge_into ~into:m b;
+      Vclock.leq a m && Vclock.leq b m
+      (* least: m is below exactly the common upper bounds *)
+      && Vclock.leq m c = (Vclock.leq a c && Vclock.leq b c))
+
+let prop_vclock_concurrency_symmetric =
+  QCheck.Test.make ~name:"vclock concurrency is symmetric" ~count:500
+    QCheck.(pair arb_vclock arb_vclock)
+    (fun (a, b) ->
+      let conc x y =
+        (not (Vclock.lt x y)) && (not (Vclock.lt y x)) && not (Vclock.equal x y)
+      in
+      conc a b = conc b a)
+
+(* ---- Consistency.check soundness (qcheck) ---- *)
+
+(* an observation built only by replaying already-emitted values stays
+   Consistent; exercised above by prop_consistency_duplicate_closure.
+   Here: the two failure verdicts trigger exactly when they should. *)
+
+let prop_consistency_extra_sound =
+  QCheck.Test.make ~name:"foreign value convicts as Extra at its position"
+    ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 12) (0 -- 20)) (0 -- 20))
+    (fun (reference, k) ->
+      let fresh = List.fold_left max 0 reference + 1 in
+      let i = k mod (List.length reference + 1) in
+      let observed =
+        List.filteri (fun j _ -> j < i) reference
+        @ [ fresh ]
+        @ List.filteri (fun j _ -> j >= i) reference
+      in
+      match Consistency.check ~reference ~observed with
+      | Consistency.Extra { position; value } -> position = i && value = fresh
+      | _ -> false)
+
+let prop_consistency_truncated_sound =
+  QCheck.Test.make ~name:"dropped tail convicts as Truncated with its size"
+    ~count:200
+    QCheck.(pair (1 -- 12) (1 -- 12))
+    (fun (n, k) ->
+      let k = ((k - 1) mod n) + 1 in
+      (* distinct values: the greedy scan cannot confuse a prefix
+         element for a duplicate *)
+      let reference = List.init n (fun i -> (i * 7) + 3) in
+      let observed = List.filteri (fun j _ -> j < n - k) reference in
+      match Consistency.check ~reference ~observed with
+      | Consistency.Truncated { missing } -> missing = k
+      | _ -> false)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -545,6 +710,11 @@ let qcheck_tests =
       prop_hb_irreflexive_transitive;
       prop_consistency_duplicate_closure;
       prop_dangerous_reaches_crash;
+      prop_vclock_antisymmetric;
+      prop_vclock_merge_lub;
+      prop_vclock_concurrency_symmetric;
+      prop_consistency_extra_sound;
+      prop_consistency_truncated_sound;
     ]
 
 let tests =
@@ -589,6 +759,12 @@ let tests =
       test_protocol_space_axis_rule;
     Alcotest.test_case "protocols by name" `Quick test_protocols_by_name;
     Alcotest.test_case "state graph dot export" `Quick test_state_graph_dot;
+    Alcotest.test_case "coloring: transient inner branch" `Quick
+      test_coloring_transient_inner;
+    Alcotest.test_case "coloring: fixed inner branch" `Quick
+      test_coloring_fixed_inner;
+    Alcotest.test_case "coloring: receive classification" `Quick
+      test_coloring_receive_classification;
   ]
 
 let () =

@@ -1,0 +1,367 @@
+(* The bounded model checker (Ft_mc): honest protocols exhaust the
+   bound clean, every mutant dies with a shrunk replayable repro,
+   memoization does not change verdicts, sweeps resume from a warm
+   store, and the abstract checker's verdicts cross-check against the
+   real runtime engine. *)
+
+open Ft_core
+
+let program ~depth = Ft_mc.Model.default_program ~nprocs:2 ~depth
+
+(* --- honest protocols ----------------------------------------------------- *)
+
+let test_honest_clean () =
+  let program = program ~depth:5 in
+  List.iter
+    (fun spec ->
+      let s =
+        Ft_mc.Checker.check ~spec ~defect:Ft_mc.Model.Honest ~program ()
+      in
+      Alcotest.(check int)
+        (spec.Protocol.spec_name ^ " violations")
+        0
+        (List.length s.Ft_mc.Checker.violations);
+      Alcotest.(check bool)
+        (spec.Protocol.spec_name ^ " explored something")
+        true
+        (s.Ft_mc.Checker.nodes > 10 && s.Ft_mc.Checker.runs > 30))
+    Protocols.figure8
+
+let test_honest_default_bound () =
+  (* the issue's default bound: 2 procs x 6 events, all crash points *)
+  let program = program ~depth:6 in
+  let s =
+    Ft_mc.Checker.check ~spec:Protocols.cpvs ~defect:Ft_mc.Model.Honest
+      ~program ()
+  in
+  Alcotest.(check int) "cpvs clean at 2x6" 0
+    (List.length s.Ft_mc.Checker.violations);
+  Alcotest.(check bool) "memoization pruned" true
+    (s.Ft_mc.Checker.memo_hits > 0)
+
+let test_model_deterministic () =
+  let program = program ~depth:5 in
+  let run () =
+    Ft_mc.Model.run ~spec:Protocols.cand_log ~defect:Ft_mc.Model.Drop_log
+      ~program ~prefix:[ 0; 0; 0; 1; 1 ]
+      ~crash:(Ft_mc.Model.Stop 0)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check string) "state key" a.Ft_mc.Model.state_key
+    b.Ft_mc.Model.state_key;
+  Alcotest.(check (list int)) "observed" a.Ft_mc.Model.observed
+    b.Ft_mc.Model.observed;
+  Alcotest.(check (list int)) "reference" a.Ft_mc.Model.reference
+    b.Ft_mc.Model.reference
+
+(* --- the mutant suite ----------------------------------------------------- *)
+
+let test_mutants_killed () =
+  let program = program ~depth:6 in
+  List.iter
+    (fun m ->
+      let s =
+        Ft_mc.Checker.check ~lose_work:false ~spec:m.Ft_mc.Mutants.spec
+          ~defect:m.Ft_mc.Mutants.defect ~program ()
+      in
+      match s.Ft_mc.Checker.violations with
+      | [] -> Alcotest.failf "mutant %s survived" m.Ft_mc.Mutants.mutant_name
+      | v :: _ ->
+          (* shrink, and verify the minimum still fails the same oracle *)
+          let r =
+            Ft_mc.Shrink.minimize ~lose_work:false ~spec:m.Ft_mc.Mutants.spec
+              ~defect:m.Ft_mc.Mutants.defect ~program v
+          in
+          Alcotest.(check bool)
+            (m.Ft_mc.Mutants.mutant_name ^ " shrunk no longer")
+            true
+            (List.length r.Ft_mc.Shrink.s_prefix
+            <= List.length v.Ft_mc.Checker.v_prefix);
+          let still =
+            Ft_mc.Checker.check_one ~lose_work:false
+              ~spec:m.Ft_mc.Mutants.spec ~defect:m.Ft_mc.Mutants.defect
+              ~program:r.Ft_mc.Shrink.s_program
+              ~prefix:r.Ft_mc.Shrink.s_prefix ~crash:r.Ft_mc.Shrink.s_crash ()
+          in
+          Alcotest.(check bool)
+            (m.Ft_mc.Mutants.mutant_name ^ " shrunk still fails")
+            true
+            (List.exists
+               (fun (x : Ft_mc.Checker.violation) ->
+                 x.Ft_mc.Checker.v_oracle = r.Ft_mc.Shrink.s_oracle)
+               still))
+    Ft_mc.Mutants.all
+
+let test_shrunk_script_replayable () =
+  let program = program ~depth:6 in
+  let m = Option.get (Ft_mc.Mutants.by_name "commit-after-visible") in
+  let s =
+    Ft_mc.Checker.check ~lose_work:false ~spec:m.Ft_mc.Mutants.spec
+      ~defect:m.Ft_mc.Mutants.defect ~program ()
+  in
+  let v = List.hd s.Ft_mc.Checker.violations in
+  let r =
+    Ft_mc.Shrink.minimize ~lose_work:false ~spec:m.Ft_mc.Mutants.spec
+      ~defect:m.Ft_mc.Mutants.defect ~program v
+  in
+  let script = Ft_mc.Shrink.to_script ~spec:m.Ft_mc.Mutants.spec r in
+  match Conformance.steps_of_string script with
+  | Error e -> Alcotest.failf "script does not parse: %s" e
+  | Ok steps ->
+      Alcotest.(check int) "one step per schedule slot"
+        (List.length r.Ft_mc.Shrink.s_prefix)
+        (List.length steps);
+      (* this mutant dies on the crash-free prefix: replaying the script
+         through the conformance harness must reproduce the Save-work
+         violation *)
+      Alcotest.(check bool) "replay reproduces the violation" false
+        (Conformance.upholds_save_work m.Ft_mc.Mutants.spec ~nprocs:2 steps)
+
+(* --- memoization soundness ------------------------------------------------ *)
+
+let test_prune_matches_no_prune () =
+  let program = program ~depth:5 in
+  (* honest: both verdicts clean, pruning only saves work *)
+  let pruned =
+    Ft_mc.Checker.check ~spec:Protocols.cand ~defect:Ft_mc.Model.Honest
+      ~program ()
+  in
+  let full =
+    Ft_mc.Checker.check ~no_prune:true ~spec:Protocols.cand
+      ~defect:Ft_mc.Model.Honest ~program ()
+  in
+  Alcotest.(check int) "honest pruned clean" 0
+    (List.length pruned.Ft_mc.Checker.violations);
+  Alcotest.(check int) "honest full clean" 0
+    (List.length full.Ft_mc.Checker.violations);
+  Alcotest.(check bool) "pruning explored no more" true
+    (pruned.Ft_mc.Checker.nodes <= full.Ft_mc.Checker.nodes);
+  (* mutant: both convict, and every pruned violation also appears in
+     the unpruned exploration (pruning may only drop duplicates) *)
+  let m = Option.get (Ft_mc.Mutants.by_name "budget-never-reset") in
+  let pv =
+    (Ft_mc.Checker.check ~lose_work:false ~spec:m.Ft_mc.Mutants.spec
+       ~defect:m.Ft_mc.Mutants.defect ~program ())
+      .Ft_mc.Checker.violations
+  in
+  let fv =
+    (Ft_mc.Checker.check ~no_prune:true ~lose_work:false
+       ~spec:m.Ft_mc.Mutants.spec ~defect:m.Ft_mc.Mutants.defect ~program ())
+      .Ft_mc.Checker.violations
+  in
+  Alcotest.(check bool) "mutant convicted both ways" true
+    (pv <> [] && fv <> []);
+  List.iter
+    (fun (v : Ft_mc.Checker.violation) ->
+      Alcotest.(check bool) "pruned violation exists unpruned" true
+        (List.mem v fv))
+    pv
+
+(* --- serialization -------------------------------------------------------- *)
+
+let test_crash_roundtrip () =
+  List.iter
+    (fun c ->
+      match Ft_mc.Checker.crash_of_string (Ft_mc.Checker.crash_to_string c) with
+      | Ok c' ->
+          Alcotest.(check string) "crash" (Ft_mc.Checker.crash_to_string c)
+            (Ft_mc.Checker.crash_to_string c')
+      | Error e -> Alcotest.fail e)
+    [
+      Ft_mc.Model.No_crash;
+      Ft_mc.Model.Stop 0;
+      Ft_mc.Model.Stop 7;
+      Ft_mc.Model.Mid_commit { landed = true };
+      Ft_mc.Model.Mid_commit { landed = false };
+    ];
+  match Ft_mc.Checker.prefix_of_string "010221" with
+  | Ok p -> Alcotest.(check (list int)) "prefix" [ 0; 1; 0; 2; 2; 1 ] p
+  | Error e -> Alcotest.fail e
+
+let test_script_roundtrip () =
+  let program = program ~depth:6 in
+  let prefix = [ 0; 0; 0; 1; 1; 1; 0; 1 ] in
+  let steps = Ft_mc.Model.prefix_to_steps program prefix in
+  match Conformance.steps_of_string (Conformance.steps_to_string steps) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok steps' ->
+      Alcotest.(check int) "same length" (List.length steps)
+        (List.length steps');
+      List.iter2
+        (fun (a : Conformance.step) (b : Conformance.step) ->
+          Alcotest.(check bool)
+            (Conformance.step_to_string a)
+            true
+            (a.Conformance.pid = b.Conformance.pid
+            && a.Conformance.info = b.Conformance.info))
+        steps steps'
+
+(* --- Exp fan-out and resumability ----------------------------------------- *)
+
+let test_sweep_resumes () =
+  let program = program ~depth:4 in
+  let jobs =
+    Ft_mc.Checker.jobs
+      ~specs:[ (Protocols.cand, Ft_mc.Model.Honest) ]
+      ~program ()
+  in
+  let out_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftmc_test_%d" (Unix.getpid ()))
+  in
+  let cold =
+    Ft_exp.Exp.run_sweep ~workers:1 ~quiet:true ~out_dir ~name:"mc" jobs
+  in
+  Alcotest.(check int) "cold sweep ran everything" (List.length jobs)
+    cold.Ft_exp.Exp.ran;
+  let warm =
+    Ft_exp.Exp.run_sweep ~workers:1 ~quiet:true ~out_dir ~name:"mc" jobs
+  in
+  Alcotest.(check int) "warm sweep ran nothing" 0 warm.Ft_exp.Exp.ran;
+  Alcotest.(check int) "warm sweep skipped everything" (List.length jobs)
+    warm.Ft_exp.Exp.skipped;
+  (* aggregated sharded stats must reach the same verdict as one DFS *)
+  let lookup = Ft_exp.Exp.lookup warm in
+  let total =
+    List.fold_left
+      (fun acc j ->
+        match
+          Option.bind (lookup j.Ft_exp.Job.key) Ft_mc.Checker.stats_of_value
+        with
+        | Some s -> Ft_mc.Checker.add_stats acc s
+        | None -> Alcotest.fail ("missing job " ^ j.Ft_exp.Job.key))
+      Ft_mc.Checker.zero_stats jobs
+  in
+  Alcotest.(check int) "sharded verdict clean" 0
+    (List.length total.Ft_mc.Checker.violations);
+  Alcotest.(check bool) "shards covered the space" true
+    (total.Ft_mc.Checker.nodes > 10);
+  (* clean up the store *)
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat out_dir f))
+    (Sys.readdir out_dir);
+  Unix.rmdir out_dir
+
+let test_mutant_jobs_distinct_keys () =
+  (* a mutant may reuse an honest spec verbatim (drop-log-entry is
+     honest CAND-LOG over a lossy logger): their sweep keys must not
+     collide or a warm store would serve one the other's verdict *)
+  let program = program ~depth:4 in
+  let keys jobs = List.map (fun j -> j.Ft_exp.Job.key) jobs in
+  let honest =
+    keys
+      (Ft_mc.Checker.jobs
+         ~specs:[ (Protocols.cand_log, Ft_mc.Model.Honest) ]
+         ~program ())
+  in
+  let mutant =
+    keys
+      (Ft_mc.Checker.jobs ~lose_work:false
+         ~specs:[ (Protocols.cand_log, Ft_mc.Model.Drop_log) ]
+         ~program ())
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) ("key " ^ k ^ " distinct") false
+        (List.mem k honest))
+    mutant
+
+(* --- the engine cross-check ----------------------------------------------- *)
+
+let test_engine_xcheck () =
+  List.iter
+    (fun name ->
+      let spec = Option.get (Protocols.by_name name) in
+      let s =
+        Ft_mc.Engine_xcheck.check ~sched_depth:1 ~kill_decisions:5 ~spec ()
+      in
+      Alcotest.(check (list string)) (name ^ " failures") []
+        s.Ft_mc.Engine_xcheck.x_failures;
+      Alcotest.(check bool) (name ^ " injected kills") true
+        (s.Ft_mc.Engine_xcheck.x_kills > 0))
+    [ "CPVS"; "CAND-LOG"; "CPV-2PC" ]
+
+let test_engine_pick_override () =
+  (* the override drives scheduling: forcing p1 first changes nothing
+     semantically (p1 blocks on its receive) but must be honored when
+     p1 is runnable; and the same run without kills stays Completed *)
+  let programs = Ft_mc.Engine_xcheck.ping_pong ~rounds:2 in
+  let kernel = Ft_os.Kernel.create ~seed:1 ~nprocs:2 () in
+  let picked = ref [] in
+  let cfg =
+    {
+      Ft_runtime.Engine.default_config with
+      protocol = Protocols.cpvs;
+      heap_words = 1_024;
+      stack_words = 256;
+      pick_override =
+        Some
+          (fun candidates ->
+            picked := candidates :: !picked;
+            Some (List.hd (List.rev candidates)));
+    }
+  in
+  let _, r = Ft_runtime.Engine.execute ~cfg ~kernel ~programs () in
+  Alcotest.(check bool) "completed" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check bool) "override consulted" true (List.length !picked > 4)
+
+(* --- lose-work oracle internals ------------------------------------------- *)
+
+let test_lose_work_oracle_on_honest_crashes () =
+  (* every crashed honest execution must pass the dangerous-path oracle:
+     exercised wholesale in test_honest_clean, pinned here on one run *)
+  let program = program ~depth:5 in
+  let vs =
+    Ft_mc.Checker.check_one ~spec:Protocols.cand ~defect:Ft_mc.Model.Honest
+      ~program ~prefix:[ 0; 0; 1; 1; 0 ] ~crash:(Ft_mc.Model.Stop 0) ()
+  in
+  Alcotest.(check (list string)) "no violations"
+    []
+    (List.map
+       (fun (v : Ft_mc.Checker.violation) -> v.Ft_mc.Checker.v_detail)
+       vs)
+
+let () =
+  Alcotest.run "ft_mc"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "honest protocols exhaust 2x5 clean" `Quick
+            test_honest_clean;
+          Alcotest.test_case "default bound 2x6" `Quick
+            test_honest_default_bound;
+          Alcotest.test_case "model runs deterministic" `Quick
+            test_model_deterministic;
+          Alcotest.test_case "lose-work oracle on honest crash" `Quick
+            test_lose_work_oracle_on_honest_crashes;
+          Alcotest.test_case "prune matches no-prune" `Quick
+            test_prune_matches_no_prune;
+        ] );
+      ( "mutants",
+        [
+          Alcotest.test_case "every mutant killed, repro shrunk" `Quick
+            test_mutants_killed;
+          Alcotest.test_case "shrunk script replays" `Quick
+            test_shrunk_script_replayable;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "crash/prefix round-trip" `Quick
+            test_crash_roundtrip;
+          Alcotest.test_case "conformance script round-trip" `Quick
+            test_script_roundtrip;
+          Alcotest.test_case "sweep resumes from warm store" `Quick
+            test_sweep_resumes;
+          Alcotest.test_case "mutant sweep keys distinct" `Quick
+            test_mutant_jobs_distinct_keys;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "cross-check on the real runtime" `Quick
+            test_engine_xcheck;
+          Alcotest.test_case "pick override honored" `Quick
+            test_engine_pick_override;
+        ] );
+    ]

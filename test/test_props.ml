@@ -313,10 +313,55 @@ let test_sbl_logs_receives () =
   Alcotest.(check bool) "save-work still holds" true
     (Save_work.holds r.Ft_runtime.Engine.trace)
 
+(* --- conformance harness regressions ------------------------------------- *)
+
+(* A Receive with nothing pending must be skipped outright: no event
+   recorded, no protocol reaction — the rest of the script replays as if
+   the receive were never written. *)
+let test_receive_nothing_pending_skipped () =
+  let script =
+    [
+      Conformance.step ~pid:0
+        { Protocol.kind = Event.Receive { src = -1; tag = -1 };
+          loggable = true };
+      Conformance.step ~pid:0
+        { Protocol.kind = Event.Visible 5; loggable = false };
+    ]
+  in
+  let t = Conformance.run Protocols.cpvs ~nprocs:2 script in
+  let events = Trace.events t in
+  Alcotest.(check bool) "no receive recorded" false
+    (List.exists
+       (fun e ->
+         match e.Event.kind with Event.Receive _ -> true | _ -> false)
+       events);
+  Alcotest.(check bool) "visible still recorded" true
+    (List.exists
+       (fun e ->
+         match e.Event.kind with Event.Visible _ -> true | _ -> false)
+       events);
+  Alcotest.(check bool) "save-work upheld" true
+    (Conformance.upholds_save_work Protocols.cpvs ~nprocs:2 script)
+
+(* upholds_save_work is exactly "violations is empty" — exercised on a
+   protocol that does convict (NO-COMMIT), so agreement is nontrivial. *)
+let violations_agree_prop spec =
+  QCheck.Test.make
+    ~name:(spec.Protocol.spec_name ^ ": upholds iff violations empty")
+    ~count:150 (arb_script 3)
+    (fun script ->
+      Conformance.upholds_save_work spec ~nprocs:3 script
+      = (Conformance.violations spec ~nprocs:3 script = []))
+
 let tests =
   List.map QCheck_alcotest.to_alcotest
-    (conformance_tests @ [ no_commit_violates; stop_failure_prop ])
+    (conformance_tests
+    @ [ no_commit_violates; stop_failure_prop ]
+    @ List.map violations_agree_prop
+        [ Protocols.no_commit; Protocols.cpvs; Protocols.cand_log ])
   @ [
+      Alcotest.test_case "receive with nothing pending skipped" `Quick
+        test_receive_nothing_pending_skipped;
       Alcotest.test_case "resource expansion (2.6)" `Quick
         test_resource_expansion;
       Alcotest.test_case "checkpoint exclusion consistent (2.6)" `Quick
