@@ -373,6 +373,58 @@ let micro_mc_dfs =
            (Ft_mc.Checker.check ~spec:Ft_core.Protocols.cpvs
               ~defect:Ft_mc.Model.Honest ~program ())))
 
+(* Channel goodput: payload messages per simulated second through the
+   raw transport at increasing loss rates — what retransmission costs
+   before any engine machinery is involved (DESIGN.md §3e).  Each point
+   pushes a paced stream of messages down one link and drains the
+   queues to completion. *)
+let net_burst ~loss ~n =
+  let delivered = ref 0 and last_ns = ref 1 in
+  let policy _ _ = Ft_net.Policy.make ~drop:loss () in
+  let t =
+    Ft_net.Transport.create ~policy ~seed:7 ~nprocs:2 ~latency_ns:20_000
+      ~jitter_ns:5_000
+      ~deliver:(fun ~at ~src:_ ~dst:_ () ->
+        incr delivered;
+        if at > !last_ns then last_ns := at)
+      ()
+  in
+  let gap = 5_000 (* one send per 5µs *) in
+  for i = 0 to n - 1 do
+    Ft_net.Transport.send t ~now:(i * gap) ~src:0 ~dst:1 ();
+    Ft_net.Transport.pump t ~now:(i * gap)
+  done;
+  let now = ref (n * gap) in
+  while Ft_net.Transport.pending t do
+    (match Ft_net.Transport.next_event t with
+    | Some ts -> now := max (!now + 1) ts
+    | None -> incr now);
+    Ft_net.Transport.pump t ~now:!now
+  done;
+  (!delivered, !last_ns, Ft_net.Transport.stats t)
+
+let net_goodput () =
+  print_string
+    (Ft_harness.Report.section
+       "Channel goodput (Ft_net.Transport, 10k msgs, one link)");
+  List.iter
+    (fun loss ->
+      let delivered, last_ns, s = net_burst ~loss ~n:10_000 in
+      Printf.printf
+        "loss %3.0f%%: %5d/10000 delivered, %6d transmissions (%4.1f%% rtx), goodput %8.0f msgs/s\n"
+        (100. *. loss) delivered s.Ft_net.Transport.transmissions
+        (100.
+        *. float_of_int s.Ft_net.Transport.retransmits
+        /. float_of_int (max 1 s.Ft_net.Transport.transmissions))
+        (float_of_int delivered /. (float_of_int last_ns /. 1e9)))
+    [ 0.0; 0.05; 0.20 ]
+
+let micro_net_transport loss =
+  Test.make
+    ~name:(Printf.sprintf "micro_net_loss_%d" (int_of_float (100. *. loss)))
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (net_burst ~loss ~n:256)))
+
 (* Checker throughput in model states per second, the unit DESIGN.md
    quotes for exploration budgets. *)
 let mc_throughput () =
@@ -400,7 +452,7 @@ let tests =
     micro_dangerous; micro_vm; micro_vista_persisted_log;
     micro_vista_heap_list; micro_checkpoint; micro_mc_dfs;
     micro_pool_dispatch 1; micro_pool_dispatch (Ft_exp.Pool.default_workers ());
-    micro_jstore_roundtrip;
+    micro_jstore_roundtrip; micro_net_transport 0.0; micro_net_transport 0.2;
   ]
 
 let run_benchmarks () =
@@ -430,5 +482,6 @@ let () =
   regenerate ();
   pool_speedup ();
   mc_throughput ();
+  net_goodput ();
   run_benchmarks ();
   print_endline "\nbench: done."

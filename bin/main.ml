@@ -166,6 +166,27 @@ let run_torture points_s seed defect opts =
       then `Ok ()
       else `Error (false, "torture found atomicity violations")
 
+(* Netstorm: run the protocol space across an unreliable network and
+   verify retransmission keeps every run complete and consistent.
+   Exits non-zero on any violation, wedged run or missing job, so CI
+   can gate on it. *)
+let run_netstorm loss dup reorder partition apps scale seed opts =
+  let points =
+    if loss = None && dup = None && reorder = None && not partition then
+      Ft_harness.Netstorm.default_points
+    else
+      [
+        Ft_harness.Netstorm.custom_point ?loss ?dup ?reorder ~partition ();
+      ]
+  in
+  let report =
+    Ft_harness.Netstorm.run ?workers:opts.workers ~out_dir:opts.out_dir
+      ~fresh:opts.fresh ~scale ~seed ~points ~apps ()
+  in
+  print_string (Ft_harness.Netstorm.render ~points ~apps report);
+  if Ft_harness.Netstorm.clean report then `Ok ()
+  else `Error (false, "netstorm found violations")
+
 let run_ablation opts =
   let lookup = sweep opts ~name:"ablation" (Ft_harness.Ablation.jobs ()) in
   print_string (Ft_harness.Ablation.render_records lookup);
@@ -362,7 +383,8 @@ let run_single app_name proto_name medium_name seed scale kills_ms =
         | Ft_runtime.Engine.Deadline -> "deadline"
         | Ft_runtime.Engine.Recovery_failed -> "recovery failed"
         | Ft_runtime.Engine.Deadlocked -> "deadlocked"
-        | Ft_runtime.Engine.Instruction_budget -> "instruction budget");
+        | Ft_runtime.Engine.Instruction_budget -> "instruction budget"
+        | Ft_runtime.Engine.Net_unreachable -> "network unreachable");
       Printf.printf "sim time   : %.3f s\n"
         (float_of_int r.Ft_runtime.Engine.sim_time_ns /. 1e9);
       Printf.printf "commits    : %s (total %d)\n"
@@ -494,6 +516,44 @@ let torture_cmd =
             (const run_torture $ points_arg $ seed_arg $ defect_arg
             $ sweep_opts_term))
 
+let netstorm_cmd =
+  let rate name doc =
+    Arg.(value & opt (some float) None & info [ name ] ~docv:"P" ~doc)
+  in
+  let loss_arg = rate "loss" "Per-frame drop probability." in
+  let dup_arg = rate "dup" "Per-frame duplication probability." in
+  let reorder_arg = rate "reorder" "Per-frame reorder probability." in
+  let partition_arg =
+    Arg.(value & flag
+         & info [ "partition" ]
+             ~doc:"Cut the 0<->1 link mid-run and heal it.")
+  in
+  let apps_arg =
+    let conv_app =
+      Arg.conv
+        ( (fun s ->
+            match Ft_harness.Figure8.app_of_name s with
+            | Some a -> Ok a
+            | None -> Error (`Msg ("unknown app " ^ s))),
+          fun fmt a ->
+            Format.pp_print_string fmt (Ft_harness.Figure8.app_name a) )
+    in
+    Arg.(value & opt_all conv_app Ft_harness.Netstorm.default_apps
+         & info [ "app" ] ~doc:"Application (repeatable).")
+  in
+  let scale_arg =
+    Arg.(value & opt float 0.25
+         & info [ "scale" ] ~doc:"Workload scale (0,1].")
+  in
+  Cmd.v
+    (Cmd.info "netstorm"
+       ~doc:"Sweep the protocols across a lossy, reordering, partitioning \
+             network.")
+    Term.(ret
+            (const run_netstorm $ loss_arg $ dup_arg $ reorder_arg
+            $ partition_arg $ apps_arg $ scale_arg $ seed_arg
+            $ sweep_opts_term))
+
 let ablation_cmd =
   Cmd.v (Cmd.info "ablation" ~doc:"Run the DESIGN.md ablations (2.6).")
     Term.(ret (const run_ablation $ sweep_opts_term))
@@ -580,4 +640,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ space_cmd; figure8_cmd; table1_cmd; table2_cmd; analysis_cmd;
-            ablation_cmd; torture_cmd; mc_cmd; run_cmd; disasm_cmd; all_cmd ]))
+            ablation_cmd; torture_cmd; netstorm_cmd; mc_cmd; run_cmd;
+            disasm_cmd; all_cmd ]))

@@ -60,4 +60,5 @@ let () =
     | Ft_runtime.Engine.Deadlocked -> "deadlocked"
     | Ft_runtime.Engine.Recovery_failed -> "recovery failed"
     | Ft_runtime.Engine.Deadline -> "deadline"
-    | Ft_runtime.Engine.Instruction_budget -> "instruction budget")
+    | Ft_runtime.Engine.Instruction_budget -> "instruction budget"
+    | Ft_runtime.Engine.Net_unreachable -> "network unreachable")

@@ -25,13 +25,25 @@ let pp_violation fmt v =
    covers the commit being the target itself, the two events belonging
    to the same coordinated (2PC) round, and — since every commit of a
    round is atomic with every other — a round-mate commit that
-   happens-before the target. *)
-let covered trace ~(nd : Event.t) ~(target : Event.t) =
-  let commits = Trace.commits_of trace nd.pid in
-  let all_commits =
-    lazy (List.filter Event.is_commit (Trace.events trace))
-  in
-  let reaches (c : Event.t) =
+   happens-before the target.
+
+   Whether a commit reaches a target is independent of the ND event
+   under test, so the check factors: precompute, per (process, target),
+   the largest index of a reaching commit, and "covered" collapses to
+   one integer comparison per (nd, target) pair.  The naive form —
+   rescanning the process's commits for every pair — is quadratic in
+   the trace and takes tens of seconds on an xpilot run. *)
+let violations_against trace ~targets =
+  let evs = Trace.events trace in
+  let nds = List.filter Event.is_nd evs in
+  let all_commits = List.filter Event.is_commit evs in
+  let nprocs = Trace.nprocs trace in
+  let commits_by_pid = Array.make nprocs [] in
+  List.iter
+    (fun (c : Event.t) ->
+      commits_by_pid.(c.pid) <- c :: commits_by_pid.(c.pid))
+    all_commits;
+  let reaches (c : Event.t) (target : Event.t) =
     Event.equal c target
     || Event.atomic_with c target
     || Trace.happens_before c target
@@ -43,13 +55,25 @@ let covered trace ~(nd : Event.t) ~(target : Event.t) =
           (fun (c' : Event.t) ->
             Event.atomic_with c c'
             && (Event.equal c' target || Trace.happens_before c' target))
-          (Lazy.force all_commits)
+          all_commits
   in
-  List.exists (fun (c : Event.t) -> c.index > nd.index && reaches c) commits
-
-let violations_against trace ~targets =
-  let evs = Trace.events trace in
-  let nds = List.filter Event.is_nd evs in
+  (* largest commit index per process reaching [target]; -1 if none *)
+  let mr_cache = Hashtbl.create 64 in
+  let max_reach (target : Event.t) =
+    let key = (target.Event.pid, target.Event.index) in
+    match Hashtbl.find_opt mr_cache key with
+    | Some a -> a
+    | None ->
+        let a =
+          Array.init nprocs (fun pid ->
+              List.fold_left
+                (fun acc (c : Event.t) ->
+                  if c.index > acc && reaches c target then c.index else acc)
+                (-1) commits_by_pid.(pid))
+        in
+        Hashtbl.replace mr_cache key a;
+        a
+  in
   List.concat_map
     (fun nd ->
       List.filter_map
@@ -57,8 +81,8 @@ let violations_against trace ~targets =
           let precedes =
             Trace.causally_precedes nd target && not (Event.equal nd target)
           in
-          if precedes && not (covered trace ~nd ~target) then
-            Some { nd; target }
+          if precedes && (max_reach target).(nd.Event.pid) <= nd.Event.index
+          then Some { nd; target }
           else None)
         targets)
     nds

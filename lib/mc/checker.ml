@@ -45,6 +45,7 @@ let crash_to_string = function
   | Model.Stop v -> Printf.sprintf "stop:%d" v
   | Model.Mid_commit { landed = true } -> "mid:landed"
   | Model.Mid_commit { landed = false } -> "mid:lost"
+  | Model.Lose { src; dst; seq } -> Printf.sprintf "lose:%d.%d.%d" src dst seq
 
 let crash_of_string = function
   | "none" -> Ok Model.No_crash
@@ -56,6 +57,13 @@ let crash_of_string = function
           match int_of_string_opt v with
           | Some v -> Ok (Model.Stop v)
           | None -> Error ("bad stop victim: " ^ s))
+      | [ "lose"; m ] -> (
+          match
+            List.map int_of_string_opt (String.split_on_char '.' m)
+          with
+          | [ Some src; Some dst; Some seq ] ->
+              Ok (Model.Lose { src; dst; seq })
+          | _ -> Error ("bad lost message: " ^ s))
       | _ -> Error ("bad crash: " ^ s))
 
 let prefix_to_string prefix =
@@ -244,9 +252,19 @@ let check_one ?(lose_work = true) ~spec ~defect ~program ~prefix ~crash () =
       | v :: _ ->
           report Invariant (Format.asprintf "%a" Save_work.pp_violation v))
   | _ -> ());
-  (match
-     Consistency.check ~reference:r.Model.reference ~observed:r.Model.observed
-   with
+  (* For a lost message the surviving-lineage reference is the wrong
+     yardstick: a silently skipped receive drops out of the reference
+     too, absolving the very divergence we are after.  Loss must be
+     *transparent* — the completed run must reproduce the no-loss
+     execution of the same schedule. *)
+  let reference =
+    match crash with
+    | Model.Lose _ ->
+        (Model.run ~spec ~defect ~program ~prefix ~crash:Model.No_crash)
+          .Model.observed
+    | _ -> r.Model.reference
+  in
+  (match Consistency.check ~reference ~observed:r.Model.observed with
   | Consistency.Consistent -> ()
   | v -> report Consistency (Format.asprintf "%a" Consistency.pp_verdict v));
   (if lose_work then
@@ -298,6 +316,22 @@ let check ?(no_prune = false) ?(lose_work = true) ?(root = []) ?stop_depth
             (fun d -> report Lose_work prefix crash d)
             (check_lose_work ~program ~run:r ~victim ~crash_pc)
   in
+  (* Loss transparency: retransmission must make a single dropped frame
+     unobservable, so the completed run reproduces the no-loss execution
+     of the same schedule.  The surviving-lineage reference is useless
+     here — a silently skipped receive drops out of it too. *)
+  let lose_variant prefix (nc : Model.run) (src, dst, seq) =
+    let crash = Model.Lose { src; dst; seq } in
+    let r = exec prefix crash in
+    match
+      Consistency.check ~reference:nc.Model.observed
+        ~observed:r.Model.observed
+    with
+    | Consistency.Consistent -> ()
+    | v ->
+        report Consistency prefix crash
+          (Format.asprintf "%a" Consistency.pp_verdict v)
+  in
   let rec dfs prefix =
     incr nodes;
     let nc = exec prefix Model.No_crash in
@@ -318,7 +352,8 @@ let check ?(no_prune = false) ?(lose_work = true) ?(root = []) ?stop_depth
         if nc.Model.last_step_committed then begin
           crash_variant prefix (Model.Mid_commit { landed = true });
           crash_variant prefix (Model.Mid_commit { landed = false })
-        end
+        end;
+        List.iter (lose_variant prefix nc) nc.Model.pending
       end;
       match nc.Model.next_pids with
       | [] ->
@@ -421,6 +456,7 @@ let defect_to_string = function
   | Model.Skip_orphan -> "skip-orphan"
   | Model.Drop_log -> "drop-log"
   | Model.Publish_first -> "publish-first"
+  | Model.No_retransmit -> "no-retransmit"
 
 let jobs ?(no_prune = false) ?(lose_work = true) ?(shard_depth = 2) ~specs
     ~program () =

@@ -1,7 +1,7 @@
 (** The bounded checker: DFS over every schedule prefix of a program,
-    every stop-crash victim and every mid-commit crash at each prefix,
-    three oracles per execution, with memoized state hashing and
-    {!Ft_exp}-fanned sharding. *)
+    every stop-crash victim, every mid-commit crash and every
+    drop-one-message fault at each prefix, three oracles per execution,
+    with memoized state hashing and {!Ft_exp}-fanned sharding. *)
 
 type oracle = Invariant | Consistency | Lose_work
 
@@ -55,9 +55,11 @@ val check :
     on the crash-free prefix trace; for each victim a stop crash, plus
     both mid-commit crash outcomes when the last step committed, each
     checked for output consistency against the surviving lineage's
-    reference; and, when [lose_work] (default true — turn off for
-    mutants), the dangerous-path oracle on every crashed execution.
-    [no_prune] disables the state-hash memo. *)
+    reference; for each in-flight message a {!Model.Lose} fault, checked
+    for loss transparency (the completed run must reproduce the no-loss
+    execution of the same schedule); and, when [lose_work] (default true
+    — turn off for mutants), the dangerous-path oracle on every crashed
+    execution.  [no_prune] disables the state-hash memo. *)
 
 val crash_to_string : Model.crash -> string
 val crash_of_string : string -> (Model.crash, string) result

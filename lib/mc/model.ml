@@ -62,12 +62,13 @@ let default_program ~nprocs ~depth =
 let program_digest prog =
   Digest.to_hex (Digest.string (Marshal.to_string prog []))
 
-type defect = Honest | Skip_orphan | Drop_log | Publish_first
+type defect = Honest | Skip_orphan | Drop_log | Publish_first | No_retransmit
 
 type crash =
   | No_crash
   | Stop of int
   | Mid_commit of { landed : bool }
+  | Lose of { src : int; dst : int; seq : int }
 
 type run = {
   trace : Trace.t;
@@ -79,6 +80,7 @@ type run = {
   last_step_committed : bool;
   bindings : ((int * int) * (int * int) option) list;
   prefix_bindings : ((int * int) * (int * int) option) list;
+  pending : (int * int * int) list;
   logged_pcs : (int * int) list;
   next_pids : int list;
   steps : int;
@@ -600,9 +602,31 @@ let run ~spec ~defect ~program ~prefix ~crash =
     |> List.sort compare
   in
   let prefix_bindings = bindings_now () in
+  let pending =
+    let acc = ref [] in
+    for src = nprocs - 1 downto 0 do
+      for dst = nprocs - 1 downto 0 do
+        for seq = st.sent.(src).(dst) - 1 downto st.cursor.(dst).(src) do
+          if Hashtbl.mem st.mail (src, dst, seq) then
+            acc := (src, dst, seq) :: !acc
+        done
+      done
+    done;
+    !acc
+  in
+  (* A lost frame: under an honest runtime the sender's retransmission
+     layer repairs a single loss before anyone can observe it, so the
+     drop is a no-op on the model state.  Under [No_retransmit] the
+     payload really disappears — the receiver's cursor can never pass
+     the hole (FIFO links), so the whole link falls silent and the
+     blocked receives resolve to skips at quiescence. *)
+  (match crash with
+  | Lose { src; dst; seq } when defect = No_retransmit ->
+      Hashtbl.remove st.mail (src, dst, seq)
+  | _ -> ());
   let victim =
     match (crash, !mid_victim) with
-    | No_crash, _ -> None
+    | No_crash, _ | Lose _, _ -> None
     | _, Some v -> Some v
     | Stop v, None -> Some v
     | Mid_commit _, None -> (
@@ -644,6 +668,7 @@ let run ~spec ~defect ~program ~prefix ~crash =
     last_step_committed;
     bindings = bindings_now ();
     prefix_bindings;
+    pending;
     next_pids;
     logged_pcs =
       Hashtbl.fold (fun k _ acc -> k :: acc) st.log [] |> List.sort compare;

@@ -43,8 +43,11 @@ type defect =
   | Publish_first
       (** visible output is published before the protocol's pre-visible
           commit instead of after it *)
+  | No_retransmit
+      (** the network stack never retransmits: a {!Lose} fault is never
+          repaired, the link falls permanently silent past the hole *)
 
-(** The single injected stop failure. *)
+(** The single injected fault. *)
 type crash =
   | No_crash
   | Stop of int  (** victim pid; crashes after the prefix completes *)
@@ -52,6 +55,11 @@ type crash =
       (** the process scheduled by the last prefix step crashes inside
           that step's commit: [landed] selects the Vista-atomic outcome
           (the whole commit is durable, or none of it) *)
+  | Lose of { src : int; dst : int; seq : int }
+      (** the network drops one in-flight message after the prefix.  An
+          honest runtime's retransmission repairs it (the run is
+          identical to [No_crash]); under {!No_retransmit} the payload
+          is gone for good and the receiver eventually skips *)
 
 type run = {
   trace : Ft_core.Trace.t;  (** everything executed, crash included *)
@@ -73,6 +81,10 @@ type run = {
       (** the bindings as of the crash instant, aligned with
           [prefix_trace] — what the dangerous-path classification of the
           pre-crash world must be computed from *)
+  pending : (int * int * int) list;
+      (** in-flight messages at the end of the prefix — (src, dst, seq)
+          sent but not yet consumed: the {!Lose} candidates the checker
+          enumerates at this node *)
   logged_pcs : (int * int) list;
       (** (pid, pc) whose result the recovery system actually logged *)
   next_pids : int list;

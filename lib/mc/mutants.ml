@@ -121,6 +121,20 @@ let publish_before_log =
     spec = base "CBNDVS-LOG";
   }
 
+(* CAND over a network stack that never retransmits: a single dropped
+   frame is never repaired, the FIFO link falls silent past the hole,
+   and the receiver's skipped binding bends its lineage — the loss
+   stops being transparent.  Only the drop-one-message fault variants
+   can see this; every process-crash oracle stays green. *)
+let never_retransmit =
+  {
+    mutant_name = "never-retransmit";
+    based_on = "CAND";
+    defect = Model.No_retransmit;
+    expected = "a lost frame is never repaired; output diverges from the no-loss run";
+    spec = base "CAND";
+  }
+
 let all =
   [
     commit_after_visible;
@@ -128,6 +142,7 @@ let all =
     skip_orphan_commit;
     drop_log_entry;
     publish_before_log;
+    never_retransmit;
   ]
 
 let by_name n = List.find_opt (fun m -> m.mutant_name = n) all

@@ -12,7 +12,8 @@ type t = {
 }
 
 val all : t list
-(** At least five: skip-orphan-commit, commit-after-visible,
-    drop-log-entry, publish-before-log, budget-never-reset. *)
+(** At least six: skip-orphan-commit, commit-after-visible,
+    drop-log-entry, publish-before-log, budget-never-reset,
+    never-retransmit. *)
 
 val by_name : string -> t option

@@ -58,6 +58,7 @@ let minimize ?(lose_work = true) ~spec ~defect ~program
         | Model.Mid_commit _ ->
             Model.No_crash
             :: List.init (Array.length !prog) (fun i -> Model.Stop i)
+        | Model.Lose _ -> [ Model.No_crash ]
       in
       (match
          List.find_opt (fun c -> refails !prefix c !prog) crash_candidates
@@ -139,6 +140,10 @@ let to_script ~spec (r : result) =
     | Model.Mid_commit { landed } ->
         Printf.sprintf "# crash: mid-commit in the last step (commit %s)"
           (if landed then "landed" else "lost")
+    | Model.Lose { src; dst; seq } ->
+        Printf.sprintf
+          "# fault: network drops message %d->%d seq %d after the last step"
+          src dst seq
   in
   String.concat "\n"
     [

@@ -116,6 +116,10 @@ type t = {
   syscall_tally : (Ft_vm.Syscall.t, int) Hashtbl.t;
       (* how often each syscall was serviced: OS fault injection targets
          the kernel paths the workload actually exercises *)
+  mutable net : message Ft_net.Transport.t option;
+      (* when set, sends travel the unreliable transport instead of
+         being enqueued directly; [None] is byte-identical to the
+         original reliable path (including its RNG draws) *)
 }
 
 let create ?(costs = default_costs) ?(seed = 42) ?(fs_capacity = 1 lsl 20)
@@ -146,10 +150,39 @@ let create ?(costs = default_costs) ?(seed = 42) ?(fs_capacity = 1 lsl 20)
     os_fault = None;
     panicked = false;
     syscall_tally = Hashtbl.create 16;
+    net = None;
   }
 
 let costs t = t.costs
 let nprocs t = t.nprocs
+
+(* --- the unreliable transport ------------------------------------------- *)
+
+let net t = t.net
+
+(* Attach an {!Ft_net.Transport} between send and receive.  The
+   transport owns delivery timing (latency, jitter, and whatever the
+   policy adds), sequencing, retransmission and in-order reassembly; the
+   kernel keeps its per-sender [msg_seq] duplicate filter on top, which
+   continues to absorb sender-rollback replays exactly as on the
+   reliable path.  Frames complete delivery during {!Ft_net.Transport.pump}
+   (driven by the engine), landing in the destination mailbox with
+   [msg_deliver_at] set to the arrival time. *)
+let attach_net ?(policy = Ft_net.Policy.reliable) ?link_policy ?rto_ns
+    ?rto_max_ns ?backoff ?max_retries ~seed t =
+  let deliver ~at ~src:_ ~dst (m : message) =
+    Queue.add { m with msg_deliver_at = at } t.mailboxes.(dst)
+  in
+  let policy =
+    match link_policy with Some f -> f | None -> fun _ _ -> policy
+  in
+  let tr =
+    Ft_net.Transport.create ~policy ?rto_ns ?rto_max_ns ?backoff ?max_retries
+      ~seed ~nprocs:t.nprocs ~latency_ns:t.costs.network_latency_ns
+      ~jitter_ns:t.costs.network_jitter_ns ~deliver ()
+  in
+  t.net <- Some tr;
+  tr
 
 (* Scripted user input.  Each entry is (gap, token): the token becomes
    available [gap] after the previous read completed — the paper's
@@ -376,26 +409,46 @@ let service t ~pid ~now ~a0 ~a1 s =
       done_ ~r0:(if ready then 1 else 0)
         (Ev_nd (Ft_core.Event.Transient, false))
   | Ft_vm.Syscall.Write_output -> done_ ~cost:(base * 2) (Ev_visible a0)
-  | Ft_vm.Syscall.Send ->
+  | Ft_vm.Syscall.Send -> (
       let dest = a0 land max_int mod max 1 t.nprocs in
       let seq = k.send_seq in
       k.send_seq <- seq + 1;
-      let jitter =
-        if t.costs.network_jitter_ns = 0 then 0
-        else Random.State.int t.rng t.costs.network_jitter_ns
-      in
-      let m =
-        {
-          msg_src = pid;
-          msg_dest = dest;
-          msg_payload = a1;
-          msg_seq = seq;
-          msg_tag = tag ~src:pid ~seq;
-          msg_deliver_at = now + t.costs.network_latency_ns + jitter;
-        }
-      in
-      Queue.add m t.mailboxes.(dest);
-      done_ ~cost:(base * 3) (Ev_send { dest; tag = m.msg_tag })
+      match t.net with
+      | None ->
+          let jitter =
+            if t.costs.network_jitter_ns = 0 then 0
+            else Random.State.int t.rng t.costs.network_jitter_ns
+          in
+          let m =
+            {
+              msg_src = pid;
+              msg_dest = dest;
+              msg_payload = a1;
+              msg_seq = seq;
+              msg_tag = tag ~src:pid ~seq;
+              msg_deliver_at = now + t.costs.network_latency_ns + jitter;
+            }
+          in
+          Queue.add m t.mailboxes.(dest);
+          done_ ~cost:(base * 3) (Ev_send { dest; tag = m.msg_tag })
+      | Some net ->
+          (* The transport owns timing: [msg_deliver_at] is stamped with
+             the arrival time when the frame completes delivery.  A
+             sender-rollback replay of this send gets a fresh transport
+             sequence number but the same [msg_seq], so the receiver's
+             duplicate filter still absorbs it at consume time. *)
+          let m =
+            {
+              msg_src = pid;
+              msg_dest = dest;
+              msg_payload = a1;
+              msg_seq = seq;
+              msg_tag = tag ~src:pid ~seq;
+              msg_deliver_at = now;
+            }
+          in
+          Ft_net.Transport.send net ~now ~src:pid ~dst:dest m;
+          done_ ~cost:(base * 3) (Ev_send { dest; tag = m.msg_tag }))
   | Ft_vm.Syscall.Recv | Ft_vm.Syscall.Try_recv -> (
       (* Pop the next message, skipping duplicates already consumed
          before the sender was rolled back (§2.1: receivers must filter

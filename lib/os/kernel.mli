@@ -39,6 +39,19 @@ type result =
   | Block_recv  (** no message available; retry when one arrives *)
   | Panic  (** the injected kernel fault reached its crash point *)
 
+(** A message in flight.  [msg_seq] is the per-sender sequence number
+    the receive-side duplicate filter keys on; [msg_tag] is the stable
+    trace tag; [msg_deliver_at] the arrival time (stamped by the
+    transport when one is attached). *)
+type message = {
+  msg_src : int;
+  msg_dest : int;
+  msg_payload : int;
+  msg_seq : int;
+  msg_tag : int;
+  msg_deliver_at : int;
+}
+
 (** An injected OS fault (configured by {!Ft_faults.Os_injector}). *)
 type os_fault = {
   mutable panic_at : int;
@@ -114,6 +127,29 @@ val requeue_uncommitted : t -> int -> unit
     its last commit, in order (the §2.1 recovery buffer). *)
 
 val mailbox_nonempty : t -> int -> bool
+
+val attach_net :
+  ?policy:Ft_net.Policy.t ->
+  ?link_policy:(int -> int -> Ft_net.Policy.t) ->
+  ?rto_ns:int ->
+  ?rto_max_ns:int ->
+  ?backoff:float ->
+  ?max_retries:int ->
+  seed:int ->
+  t ->
+  message Ft_net.Transport.t
+(** Interpose an {!Ft_net.Transport} between send and receive: sends
+    travel a seeded, policy-driven unreliable channel (loss, duplication,
+    reordering, delay, partitions) with retransmission, acks and
+    in-order reassembly underneath the kernel's own [msg_seq] duplicate
+    filter.  [policy] applies to every link; [link_policy src dst]
+    overrides per direction.  Frames land in mailboxes when the engine
+    pumps the transport.  Without this call the kernel's reliable path
+    is untouched, byte for byte. *)
+
+val net : t -> message Ft_net.Transport.t option
+(** The attached transport, if any — the engine pumps it and consults
+    reachability for 2PC timeouts. *)
 
 val service :
   t -> pid:int -> now:int -> a0:int -> a1:int -> Ft_vm.Syscall.t -> result

@@ -54,6 +54,12 @@ type config = {
   pick_override : (int list -> int option) option;
       (* given the runnable pids (ascending), choose who runs next;
          [None] falls back to the smallest-local-clock default *)
+  twopc_timeout_ns : int;
+      (* 2PC prepare/commit timeout: an unreachable participant makes
+         the coordinator presume abort and retry the round later *)
+  twopc_max_retries : int;
+      (* aborted-round retries (doubling backoff) before the coordinator
+         gives up and the run degrades to Net_unreachable *)
   heap_words : int;
   stack_words : int;
   page_size : int;
@@ -79,6 +85,8 @@ let default_config =
     kills = [];
     kill_at_decision = [];
     pick_override = None;
+    twopc_timeout_ns = 2_000_000;
+    twopc_max_retries = 8;
     heap_words = 65_536;
     stack_words = 4_096;
     page_size = 64;
@@ -92,6 +100,8 @@ type outcome =
   | Recovery_failed      (* a process kept crashing past its last commit *)
   | Deadlocked           (* all processes blocked *)
   | Instruction_budget   (* safety net tripped *)
+  | Net_unreachable      (* the transport's retry budget ran out: a link
+                            (or a 2PC round) gave up instead of wedging *)
 
 type result = {
   outcome : outcome;
@@ -110,6 +120,8 @@ type result = {
   first_crash : (int * int) option;    (* pid, trace index of crash event *)
   commit_after_activation : bool;
   memory_pokes : int;                  (* kernel-fault memory corruptions *)
+  aborted_rounds : int;                (* 2PC rounds presumed aborted on a
+                                          prepare/commit timeout *)
 }
 
 type t = {
@@ -135,6 +147,7 @@ type t = {
   mutable memory_pokes : int;
   mutable ack_tag : int;  (* synthetic (negative) tags for 2PC acks *)
   mutable round : int;    (* coordinated-commit round counter *)
+  mutable aborted_rounds : int;
 }
 
 let create ?(cfg = default_config) ~kernel ~programs () =
@@ -195,6 +208,7 @@ let create ?(cfg = default_config) ~kernel ~programs () =
       memory_pokes = 0;
       ack_tag = -1;
       round = 0;
+      aborted_rounds = 0;
     }
   in
   (* "The initial state of any application is always committed" (§4):
@@ -329,20 +343,41 @@ let do_local_commit ?round t (p : proc) =
    message latency; the coordinator finishes one latency after the last.
    The acknowledgements are recorded in the trace (as logged protocol
    messages) so the participants' commits happen-before whatever the
-   coordinator does next — the edge Save-work-orphan relies on. *)
+   coordinator does next — the edge Save-work-orphan relies on.
+
+   With an unreliable transport attached, the round is guarded by a
+   prepare/commit timeout with presumed-abort: if any participant is
+   unreachable (partitioned in either direction, or behind a link whose
+   retry budget ran out), nobody commits this round; the coordinator
+   waits out the timeout — doubling per retry — and tries again, so a
+   healing partition only delays the round.  A round that exhausts its
+   retries degrades the run to [Net_unreachable] rather than committing
+   unsafely or wedging. *)
 let do_global_commit t (coordinator : proc) =
   let latency =
     (Ft_os.Kernel.costs t.kernel).Ft_os.Kernel.network_latency_ns
   in
-  let start = coordinator.time in
-  let finish = ref start in
-  let round = t.round in
-  t.round <- round + 1;
-  (* participants first, each acknowledging to the coordinator *)
-  Array.iter
-    (fun q ->
-      if (not q.halted) && (not q.failed) && q.pid <> coordinator.pid
-      then begin
+  let live_participants () =
+    Array.to_list t.procs
+    |> List.filter (fun q ->
+           (not q.halted) && (not q.failed) && q.pid <> coordinator.pid)
+  in
+  let reachable (q : proc) =
+    match Ft_os.Kernel.net t.kernel with
+    | None -> true
+    | Some net ->
+        let now = coordinator.time in
+        Ft_net.Transport.reachable net ~src:coordinator.pid ~dst:q.pid ~now
+        && Ft_net.Transport.reachable net ~src:q.pid ~dst:coordinator.pid ~now
+  in
+  let commit_round () =
+    let start = coordinator.time in
+    let finish = ref start in
+    let round = t.round in
+    t.round <- round + 1;
+    (* participants first, each acknowledging to the coordinator *)
+    List.iter
+      (fun q ->
         q.time <- max q.time (start + latency);
         (* A participant whose commit crashed (and rolled back) never
            acknowledges; the coordinator still commits the others. *)
@@ -356,12 +391,33 @@ let do_global_commit t (coordinator : proc) =
             (Ft_core.Trace.record t.trace ~pid:coordinator.pid ~logged:true
                (Ft_core.Event.Receive { src = q.pid; tag }));
           if q.time > !finish then finish := q.time
-        end
-      end)
-    t.procs;
-  (* the coordinator commits last, once every ack is in *)
-  coordinator.time <- max coordinator.time (!finish + latency);
-  do_local_commit ~round t coordinator
+        end)
+      (live_participants ());
+    (* the coordinator commits last, once every ack is in *)
+    coordinator.time <- max coordinator.time (!finish + latency);
+    do_local_commit ~round t coordinator
+  in
+  let rec attempt retries =
+    if List.for_all reachable (live_participants ()) then commit_round ()
+    else begin
+      (* presumed abort: no participant prepared, so nothing to undo —
+         the round simply never happened *)
+      t.aborted_rounds <- t.aborted_rounds + 1;
+      if retries >= t.cfg.twopc_max_retries then begin
+        (* the partition outlived the retry budget: end the run honestly
+           instead of wedging or outputting without the commit *)
+        coordinator.failed <- true;
+        if t.outcome = None then t.outcome <- Some Net_unreachable;
+        false
+      end
+      else begin
+        coordinator.time <-
+          coordinator.time + (t.cfg.twopc_timeout_ns * (1 lsl retries));
+        attempt (retries + 1)
+      end
+    end
+  in
+  attempt 0
 
 (* Like [do_local_commit], [false] means the committing process crashed
    mid-commit and was restored: abandon the surrounding control flow. *)
@@ -675,11 +731,28 @@ let result_of t outcome =
     first_crash = t.first_crash;
     commit_after_activation = t.commit_after_activation;
     memory_pokes = t.memory_pokes;
+    aborted_rounds = t.aborted_rounds;
   }
+
+(* Fire transport events up to the most advanced live local clock:
+   deliveries land in mailboxes (possibly "early" for a slow receiver,
+   whose clock then advances to [msg_deliver_at] on consume, exactly as
+   on the reliable path), acks cancel retries, retries retransmit. *)
+let pump_net t =
+  match Ft_os.Kernel.net t.kernel with
+  | None -> ()
+  | Some net ->
+      let now =
+        Array.fold_left
+          (fun acc p -> if p.halted || p.failed then acc else max acc p.time)
+          0 t.procs
+      in
+      Ft_net.Transport.pump net ~now
 
 let run t =
   let rec loop () =
     apply_due_kills t;
+    pump_net t;
     if t.instructions > t.cfg.max_instructions then
       result_of t Instruction_budget
     else if finished t then
@@ -691,7 +764,40 @@ let run t =
             else Completed)
     else
       match pick t with
-      | None -> result_of t Deadlocked
+      | None -> (
+          (* Nobody is runnable.  If the network still holds events —
+             frames in flight, pending retries — the world can move:
+             advance simulated time to the next event and pump.  Only a
+             quiet network is a verdict: a link that exhausted its retry
+             budget while a receiver blocks is [Net_unreachable]
+             (graceful degradation, §2.6 spirit); otherwise the
+             processes deadlocked all by themselves. *)
+          match Ft_os.Kernel.net t.kernel with
+          | Some net when Ft_net.Transport.pending net -> (
+              match Ft_net.Transport.next_event net with
+              | Some at
+                when (match t.cfg.deadline_ns with
+                     | Some d -> at >= d
+                     | None -> false) ->
+                  result_of t Deadline
+              | Some at ->
+                  Ft_net.Transport.pump net ~now:at;
+                  loop ()
+              | None -> result_of t Deadlocked)
+          | Some net
+            when Ft_net.Transport.any_failed net
+                 && Array.exists
+                      (fun p -> p.blocked && (not p.halted) && not p.failed)
+                      t.procs ->
+              result_of t Net_unreachable
+          | _ ->
+              (* A 2PC round that exhausted its presumed-abort retries
+                 marked the outcome before the rest of the system drained;
+                 that verdict, not Deadlocked, is the honest one. *)
+              result_of t
+                (match t.outcome with
+                | Some Net_unreachable -> Net_unreachable
+                | _ -> Deadlocked))
       | Some p ->
           if past_deadline t p then result_of t Deadline
           else begin

@@ -27,6 +27,14 @@ type config = {
       (** schedule replay hook: given the runnable pids (ascending),
           choose who runs next; [None] (the value or the result) falls
           back to the smallest-local-clock default *)
+  twopc_timeout_ns : int;
+      (** 2PC prepare/commit timeout: with an unreliable transport
+          attached, an unreachable participant makes the coordinator
+          presume abort and retry the round after the timeout (doubling
+          per retry) *)
+  twopc_max_retries : int;
+      (** aborted-round retries before the coordinator gives up and the
+          run degrades to [Net_unreachable] *)
   heap_words : int;
   stack_words : int;
   page_size : int;
@@ -46,6 +54,10 @@ type outcome =
   | Recovery_failed  (** a process kept crashing past its last commit *)
   | Deadlocked
   | Instruction_budget
+  | Net_unreachable
+      (** the attached transport's retry budget ran out (a link gave up,
+          or a 2PC round exhausted its presumed-abort retries): the run
+          degrades instead of wedging in [Block_recv] *)
 
 type result = {
   outcome : outcome;
@@ -68,6 +80,8 @@ type result = {
       (** a commit landed between fault activation and the first crash:
           the Table-1 Lose-work violation criterion *)
   memory_pokes : int;  (** kernel-fault memory corruptions applied *)
+  aborted_rounds : int;
+      (** 2PC rounds presumed aborted on a prepare/commit timeout *)
 }
 
 type t

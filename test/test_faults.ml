@@ -220,7 +220,8 @@ let prop_injection_always_terminates =
           | Ft_runtime.Engine.Completed | Ft_runtime.Engine.Recovery_failed
           | Ft_runtime.Engine.Instruction_budget ->
               true
-          | Ft_runtime.Engine.Deadline | Ft_runtime.Engine.Deadlocked ->
+          | Ft_runtime.Engine.Deadline | Ft_runtime.Engine.Deadlocked
+          | Ft_runtime.Engine.Net_unreachable ->
               false))
 
 (* --- stable-memory injector --------------------------------------------- *)

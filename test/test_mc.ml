@@ -117,6 +117,54 @@ let test_shrunk_script_replayable () =
       Alcotest.(check bool) "replay reproduces the violation" false
         (Conformance.upholds_save_work m.Ft_mc.Mutants.spec ~nprocs:2 steps)
 
+(* --- the drop-one-message fault -------------------------------------------- *)
+
+let test_lose_transparent_under_honest () =
+  (* after [0;0] p0 has executed (nd; send->1), so message (0,1,0) is in
+     flight; losing it under an honest runtime is repaired by
+     retransmission and the run is indistinguishable from the no-loss
+     one — which is exactly why the seven honest protocols' verdicts are
+     unchanged by the new fault variants *)
+  let program = program ~depth:6 in
+  let run crash =
+    Ft_mc.Model.run ~spec:Protocols.cand ~defect:Ft_mc.Model.Honest ~program
+      ~prefix:[ 0; 0 ] ~crash
+  in
+  let nc = run Ft_mc.Model.No_crash in
+  Alcotest.(check (list (triple int int int)))
+    "pending message enumerated"
+    [ (0, 1, 0) ]
+    nc.Ft_mc.Model.pending;
+  let lost = run (Ft_mc.Model.Lose { src = 0; dst = 1; seq = 0 }) in
+  Alcotest.(check (list int)) "observed unchanged" nc.Ft_mc.Model.observed
+    lost.Ft_mc.Model.observed;
+  Alcotest.(check (list string)) "check_one clean" []
+    (List.map
+       (fun (v : Ft_mc.Checker.violation) -> v.Ft_mc.Checker.v_detail)
+       (Ft_mc.Checker.check_one ~spec:Protocols.cand
+          ~defect:Ft_mc.Model.Honest ~program ~prefix:[ 0; 0 ]
+          ~crash:(Ft_mc.Model.Lose { src = 0; dst = 1; seq = 0 }) ()))
+
+let test_never_retransmit_dies_only_on_lose () =
+  (* the never-retransmit runtime recovers from process crashes exactly
+     like the honest one — only the drop-one-message fault variants can
+     convict it, so every violation must carry a Lose fault *)
+  let program = program ~depth:6 in
+  let m = Option.get (Ft_mc.Mutants.by_name "never-retransmit") in
+  let s =
+    Ft_mc.Checker.check ~lose_work:false ~spec:m.Ft_mc.Mutants.spec
+      ~defect:m.Ft_mc.Mutants.defect ~program ()
+  in
+  Alcotest.(check bool) "convicted" true (s.Ft_mc.Checker.violations <> []);
+  List.iter
+    (fun (v : Ft_mc.Checker.violation) ->
+      match v.Ft_mc.Checker.v_crash with
+      | Ft_mc.Model.Lose _ -> ()
+      | c ->
+          Alcotest.failf "convicted by %s, not a lost message"
+            (Ft_mc.Checker.crash_to_string c))
+    s.Ft_mc.Checker.violations
+
 (* --- memoization soundness ------------------------------------------------ *)
 
 let test_prune_matches_no_prune () =
@@ -173,6 +221,7 @@ let test_crash_roundtrip () =
       Ft_mc.Model.Stop 7;
       Ft_mc.Model.Mid_commit { landed = true };
       Ft_mc.Model.Mid_commit { landed = false };
+      Ft_mc.Model.Lose { src = 1; dst = 0; seq = 3 };
     ];
   match Ft_mc.Checker.prefix_of_string "010221" with
   | Ok p -> Alcotest.(check (list int)) "prefix" [ 0; 1; 0; 2; 2; 1 ] p
@@ -336,6 +385,10 @@ let () =
             test_model_deterministic;
           Alcotest.test_case "lose-work oracle on honest crash" `Quick
             test_lose_work_oracle_on_honest_crashes;
+          Alcotest.test_case "lost message transparent under honest runtime"
+            `Quick test_lose_transparent_under_honest;
+          Alcotest.test_case "never-retransmit dies only on lost messages"
+            `Quick test_never_retransmit_dies_only_on_lose;
           Alcotest.test_case "prune matches no-prune" `Quick
             test_prune_matches_no_prune;
         ] );

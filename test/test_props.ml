@@ -129,6 +129,54 @@ let stop_failure_prop =
            ~reference:(Lazy.force counter_reference).Ft_runtime.Engine.visible
            ~observed:r.Ft_runtime.Engine.visible)
 
+(* --- consistency modulo duplicates (§2.3) -------------------------------- *)
+
+(* Duplicate bursts are exactly what rollback re-emission produces, and
+   the checker's one tolerated difference: interleaving repeats of
+   already-seen values anywhere in the observed stream must never
+   convict. *)
+let consistency_dup_bursts_prop =
+  QCheck.Test.make ~name:"duplicate bursts stay consistent" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 20) (0 -- 9)) (0 -- 1_000_000))
+    (fun (reference, seed) ->
+      QCheck.assume (reference <> []);
+      let rng = Random.State.make [| seed; 0xc0 |] in
+      let observed =
+        List.concat
+          (List.mapi
+             (fun i v ->
+               let seen = Array.of_list (List.filteri (fun j _ -> j <= i) reference) in
+               let burst =
+                 List.init (Random.State.int rng 4) (fun _ ->
+                     seen.(Random.State.int rng (Array.length seen)))
+               in
+               v :: burst)
+             reference)
+      in
+      Consistency.is_consistent ~reference ~observed)
+
+(* A reordering of two distinct, first-occurrence values is NOT a
+   duplicate: the early value is neither expected nor seen, and the
+   checker must convict it as Extra at exactly that position. *)
+let consistency_reorder_extra_prop =
+  QCheck.Test.make ~name:"reordered distinct pair convicted extra" ~count:200
+    QCheck.(pair (2 -- 30) (0 -- 28))
+    (fun (n, i) ->
+      QCheck.assume (i < n - 1);
+      let reference = List.init n (fun k -> 10 + k) in
+      let observed =
+        List.mapi
+          (fun k v ->
+            if k = i then 10 + i + 1
+            else if k = i + 1 then 10 + i
+            else v)
+          reference
+      in
+      match Consistency.check ~reference ~observed with
+      | Consistency.Extra { position; value } ->
+          position = i && value = 10 + i + 1
+      | _ -> false)
+
 (* --- §2.6: resource expansion -------------------------------------------- *)
 
 (* Writes past the disk's capacity, crashing on the failure; with
@@ -356,7 +404,8 @@ let violations_agree_prop spec =
 let tests =
   List.map QCheck_alcotest.to_alcotest
     (conformance_tests
-    @ [ no_commit_violates; stop_failure_prop ]
+    @ [ no_commit_violates; stop_failure_prop; consistency_dup_bursts_prop;
+        consistency_reorder_extra_prop ]
     @ List.map violations_agree_prop
         [ Protocols.no_commit; Protocols.cpvs; Protocols.cand_log ])
   @ [
