@@ -93,8 +93,16 @@ let pool_speedup () =
     (Ft_harness.Report.section "Exp.Pool speedup (Figure 8 @ scale 0.25)");
   Printf.printf "-j 1 : %6.2f s\n" serial;
   Printf.printf "-j %-2d: %6.2f s\n" n parallel;
-  Printf.printf "speedup: %.2fx on %d core%s\n" (serial /. parallel) n
-    (if n = 1 then "" else "s")
+  (* A sub-microsecond parallel wall-clock (clock granularity, or a
+     fully warm store) would print [inf]; report n/a instead. *)
+  let speedup =
+    if parallel < 1e-6 then None else Some (serial /. parallel)
+  in
+  Printf.printf "speedup: %s on %d core%s\n"
+    (match speedup with Some s -> Printf.sprintf "%.2fx" s | None -> "n/a")
+    n
+    (if n = 1 then "" else "s");
+  (serial, parallel, n, speedup)
 
 (* --- part 2: bechamel tests ---------------------------------------------- *)
 
@@ -289,8 +297,9 @@ let micro_vm =
   Test.make ~name:"micro_vm_interpreter"
     (Staged.stage (fun () ->
          let m = Ft_vm.Machine.create ~heap_size:1024 code in
-         while Ft_vm.Machine.status m = Ft_vm.Machine.Running do
-           Ft_vm.Machine.step m
+         (* drive through the engine's batched stepper *)
+         while Ft_vm.Machine.is_running m do
+           ignore (Ft_vm.Machine.step_n m 4096)
          done;
          Sys.opaque_identity (Ft_vm.Machine.icount m)))
 
@@ -324,13 +333,16 @@ let commit_pattern ~write_range =
     write_range ~off:(i * 64) page
   done
 
+(* Setup (region, checkpointer, machine, kernel) is hoisted OUT of the
+   staged closures below: the timed body is one transaction/commit, not
+   the construction of the rig around it. *)
 let micro_vista_persisted_log =
+  let v =
+    Ft_stablemem.Vista.create ~data_words:1024
+      (Ft_stablemem.Rio.create ~size:2048)
+  in
   Test.make ~name:"micro_commit_persisted_log"
     (Staged.stage (fun () ->
-         let v =
-           Ft_stablemem.Vista.create ~data_words:1024
-             (Ft_stablemem.Rio.create ~size:2048)
-         in
          Ft_stablemem.Vista.begin_tx v;
          commit_pattern ~write_range:(fun ~off values ->
              Ft_stablemem.Vista.write_range v ~off values);
@@ -338,28 +350,39 @@ let micro_vista_persisted_log =
          Sys.opaque_identity (Ft_stablemem.Vista.commits v)))
 
 let micro_vista_heap_list =
+  let v = Heap_list_log.create (Ft_stablemem.Rio.create ~size:2048) in
   Test.make ~name:"micro_commit_heap_list"
     (Staged.stage (fun () ->
-         let v = Heap_list_log.create (Ft_stablemem.Rio.create ~size:2048) in
          commit_pattern ~write_range:(fun ~off values ->
              Heap_list_log.write_range v ~off values);
          Heap_list_log.commit v;
          Sys.opaque_identity v.Heap_list_log.commits))
 
 let micro_checkpoint =
+  let ck =
+    Ft_runtime.Checkpointer.create
+      ~medium:Ft_runtime.Checkpointer.Reliable_memory ~nprocs:1
+      ~heap_words:4096 ~stack_words:256 ()
+  in
+  let m = Ft_vm.Machine.create ~heap_size:4096 [| Ft_vm.Instr.Halt |] in
+  let heap = Ft_vm.Machine.heap m in
+  for i = 0 to 511 do
+    Ft_vm.Memory.write heap i i
+  done;
+  let kernel = Ft_os.Kernel.create ~nprocs:1 () in
+  let kstate = Ft_os.Kernel.snapshot_kstate kernel 0 in
+  (* Flush the initial dirtying into checkpoint zero so each timed run
+     commits the same 8-page delta. *)
+  ignore (Ft_runtime.Checkpointer.commit ck ~pid:0 ~machine:m ~kstate);
+  let tick = ref 0 in
   Test.make ~name:"micro_checkpoint_commit"
     (Staged.stage (fun () ->
-         let ck =
-           Ft_runtime.Checkpointer.create
-             ~medium:Ft_runtime.Checkpointer.Reliable_memory ~nprocs:1
-             ~heap_words:4096 ~stack_words:256 ()
-         in
-         let m = Ft_vm.Machine.create ~heap_size:4096 [| Ft_vm.Instr.Halt |] in
-         for i = 0 to 511 do
-           Ft_vm.Memory.write (Ft_vm.Machine.heap m) i i
+         incr tick;
+         (* Re-dirty 8 pages with fresh values: every run commits a real
+            8-dirty-page checkpoint. *)
+         for p = 0 to 7 do
+           Ft_vm.Memory.write heap (p * 64) ((p * 64) + !tick)
          done;
-         let kernel = Ft_os.Kernel.create ~nprocs:1 () in
-         let kstate = Ft_os.Kernel.snapshot_kstate kernel 0 in
          Sys.opaque_identity
            (Ft_runtime.Checkpointer.commit ck ~pid:0 ~machine:m ~kstate)))
 
@@ -403,20 +426,23 @@ let net_burst ~loss ~n =
   done;
   (!delivered, !last_ns, Ft_net.Transport.stats t)
 
-let net_goodput () =
+let net_goodput ?(n = 10_000) () =
   print_string
     (Ft_harness.Report.section
-       "Channel goodput (Ft_net.Transport, 10k msgs, one link)");
-  List.iter
+       (Printf.sprintf "Channel goodput (Ft_net.Transport, %dk msgs, one link)"
+          (n / 1000)));
+  List.map
     (fun loss ->
-      let delivered, last_ns, s = net_burst ~loss ~n:10_000 in
+      let delivered, last_ns, s = net_burst ~loss ~n in
+      let goodput = float_of_int delivered /. (float_of_int last_ns /. 1e9) in
       Printf.printf
-        "loss %3.0f%%: %5d/10000 delivered, %6d transmissions (%4.1f%% rtx), goodput %8.0f msgs/s\n"
-        (100. *. loss) delivered s.Ft_net.Transport.transmissions
+        "loss %3.0f%%: %5d/%d delivered, %6d transmissions (%4.1f%% rtx), goodput %8.0f msgs/s\n"
+        (100. *. loss) delivered n s.Ft_net.Transport.transmissions
         (100.
         *. float_of_int s.Ft_net.Transport.retransmits
         /. float_of_int (max 1 s.Ft_net.Transport.transmissions))
-        (float_of_int delivered /. (float_of_int last_ns /. 1e9)))
+        goodput;
+      (loss, delivered, goodput))
     [ 0.0; 0.05; 0.20 ]
 
 let micro_net_transport loss =
@@ -427,20 +453,23 @@ let micro_net_transport loss =
 
 (* Checker throughput in model states per second, the unit DESIGN.md
    quotes for exploration budgets. *)
-let mc_throughput () =
+let mc_throughput ?(depth = 6) () =
   print_string
     (Ft_harness.Report.section "Model checker throughput (states/sec)");
-  let program = Ft_mc.Model.default_program ~nprocs:2 ~depth:6 in
-  List.iter
+  let program = Ft_mc.Model.default_program ~nprocs:2 ~depth in
+  List.map
     (fun spec ->
       let t0 = Unix.gettimeofday () in
       let s = Ft_mc.Checker.check ~spec ~defect:Ft_mc.Model.Honest ~program () in
       let dt = Unix.gettimeofday () -. t0 in
+      let rate =
+        if dt < 1e-6 then 0. else float_of_int s.Ft_mc.Checker.nodes /. dt
+      in
       Printf.printf
         "%-12s %5d nodes %6d runs %8d steps in %6.3fs = %9.0f states/s\n"
         spec.Ft_core.Protocol.spec_name s.Ft_mc.Checker.nodes
-        s.Ft_mc.Checker.runs s.Ft_mc.Checker.steps dt
-        (float_of_int s.Ft_mc.Checker.nodes /. dt))
+        s.Ft_mc.Checker.runs s.Ft_mc.Checker.steps dt rate;
+      (spec.Ft_core.Protocol.spec_name, rate))
     Ft_core.Protocols.figure8
 
 let tests =
@@ -451,20 +480,27 @@ let tests =
     ablation_crash_early 1; ablation_crash_early 32; micro_save_work;
     micro_dangerous; micro_vm; micro_vista_persisted_log;
     micro_vista_heap_list; micro_checkpoint; micro_mc_dfs;
-    micro_pool_dispatch 1; micro_pool_dispatch (Ft_exp.Pool.default_workers ());
-    micro_jstore_roundtrip; micro_net_transport 0.0; micro_net_transport 0.2;
+    micro_pool_dispatch 1;
   ]
+  (* On a single-core box the default pool is 1 worker: running the
+     dispatch bench twice under the same name would emit a duplicate
+     JSON key. *)
+  @ (let dw = Ft_exp.Pool.default_workers () in
+     if dw > 1 then [ micro_pool_dispatch dw ] else [])
+  @ [
+      micro_jstore_roundtrip; micro_net_transport 0.0; micro_net_transport 0.2;
+    ]
 
-let run_benchmarks () =
+let run_benchmarks ~quota_s () =
   print_string
     (Ft_harness.Report.section "Bechamel benchmarks (ns per run, OLS)");
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second quota_s) () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
           let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
           let est = Analyze.one ols Instance.monotonic_clock raw in
@@ -474,14 +510,90 @@ let run_benchmarks () =
             | _ -> nan
           in
           Printf.printf "%-28s %14.0f ns/run  (%d samples)\n"
-            (Test.Elt.name elt) ns raw.Benchmark.stats.Benchmark.samples)
+            (Test.Elt.name elt) ns raw.Benchmark.stats.Benchmark.samples;
+          (Test.Elt.name elt, ns))
         (Test.elements test))
     tests
 
+(* --- machine-readable trajectory (BENCH_RESULTS.json) -------------------- *)
+
+(* One JSON object per bench invocation: ns/run per bechamel test, the
+   Figure-8 regeneration wall-clock, channel goodput and model-checker
+   throughput — the numbers EXPERIMENTS.md tracks across PRs. *)
+let write_json ~path ~quick ~fig8 ~mc ~goodput ~bechamel =
+  let open Ft_exp.Jstore in
+  let obj =
+    Obj
+      ([ ("schema", String "ft-bench/1"); ("quick", Bool quick) ]
+      @ (match fig8 with
+        | None -> []
+        | Some (serial, parallel, workers, speedup) ->
+            [
+              ( "figure8_scale025",
+                Obj
+                  [
+                    ("serial_s", Float serial);
+                    ("parallel_s", Float parallel);
+                    ("workers", Int workers);
+                    ( "speedup",
+                      match speedup with Some s -> Float s | None -> Null );
+                  ] );
+            ])
+      @ [
+          ( "mc_states_per_s",
+            Obj (List.map (fun (name, r) -> (name, Float r)) mc) );
+          ( "net_goodput",
+            List
+              (List.map
+                 (fun (loss, delivered, gp) ->
+                   Obj
+                     [
+                       ("loss", Float loss);
+                       ("delivered", Int delivered);
+                       ("msgs_per_s", Float gp);
+                     ])
+                 goodput) );
+          ( "bechamel_ns_per_run",
+            Obj (List.map (fun (name, ns) -> (name, Float ns)) bechamel) );
+        ])
+  in
+  let oc = open_out path in
+  output_string oc (to_string obj);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nbench: wrote %s\n" path
+
 let () =
-  regenerate ();
-  pool_speedup ();
-  mc_throughput ();
-  net_goodput ();
-  run_benchmarks ();
+  let json_path = ref None and quick = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "bench: unknown argument %s (usage: bench [--quick] [--json PATH])\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let quick = !quick in
+  (* --quick: CI smoke mode.  Skips the full evaluation regeneration and
+     the serial-vs-parallel Figure-8 timing, shrinks the mc bound and the
+     goodput burst, and cuts the bechamel quota — same JSON shape, small
+     enough to run on every push. *)
+  let fig8 =
+    if quick then None
+    else begin
+      regenerate ();
+      Some (pool_speedup ())
+    end
+  in
+  let mc = mc_throughput ~depth:(if quick then 5 else 6) () in
+  let goodput = net_goodput ~n:(if quick then 2_000 else 10_000) () in
+  let bechamel = run_benchmarks ~quota_s:(if quick then 0.05 else 0.5) () in
+  (match !json_path with
+  | Some path -> write_json ~path ~quick ~fig8 ~mc ~goodput ~bechamel
+  | None -> ());
   print_endline "\nbench: done."

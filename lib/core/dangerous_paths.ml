@@ -89,22 +89,18 @@ let receive_class_of_trace trace (recv : Event.t) =
   match Trace.matching_send trace recv with
   | None -> Event.Fixed (* no recorded sender: nothing can change it *)
   | Some send ->
-      let sender_events = Trace.events_of trace send.Event.pid in
       let before_send (e : Event.t) = e.index < send.Event.index in
-      let last_commit =
-        List.fold_left
-          (fun acc (e : Event.t) ->
-            if Event.is_commit e && before_send e then Some e.index else acc)
-          None sender_events
-      in
-      let commit_floor = match last_commit with Some i -> i | None -> -1 in
-      let transient_between =
-        List.exists
-          (fun (e : Event.t) ->
-            Event.is_transient_nd e && e.index > commit_floor && before_send e)
-          sender_events
-      in
-      if transient_between then Event.Transient else Event.Fixed
+      (* One streaming pass over the sender's events for both the last
+         pre-send commit and a transient ND event after it. *)
+      let commit_floor = ref (-1) in
+      Trace.iter_of trace send.Event.pid (fun (e : Event.t) ->
+          if Event.is_commit e && before_send e then commit_floor := e.index);
+      let transient_between = ref false in
+      Trace.iter_of trace send.Event.pid (fun (e : Event.t) ->
+          if Event.is_transient_nd e && e.index > !commit_floor
+             && before_send e
+          then transient_between := true);
+      if !transient_between then Event.Transient else Event.Fixed
 
 (* Convenience wrapper: dangerous edges of process [pid]'s state graph
    where receive edges are classified from the recorded trace.  The graph

@@ -30,26 +30,23 @@ type analysis = {
 let analyze trace ~(crash : Event.t) =
   if not (Event.is_crash crash) then
     invalid_arg "Lose_work.analyze: event is not a crash";
-  let history =
-    List.filter
-      (fun (e : Event.t) -> e.index < crash.index)
-      (Trace.events_of trace crash.pid)
-  in
-  let last_transient =
-    List.fold_left
-      (fun acc (e : Event.t) ->
-        if Event.is_transient_nd e then Some e.index else acc)
-      None history
-  in
+  (* Stream the crashed process's pre-crash history in place. *)
+  let last_transient = ref None in
+  Trace.iter_of trace crash.pid (fun (e : Event.t) ->
+      if e.index < crash.index && Event.is_transient_nd e then
+        last_transient := Some e.index);
   let bohrbug, dangerous_from =
-    match last_transient with
+    match !last_transient with
     | None -> (true, 0)
     | Some i -> (false, i + 1)
   in
   let commits_on_path =
-    List.filter
-      (fun (e : Event.t) -> Event.is_commit e && e.index >= dangerous_from)
-      history
+    let acc = ref [] in
+    Trace.iter_of trace crash.pid (fun (e : Event.t) ->
+        if e.index < crash.index && Event.is_commit e
+           && e.index >= dangerous_from
+        then acc := e :: !acc);
+    List.rev !acc
   in
   (* The initial state of any application is always committed (§4), so a
      Bohrbug violates Lose-work even with no explicit commit. *)
@@ -63,12 +60,13 @@ let analyze trace ~(crash : Event.t) =
 let committed_after_activation trace ~(activation : Event.t)
     ~(crash : Event.t) =
   activation.pid = crash.pid
-  && List.exists
-       (fun (e : Event.t) ->
-         Event.is_commit e
-         && e.index > activation.index
-         && e.index < crash.index)
-       (Trace.events_of trace crash.pid)
+  &&
+  let found = ref false in
+  Trace.iter_of trace crash.pid (fun (e : Event.t) ->
+      if Event.is_commit e && e.index > activation.index
+         && e.index < crash.index
+      then found := true);
+  !found
 
 (* Graph-level check: any state at which the application commits must not
    be doomed. *)
@@ -83,11 +81,9 @@ let safe_to_commit ?receive_class g ~state =
    dangerous suffix?  (Upholding Save-work would force a commit before it.) *)
 let conflict trace ~(crash : Event.t) =
   let a = analyze trace ~crash in
-  let visible_on_path =
-    List.exists
-      (fun (e : Event.t) ->
-        Event.is_visible e && e.index >= a.dangerous_from
-        && e.index < crash.index)
-      (Trace.events_of trace crash.pid)
-  in
-  a.bohrbug || visible_on_path
+  let visible_on_path = ref false in
+  Trace.iter_of trace crash.pid (fun (e : Event.t) ->
+      if Event.is_visible e && e.index >= a.dangerous_from
+         && e.index < crash.index
+      then visible_on_path := true);
+  a.bohrbug || !visible_on_path

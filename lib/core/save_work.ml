@@ -34,9 +34,8 @@ let pp_violation fmt v =
    rescanning the process's commits for every pair — is quadratic in
    the trace and takes tens of seconds on an xpilot run. *)
 let violations_against trace ~targets =
-  let evs = Trace.events trace in
-  let nds = List.filter Event.is_nd evs in
-  let all_commits = List.filter Event.is_commit evs in
+  let nds = Trace.filter trace Event.is_nd in
+  let all_commits = Trace.filter trace Event.is_commit in
   let nprocs = Trace.nprocs trace in
   let commits_by_pid = Array.make nprocs [] in
   List.iter
@@ -90,17 +89,14 @@ let violations_against trace ~targets =
 (* Violations of Save-work-visible: uncommitted ND events that causally
    precede a visible event. *)
 let visible_violations trace =
-  violations_against trace
-    ~targets:(List.filter Event.is_visible (Trace.events trace))
+  violations_against trace ~targets:(Trace.filter trace Event.is_visible)
 
 (* Violations of Save-work-orphan: uncommitted ND events that causally
    precede a commit on another process (an orphan-creating dependence).
    Same-process commits can never be orphan-creating: a later commit on
    the same process commits the ND event itself. *)
 let orphan_violations trace =
-  let targets =
-    List.filter Event.is_commit (Trace.events trace)
-  in
+  let targets = Trace.filter trace Event.is_commit in
   List.filter
     (fun v -> v.nd.Event.pid <> v.target.Event.pid)
     (violations_against trace ~targets)
@@ -113,21 +109,20 @@ let holds trace = violations trace = []
    on another process's non-deterministic event that has been lost: here,
    the ND event is "lost" when its process crashed without committing it. *)
 let orphans trace =
-  let crashed_pids =
-    List.map (fun e -> e.Event.pid) (Trace.crashes trace)
-  in
+  let nprocs = Trace.nprocs trace in
+  (* One streaming pass for crashed processes and per-process last
+     commit index, instead of rescanning the history per ND event. *)
+  let crashed = Array.make nprocs false in
+  let last_commit = Array.make nprocs (-1) in
+  Trace.iter trace (fun (e : Event.t) ->
+      if Event.is_crash e then crashed.(e.pid) <- true
+      else if Event.is_commit e && e.index > last_commit.(e.pid) then
+        last_commit.(e.pid) <- e.index);
   let lost_nd =
-    List.filter
-      (fun (e : Event.t) ->
-        Event.is_nd e
-        && List.mem e.pid crashed_pids
-        && not
-             (List.exists
-                (fun (c : Event.t) -> c.index > e.index)
-                (Trace.commits_of trace e.pid)))
-      (Trace.events trace)
+    Trace.filter trace (fun (e : Event.t) ->
+        Event.is_nd e && crashed.(e.pid) && last_commit.(e.pid) <= e.index)
   in
-  let commits = List.filter Event.is_commit (Trace.events trace) in
+  let commits = Trace.filter trace Event.is_commit in
   List.sort_uniq compare
     (List.filter_map
        (fun (c : Event.t) ->

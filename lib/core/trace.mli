@@ -24,7 +24,23 @@ val events : t -> Event.t list
 (** All events, in global recording order. *)
 
 val events_of : t -> int -> Event.t list
-(** One process's events, in execution order. *)
+(** One process's events, in execution order (touches only that
+    process's events, via the per-process index vector). *)
+
+val get : t -> int -> Event.t
+(** The [i]-th event in global recording order, O(1). *)
+
+val iter : t -> (Event.t -> unit) -> unit
+(** Apply to every event in global recording order, no allocation. *)
+
+val iter_of : t -> int -> (Event.t -> unit) -> unit
+(** Apply to one process's events in execution order, no allocation. *)
+
+val fold : t -> init:'a -> ('a -> Event.t -> 'a) -> 'a
+
+val filter : t -> (Event.t -> bool) -> Event.t list
+(** Matching events in global recording order, in one pass (no
+    intermediate full-history list). *)
 
 val happens_before : Event.t -> Event.t -> bool
 (** Lamport's happens-before over recorded events. *)

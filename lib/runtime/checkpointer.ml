@@ -57,6 +57,12 @@ type slot = {
   meta_base : int;
   kstate_base : int;
   kstate_cap : int;          (* payload words available after the length *)
+  (* Per-slot scratch buffers: [commit] stages one page / the metadata /
+     the serialized kernel state here instead of allocating fresh arrays
+     every checkpoint. *)
+  page_buf : int array;
+  meta_buf : int array;
+  kstate_buf : int array;
 }
 
 type t = {
@@ -107,6 +113,9 @@ let create ?(cost = default_cost) ?(excluded = fun _ -> false)
       meta_base;
       kstate_base;
       kstate_cap;
+      page_buf = Array.make page_size 0;
+      meta_buf = Array.make meta_words 0;
+      kstate_buf = Array.make (1 + kstate_cap) 0;
     }
   in
   { medium; cost; slots = Array.init nprocs make_slot; excluded }
@@ -118,7 +127,16 @@ let checkpoints t ~pid = Ft_stablemem.Vista.commits t.slots.(pid).vista
 let has_checkpoint t ~pid = checkpoints t ~pid > 0
 
 (* Take a checkpoint of [machine] (incremental in its dirty pages) and the
-   kernel state; returns the simulated cost in nanoseconds. *)
+   kernel state; returns the simulated cost in nanoseconds.
+
+   The persisted transaction is word-granular: every range goes through
+   Vista's diff mode, so only the words that actually changed since the
+   last checkpoint are logged and stored (a page dirtied by one store
+   costs one small run, not a whole page of log traffic).  The CHARGED
+   cost is untouched: the ns model still charges a COW trap per dirty
+   page and a copy per page word, exactly as Vista's page-granular COW
+   on a real address space would — this function is the OCaml process's
+   hot path, not the paper's cost model. *)
 let commit t ~pid ~(machine : Ft_vm.Machine.t) ~kstate =
   let s = t.slots.(pid) in
   let heap = Ft_vm.Machine.heap machine in
@@ -126,43 +144,46 @@ let commit t ~pid ~(machine : Ft_vm.Machine.t) ~kstate =
   let dirty =
     List.filter (fun p -> not (t.excluded p)) (Ft_vm.Memory.dirty_pages heap)
   in
-  let snap = Ft_vm.Machine.snapshot machine in
   let v = s.vista in
   Ft_stablemem.Vista.begin_tx v;
-  (* Heap: only pages dirtied since the last checkpoint. *)
+  (* Heap: only pages dirtied since the last checkpoint, staged through
+     the per-slot scratch page. *)
   List.iter
     (fun p ->
-      Ft_stablemem.Vista.write_range v ~off:(p * page_size)
-        (Ft_vm.Memory.snapshot_page heap p))
+      Ft_vm.Memory.blit_page_into heap p s.page_buf;
+      Ft_stablemem.Vista.write_sub ~diff:true v ~off:(p * page_size)
+        ~src:s.page_buf ~spos:0 ~len:page_size)
     dirty;
-  (* Live stack prefix and machine metadata. *)
-  if Array.length snap.Ft_vm.Machine.s_stack > 0 then
-    Ft_stablemem.Vista.write_range v ~off:s.stack_base
-      snap.Ft_vm.Machine.s_stack;
-  let meta =
-    Array.append snap.Ft_vm.Machine.s_regs
-      [|
-        snap.Ft_vm.Machine.s_pc;
-        snap.Ft_vm.Machine.s_sp;
-        snap.Ft_vm.Machine.s_fp;
-        snap.Ft_vm.Machine.s_icount;
-        snap.Ft_vm.Machine.s_signal_handler;
-        (if snap.Ft_vm.Machine.s_in_signal then 1 else 0);
-      |]
-  in
-  Ft_stablemem.Vista.write_range v ~off:s.meta_base meta;
+  (* Live stack prefix, straight from the machine's stack array. *)
+  let sp = machine.Ft_vm.Machine.sp in
+  if sp > 0 then
+    Ft_stablemem.Vista.write_sub ~diff:true v ~off:s.stack_base
+      ~src:machine.Ft_vm.Machine.stack ~spos:0 ~len:sp;
+  (* Machine metadata, staged in the slot's scratch buffer. *)
+  let nregs = Ft_vm.Instr.num_regs in
+  Array.blit machine.Ft_vm.Machine.regs 0 s.meta_buf 0 nregs;
+  s.meta_buf.(nregs) <- Ft_vm.Machine.pc machine;
+  s.meta_buf.(nregs + 1) <- sp;
+  s.meta_buf.(nregs + 2) <- machine.Ft_vm.Machine.fp;
+  s.meta_buf.(nregs + 3) <- Ft_vm.Machine.icount machine;
+  s.meta_buf.(nregs + 4) <- machine.Ft_vm.Machine.signal_handler;
+  s.meta_buf.(nregs + 5) <- (if machine.Ft_vm.Machine.in_signal then 1 else 0);
+  Ft_stablemem.Vista.write_sub ~diff:true v ~off:s.meta_base ~src:s.meta_buf
+    ~spos:0 ~len:meta_words;
   (* Kernel state, serialized to words so restore needs nothing but the
      region. *)
   let kw = Ft_os.Kernel.kstate_to_words kstate in
-  if Array.length kw > s.kstate_cap then
+  let klen = Array.length kw in
+  if klen > s.kstate_cap then
     invalid_arg "Checkpointer.commit: kernel state exceeds its region area";
-  Ft_stablemem.Vista.write_range v ~off:s.kstate_base
-    (Array.append [| Array.length kw |] kw);
+  s.kstate_buf.(0) <- klen;
+  Array.blit kw 0 s.kstate_buf 1 klen;
+  Ft_stablemem.Vista.write_sub ~diff:true v ~off:s.kstate_base
+    ~src:s.kstate_buf ~spos:0 ~len:(1 + klen);
   Ft_stablemem.Vista.commit v;
   Ft_vm.Memory.clear_dirty heap;
   let words =
-    (List.length dirty * page_size)
-    + snap.Ft_vm.Machine.s_sp + meta_words + t.cost.kstate_words
+    (List.length dirty * page_size) + sp + meta_words + t.cost.kstate_words
   in
   match t.medium with
   | Reliable_memory ->

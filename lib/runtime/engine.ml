@@ -690,17 +690,7 @@ let past_deadline t (p : proc) =
 let slice t (p : proc) =
   maybe_deliver_signal t p;
   let m = p.machine in
-  let start_icount = Ft_vm.Machine.icount m in
-  let continue = ref true in
-  while
-    !continue
-    && Ft_vm.Machine.status m = Ft_vm.Machine.Running
-    && Ft_vm.Machine.icount m - start_icount < t.cfg.batch
-  do
-    Ft_vm.Machine.step m;
-    if Ft_vm.Machine.status m <> Ft_vm.Machine.Running then continue := false
-  done;
-  let executed = Ft_vm.Machine.icount m - start_icount in
+  let executed = Ft_vm.Machine.step_n m t.cfg.batch in
   t.instructions <- t.instructions + executed;
   p.time <- p.time + (executed * instr_ns t);
   match Ft_vm.Machine.status m with

@@ -7,12 +7,15 @@
     never clear it (the recovery engine only ever resets machines), and
     every write is accounted so commit costs can be charged.
 
-    Every mutation goes through a single word-granular path guarded by an
+    Every mutation goes through a word-granular path guarded by an
     optional write hook, so fault injectors ({!Ft_faults.Mem_injector})
     can observe the exact persisted-write sequence, crash the simulation
     between any two word writes ({!Crash_point}), and tear a {!blit_in}
     partway through — the substrate the crash-point torture harness
-    drives. *)
+    drives.  When NO hook is installed (every failure-free run), the bulk
+    operations take a fast path: one [Array.blit] plus one accounting
+    update, with the exact same persisted words and the exact same
+    {!words_written} count as the hooked word-by-word path. *)
 
 exception Crash_point of int
 (** Raised by a write hook to model a crash after the carried number of
@@ -40,6 +43,10 @@ let read t off =
     invalid_arg "Rio.read: out of range";
   t.words.(off)
 
+(* Bounds-unchecked read for hot scans whose range was validated once up
+   front (e.g. Vista's diff comparison). *)
+let unsafe_read t off = Array.unsafe_get t.words off
+
 (* The single persisted-write path: hook, then store, then account. *)
 let write_word t off v =
   (match t.on_write with Some f -> f off v | None -> ());
@@ -51,14 +58,46 @@ let write t off v =
     invalid_arg "Rio.write: out of range";
   write_word t off v
 
-(* Bulk copy into the region (one page of a checkpoint), word by word so
-   a crash point can land between any two words and leave a torn blit. *)
-let blit_in t ~off src =
-  if off < 0 || off + Array.length src > Array.length t.words then
+(* Bulk copy of [src.(spos .. spos+len-1)] into the region.  Hooked:
+   word by word, so a crash point can land between any two words and
+   leave a torn blit.  Unhooked: one [Array.blit] — bit-identical result
+   and identical [words_written] accounting, without the per-word
+   closure check. *)
+let blit_sub_in t ~off src ~spos ~len =
+  if off < 0 || len < 0 || off + len > Array.length t.words then
     invalid_arg "Rio.blit_in: out of range";
-  for i = 0 to Array.length src - 1 do
-    write_word t (off + i) src.(i)
-  done
+  if spos < 0 || spos + len > Array.length src then
+    invalid_arg "Rio.blit_in: bad source range";
+  match t.on_write with
+  | None ->
+      Array.blit src spos t.words off len;
+      t.words_written <- t.words_written + len
+  | Some _ ->
+      for i = 0 to len - 1 do
+        write_word t (off + i) src.(spos + i)
+      done
+
+let blit_in t ~off src = blit_sub_in t ~off src ~spos:0 ~len:(Array.length src)
+
+(* Region-to-region copy (undo-log before-images, log replay): the
+   source words are region words, so no intermediate array is needed.
+   Same fast-path/hooked-path split as {!blit_sub_in}.  The two ranges
+   must be disjoint for the paths to agree (the hooked path copies word
+   by word, ascending); every caller satisfies this, since the log and
+   data areas never overlap. *)
+let copy_within t ~src_off ~dst_off ~len =
+  let n = Array.length t.words in
+  if len < 0 || src_off < 0 || dst_off < 0
+     || src_off + len > n || dst_off + len > n
+  then invalid_arg "Rio.copy_within: out of range";
+  match t.on_write with
+  | None ->
+      Array.blit t.words src_off t.words dst_off len;
+      t.words_written <- t.words_written + len
+  | Some _ ->
+      for i = 0 to len - 1 do
+        write_word t (dst_off + i) t.words.(src_off + i)
+      done
 
 (* Bulk copy out of the region (restoring a checkpoint). *)
 let blit_out t ~off dst =

@@ -20,11 +20,28 @@ val set_on_write : t -> (int -> int -> unit) option -> unit
     is exactly the failure the torture harness explores. *)
 
 val read : t -> int -> int
+
+val unsafe_read : t -> int -> int
+(** [read] without the bounds check, for hot scans that validated their
+    whole range up front. *)
+
 val write : t -> int -> int -> unit
 
 val blit_in : t -> off:int -> int array -> unit
-(** Bulk copy into the region (e.g. one checkpoint page), performed word
-    by word through the hook path. *)
+(** Bulk copy into the region (e.g. one checkpoint page).  With a hook
+    installed the copy is word by word through the hook path; with no
+    hook it is a single [Array.blit] with identical persisted words and
+    identical {!words_written} accounting. *)
+
+val blit_sub_in : t -> off:int -> int array -> spos:int -> len:int -> unit
+(** [blit_sub_in t ~off src ~spos ~len] copies
+    [src.(spos .. spos+len-1)] into the region at [off] — {!blit_in}
+    without materializing the sub-array. *)
+
+val copy_within : t -> src_off:int -> dst_off:int -> len:int -> unit
+(** Region-to-region copy (before-images into the undo log, log replay
+    back into the data area) through the same fast-path/hooked-path
+    split as {!blit_sub_in}.  The ranges must be disjoint. *)
 
 val blit_out : t -> off:int -> int array -> unit
 val sub : t -> off:int -> len:int -> int array

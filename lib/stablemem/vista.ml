@@ -85,12 +85,13 @@ let begin_tx t =
 let require_tx t name =
   if not t.in_tx then invalid_arg (name ^ ": no open transaction")
 
-(* Append one undo record for [len] words at [off]: body first, then the
-   single header write that publishes it.  (The [Publish_header_first]
-   defect deliberately inverts that order so tests can prove the torture
-   harness catches the resulting unrecoverable crash points.) *)
-let append_record t ~off ~before =
-  let len = Array.length before in
+(* Append one undo record for the [len] region words at [off]: body
+   first (the before-image is copied region-to-region, no intermediate
+   array), then the single header write that publishes it.  (The
+   [Publish_header_first] defect deliberately inverts that order so
+   tests can prove the torture harness catches the resulting
+   unrecoverable crash points.) *)
+let append_record t ~off ~len =
   let count = log_words t in
   let base = rec_base t + count in
   if base + record_words ~len > Rio.size t.region then
@@ -101,17 +102,76 @@ let append_record t ~off ~before =
   if t.defect = Some Publish_header_first then publish ();
   Rio.write t.region base off;
   Rio.write t.region (base + 1) len;
-  Rio.blit_in t.region ~off:(base + 2) before;
+  Rio.copy_within t.region ~src_off:off ~dst_off:(base + 2) ~len;
   if t.defect <> Some Publish_header_first then publish ()
 
-(* Transactional write of a range: log the before-image, then update. *)
-let write_range t ~off src =
+(* Log one run of a transactional write, then update its data words:
+   the record is always published before the data words change, so a
+   torn data write is covered by a complete before-image. *)
+let write_run t ~off src ~spos ~len =
+  append_record t ~off ~len;
+  Rio.blit_sub_in t.region ~off src ~spos ~len
+
+(* Diff mode: changed words only, coalesced into runs.  Two changed
+   words whose gap of unchanged words is <= [diff_gap] share one run:
+   a run merge trades the gap's extra logged-and-rewritten words
+   against a saved 2-word record header, so small gaps amortize. *)
+let diff_gap = 2
+
+(* Compute the coalesced changed runs of [src] against the region, as
+   (start, len) pairs relative to [spos], newest last; [] when the
+   range is unchanged. *)
+let changed_runs t ~off src ~spos ~len =
+  let runs = ref [] in
+  let run_start = ref (-1) and run_end = ref (-1) in
+  let flush () =
+    if !run_start >= 0 then
+      runs := (!run_start, !run_end - !run_start + 1) :: !runs
+  in
+  for i = 0 to len - 1 do
+    if Array.unsafe_get src (spos + i) <> Rio.unsafe_read t.region (off + i)
+    then begin
+      if !run_start < 0 then run_start := i
+      else if i - !run_end > diff_gap + 1 then begin
+        flush ();
+        run_start := i
+      end;
+      run_end := i
+    end
+  done;
+  flush ();
+  List.rev !runs
+
+(* Transactional write of a sub-range: log the before-image(s), then
+   update.  In diff mode the incoming words are compared against the
+   region and only the changed runs are logged and stored — unless the
+   per-run record headers would cost more log words than one
+   whole-range record, in which case the whole-range path is taken, so
+   a diff-mode write NEVER consumes more log than [record_words ~len]
+   (the {!Ft_runtime.Checkpointer.log_area_words} capacity bound holds
+   by construction). *)
+let write_sub ?(diff = false) t ~off ~src ~spos ~len =
   require_tx t "Vista.write_range";
-  let len = Array.length src in
-  if off < 0 || off + len > t.data_words then
+  if off < 0 || len < 0 || off + len > t.data_words then
     invalid_arg "Vista.write_range: outside the data area";
-  append_record t ~off ~before:(Rio.sub t.region ~off ~len);
-  Rio.blit_in t.region ~off src
+  if spos < 0 || spos + len > Array.length src then
+    invalid_arg "Vista.write_range: bad source range";
+  if not diff then write_run t ~off src ~spos ~len
+  else
+    let runs = changed_runs t ~off src ~spos ~len in
+    let diff_log_words =
+      List.fold_left (fun acc (_, rlen) -> acc + rlen + 2) 0 runs
+    in
+    if runs = [] then ()  (* nothing changed: no record, no data write *)
+    else if diff_log_words >= len + 2 then write_run t ~off src ~spos ~len
+    else
+      List.iter
+        (fun (start, rlen) ->
+          write_run t ~off:(off + start) src ~spos:(spos + start) ~len:rlen)
+        runs
+
+let write_range ?diff t ~off src =
+  write_sub ?diff t ~off ~src ~spos:0 ~len:(Array.length src)
 
 let write_word t ~off v = write_range t ~off [| v |]
 
@@ -123,7 +183,7 @@ let write_word t ~off v = write_range t ~off [| v |]
 let commit t =
   require_tx t "Vista.commit";
   let c = commits t in
-  append_record t ~off:(log_base t + hdr_commits) ~before:[| c |];
+  append_record t ~off:(log_base t + hdr_commits) ~len:1;
   Rio.write t.region (log_base t + hdr_commits) (c + 1);
   Rio.write t.region (log_base t + hdr_count) 0;
   t.in_tx <- false
@@ -155,7 +215,7 @@ let rollback t =
   if log_words t > 0 then begin
     List.iter
       (fun (off, body, len) ->
-        Rio.blit_in t.region ~off (Rio.sub t.region ~off:body ~len))
+        Rio.copy_within t.region ~src_off:body ~dst_off:off ~len)
       (records_newest_first t);
     Rio.write t.region (log_base t + hdr_aborts) (aborts t + 1);
     Rio.write t.region (log_base t + hdr_count) 0

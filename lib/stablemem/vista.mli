@@ -36,11 +36,32 @@ val record_words : len:int -> int
 val begin_tx : t -> unit
 (** Raises [Invalid_argument] if a transaction is already open. *)
 
-val write_range : t -> off:int -> int array -> unit
+val write_range : ?diff:bool -> t -> off:int -> int array -> unit
 (** Transactional write: appends the before-image record to the
     persisted log (body first, then the publishing header write), then
     updates the data words.  Raises [Invalid_argument] outside the data
-    area or on log overflow. *)
+    area or on log overflow.
+
+    With [~diff:true] the incoming words are first compared against the
+    region: only the changed words, coalesced into runs (two changed
+    words whose gap of unchanged words is at most {!diff_gap} share a
+    run), are logged and stored.  An unchanged range appends no record
+    and writes no data word.  Whenever the per-run record headers would
+    cost more log words than one whole-range record, the whole-range
+    path is taken instead — so a diff-mode write never consumes more
+    than [record_words ~len] log words, and restore-equivalence with
+    the whole-range path holds at every crash point (checked by the
+    torture-style qcheck properties in [test_stablemem]). *)
+
+val write_sub :
+  ?diff:bool -> t -> off:int -> src:int array -> spos:int -> len:int -> unit
+(** {!write_range} over [src.(spos .. spos+len-1)] without materializing
+    the sub-array (the checkpointer's allocation-free commit path). *)
+
+val diff_gap : int
+(** Maximum run of unchanged words coalesced into a diff run: merging
+    across a gap of [g <= diff_gap] words trades [g] extra
+    logged-and-rewritten words against a saved 2-word record header. *)
 
 val write_word : t -> off:int -> int -> unit
 

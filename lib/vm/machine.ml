@@ -76,13 +76,22 @@ let crash t reason = t.status <- Crashed reason
 
 let kill t = crash t Killed
 
+(* Constant-time status test.  [t.status = Running] would go through
+   polymorphic equality (a C call: [status] has non-constant
+   constructors), which the interpreter loop pays several times per
+   instruction. *)
+let[@inline] is_running t =
+  match t.status with Running -> true | _ -> false
+
+(* The explicit range checks below subsume the bounds check the safe
+   array operations would repeat, so the hot accesses are unsafe_. *)
 let reg t r =
   if r < 0 || r >= Instr.num_regs then (crash t (Bad_register r); 0)
-  else t.regs.(r)
+  else Array.unsafe_get t.regs r
 
 let set_reg t r v =
   if r < 0 || r >= Instr.num_regs then crash t (Bad_register r)
-  else t.regs.(r) <- v
+  else Array.unsafe_set t.regs r v
 
 let stack_slot t i =
   if i < 0 || i >= t.sp then None else Some t.stack.(i)
@@ -95,7 +104,7 @@ let live_stack_size t = t.sp
 let push t v =
   if t.sp >= Array.length t.stack then crash t Stack_overflow
   else begin
-    t.stack.(t.sp) <- v;
+    Array.unsafe_set t.stack t.sp v;
     t.sp <- t.sp + 1
   end
 
@@ -103,25 +112,12 @@ let pop t =
   if t.sp <= 0 then (crash t Stack_underflow; 0)
   else begin
     t.sp <- t.sp - 1;
-    t.stack.(t.sp)
+    Array.unsafe_get t.stack t.sp
   end
 
 let jump t a =
   if a < 0 || a > Array.length t.code then crash t (Bad_jump a)
   else t.pc <- a
-
-let binop op a b =
-  match op with
-  | Instr.Add -> Some (a + b)
-  | Instr.Sub -> Some (a - b)
-  | Instr.Mul -> Some (a * b)
-  | Instr.Div -> if b = 0 then None else Some (a / b)
-  | Instr.Mod -> if b = 0 then None else Some (a mod b)
-  | Instr.And -> Some (a land b)
-  | Instr.Or -> Some (a lor b)
-  | Instr.Xor -> Some (a lxor b)
-  | Instr.Shl -> Some (a lsl (b land 62))
-  | Instr.Shr -> Some (a asr (b land 62))
 
 let cmp op a b =
   let r =
@@ -149,15 +145,32 @@ let step t =
         (match t.on_execute with Some f -> f at | None -> ());
         t.icount <- t.icount + 1;
         t.pc <- t.pc + 1;
-        match t.code.(at) with
+        match Array.unsafe_get t.code at with
         | Instr.Nop -> ()
         | Instr.Halt -> t.status <- Halted
         | Instr.Const (d, n) -> set_reg t d n
         | Instr.Mov (d, s) -> set_reg t d (reg t s)
-        | Instr.Bin (op, d, a, b) -> (
-            match binop op (reg t a) (reg t b) with
-            | Some v -> set_reg t d v
-            | None -> crash t Division_by_zero)
+        | Instr.Bin (op, d, a, b) ->
+            (* Operand order mirrors the former [binop op (reg t a)
+               (reg t b)] call (right-to-left); the dispatch is inlined
+               so arithmetic never allocates an option. *)
+            let y = reg t b in
+            let x = reg t a in
+            (match op with
+            | Instr.Add -> set_reg t d (x + y)
+            | Instr.Sub -> set_reg t d (x - y)
+            | Instr.Mul -> set_reg t d (x * y)
+            | Instr.Div ->
+                if y = 0 then crash t Division_by_zero
+                else set_reg t d (x / y)
+            | Instr.Mod ->
+                if y = 0 then crash t Division_by_zero
+                else set_reg t d (x mod y)
+            | Instr.And -> set_reg t d (x land y)
+            | Instr.Or -> set_reg t d (x lor y)
+            | Instr.Xor -> set_reg t d (x lxor y)
+            | Instr.Shl -> set_reg t d (x lsl (y land 62))
+            | Instr.Shr -> set_reg t d (x asr (y land 62)))
         | Instr.Cmp (op, d, a, b) -> set_reg t d (cmp op (reg t a) (reg t b))
         | Instr.Load (d, a) -> (
             match Memory.read t.heap (reg t a) with
@@ -172,27 +185,27 @@ let step t =
         | Instr.Push r -> push t (reg t r)
         | Instr.Pop r ->
             let v = pop t in
-            if t.status = Running then set_reg t r v
+            if is_running t then set_reg t r v
         | Instr.Sload (d, off) ->
             let i = t.fp + off in
             if i < 0 || i >= Array.length t.stack then crash t Stack_overflow
-            else set_reg t d t.stack.(i)
+            else set_reg t d (Array.unsafe_get t.stack i)
         | Instr.Sstore (off, s) ->
             let i = t.fp + off in
             if i < 0 || i >= Array.length t.stack then crash t Stack_overflow
-            else t.stack.(i) <- reg t s
+            else Array.unsafe_set t.stack i (reg t s)
         | Instr.Jmp a -> jump t a
         | Instr.Jz (r, a) -> if reg t r = 0 then jump t a
         | Instr.Jnz (r, a) -> if reg t r <> 0 then jump t a
         | Instr.Call a ->
             push t t.pc;
-            if t.status = Running then jump t a
+            if is_running t then jump t a
         | Instr.Ret ->
             let a = pop t in
-            if t.status = Running then jump t a
+            if is_running t then jump t a
         | Instr.Enter n ->
             push t t.fp;
-            if t.status = Running then begin
+            if is_running t then begin
               t.fp <- t.sp;
               if t.sp + n > Array.length t.stack then crash t Stack_overflow
               else
@@ -206,7 +219,7 @@ let step t =
             else begin
               t.sp <- t.fp;
               let old_fp = pop t in
-              if t.status = Running then t.fp <- old_fp
+              if is_running t then t.fp <- old_fp
             end
         | Instr.Sys s -> t.status <- Need_syscall s
         | Instr.Check r ->
@@ -216,16 +229,30 @@ let step t =
                return to the interrupted pc. *)
             for r = Instr.num_regs - 1 downto 0 do
               let v = pop t in
-              if t.status = Running then t.regs.(r) <- v
+              if is_running t then t.regs.(r) <- v
             done;
-            if t.status = Running then begin
+            if is_running t then begin
               let a = pop t in
-              if t.status = Running then begin
+              if is_running t then begin
                 t.in_signal <- false;
                 jump t a
               end
             end
       end
+
+(* Execute up to [budget] instructions, stopping early at the first
+   status change.  Behaviourally identical to calling {!step} in a loop,
+   but the scheduler pays one call per slice instead of three
+   cross-module calls (two of them polymorphic compares) per
+   instruction.  Returns the number of instructions actually executed
+   (a crash on a wild pc consumes no instruction, exactly as in
+   {!step}). *)
+let step_n t budget =
+  let start = t.icount in
+  while t.icount - start < budget && is_running t do
+    step t
+  done;
+  t.icount - start
 
 (* Resume after the engine serviced a pending syscall. *)
 let resume t =
@@ -252,16 +279,16 @@ let advance_past_syscall t = t.pc <- t.pc + 1
    then transfer to the installed handler (whose epilogue is [Sigret]).
    Delivery timing is a transient ND event. *)
 let deliver_signal t =
-  if t.signal_handler >= 0 && t.status = Running && not t.in_signal then begin
+  if t.signal_handler >= 0 && is_running t && not t.in_signal then begin
     push t t.pc;
     for r = 0 to Instr.num_regs - 1 do
-      if t.status = Running then push t t.regs.(r)
+      if is_running t then push t t.regs.(r)
     done;
-    if t.status = Running then begin
+    if is_running t then begin
       t.in_signal <- true;
       jump t t.signal_handler
     end;
-    t.status = Running
+    is_running t
   end
   else false
 

@@ -61,6 +61,15 @@ val live_stack_size : t -> int
 val step : t -> unit
 (** Execute one instruction; no-op unless [Running]. *)
 
+val step_n : t -> int -> int
+(** [step_n t budget] executes up to [budget] instructions, stopping
+    early at the first status change; returns the number executed.
+    Equivalent to calling {!step} in a loop, minus the per-instruction
+    call overhead. *)
+
+val is_running : t -> bool
+(** [status t = Running], without the polymorphic compare. *)
+
 val resume : t -> unit
 (** Clear a [Need_syscall] status. *)
 

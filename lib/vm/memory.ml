@@ -9,6 +9,7 @@
 type t = {
   mutable data : int array;
   page_size : int;              (* words per page; power of two *)
+  page_shift : int;             (* log2 page_size: page = addr lsr shift *)
   mutable dirty : bool array;   (* per page, since last clear *)
   mutable dirty_count : int;
 }
@@ -19,9 +20,15 @@ let create ?(page_size = 64) ~size () =
   if page_size <= 0 || page_size land (page_size - 1) <> 0 then
     invalid_arg "Memory.create: page_size must be a power of two";
   let npages = (size + page_size - 1) / page_size in
+  let page_shift =
+    let s = ref 0 in
+    while 1 lsl !s < page_size do incr s done;
+    !s
+  in
   {
     data = Array.make (npages * page_size) 0;
     page_size;
+    page_shift;
     dirty = Array.make (max 1 npages) false;
     dirty_count = 0;
   }
@@ -30,18 +37,20 @@ let size t = Array.length t.data
 let page_size t = t.page_size
 let npages t = Array.length t.dirty
 
+(* The explicit range check subsumes the bounds check the safe array
+   operations would repeat, so the accesses below are unsafe_. *)
 let read t addr =
   if addr < 0 || addr >= Array.length t.data then raise (Out_of_bounds addr);
-  t.data.(addr)
+  Array.unsafe_get t.data addr
 
 let write t addr v =
   if addr < 0 || addr >= Array.length t.data then raise (Out_of_bounds addr);
-  let page = addr / t.page_size in
-  if not t.dirty.(page) then begin
-    t.dirty.(page) <- true;
+  let page = addr lsr t.page_shift in
+  if not (Array.unsafe_get t.dirty page) then begin
+    Array.unsafe_set t.dirty page true;
     t.dirty_count <- t.dirty_count + 1
   end;
-  t.data.(addr) <- v
+  Array.unsafe_set t.data addr v
 
 (* Raw poke that bypasses bounds/accounting policy decisions is not
    offered: fault injectors flip bits through [write] so the corruption
@@ -63,6 +72,20 @@ let clear_dirty t =
 (* Copy out one page (for incremental checkpoints). *)
 let snapshot_page t p =
   Array.sub t.data (p * t.page_size) t.page_size
+
+(* Copy-free page access: the checkpointer's commit path reuses one
+   scratch buffer per slot instead of allocating a page array per dirty
+   page per checkpoint. *)
+let blit_page_into t p dst =
+  if Array.length dst < t.page_size then
+    invalid_arg "Memory.blit_page_into: buffer smaller than a page";
+  Array.blit t.data (p * t.page_size) dst 0 t.page_size
+
+let iter_page t p f =
+  let base = p * t.page_size in
+  for i = 0 to t.page_size - 1 do
+    f (base + i) (Array.unsafe_get t.data (base + i))
+  done
 
 let restore_page t p words =
   Array.blit words 0 t.data (p * t.page_size) t.page_size

@@ -27,6 +27,14 @@ val clear_dirty : t -> unit
 val snapshot_page : t -> int -> int array
 val restore_page : t -> int -> int array -> unit
 
+val blit_page_into : t -> int -> int array -> unit
+(** [blit_page_into t p dst] copies page [p] into [dst] (which must hold
+    at least [page_size] words) without allocating. *)
+
+val iter_page : t -> int -> (int -> int -> unit) -> unit
+(** [iter_page t p f] calls [f addr word] for every word of page [p],
+    in address order, without copying the page. *)
+
 val snapshot : t -> int array
 val restore : t -> int array -> unit
 (** Also clears dirty tracking. *)

@@ -183,6 +183,47 @@ let test_torture_sample_reproducible () =
   Alcotest.(check int) "clean sample" 0
     (List.length a.Ft_harness.Torture.violations)
 
+(* Byte-identical pinning of the paper outputs: any change to simulated
+   (charged) costs, protocol decisions, workload generation or RNG
+   derivation shows up here as a diff against the committed golden
+   rendering.  Pure wall-clock optimisations must keep these green. *)
+(* Resolves from the dune test sandbox (cwd = test/) and from a repo-root
+   `dune exec test/test_harness.exe` alike. *)
+let read_golden name =
+  let path =
+    List.find Sys.file_exists
+      [ Filename.concat "golden" name; Filename.concat "test/golden" name ]
+  in
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_figure8_golden () =
+  let actual =
+    String.concat ""
+      (List.map
+         (fun app ->
+           Ft_harness.Figure8.render
+             (Ft_harness.Figure8.measure ~scale:0.25 ~seed:42 app))
+         Ft_harness.Figure8.all_apps)
+  in
+  Alcotest.(check string)
+    "figure 8 rendering is byte-identical (scale 0.25, seed 42)"
+    (read_golden "figure8_scale025.golden")
+    actual
+
+let test_table1_golden () =
+  let actual =
+    Ft_harness.Table1.render ~app:Ft_harness.Table1.Nvi
+      (Ft_harness.Table1.run ~target_crashes:3 ~app:Ft_harness.Table1.Nvi ())
+  in
+  Alcotest.(check string)
+    "table 1 rendering is byte-identical (nvi, 3 crashes per fault)"
+    (read_golden "table1_nvi_crashes3.golden")
+    actual
+
 let tests =
   [
     Alcotest.test_case "figure8 nvi shape" `Slow test_figure8_nvi_shape;
@@ -202,6 +243,8 @@ let tests =
       test_torture_catches_defect;
     Alcotest.test_case "torture sample reproducible" `Quick
       test_torture_sample_reproducible;
+    Alcotest.test_case "figure8 golden rendering" `Quick test_figure8_golden;
+    Alcotest.test_case "table1 golden rendering" `Quick test_table1_golden;
   ]
 
 let () = Alcotest.run "ft_harness" [ ("harness", tests) ]

@@ -526,6 +526,41 @@ let test_restore_crash_sticky_gives_up () =
     Ft_runtime.Engine.default_config.Ft_runtime.Engine.max_recovery_attempts
     r.Ft_runtime.Engine.recovery_crashes
 
+(* With nothing dirty since the previous checkpoint, a commit must not
+   append any page record: only the commits-counter bump and the log
+   discard touch the region — far less than one page of words. *)
+let test_zero_dirty_commit_no_page_records () =
+  let kernel = Ft_os.Kernel.create ~seed:1 ~nprocs:1 () in
+  let machine =
+    Ft_vm.Machine.create ~stack_size:64 ~heap_size:1024 ~page_size:64
+      [| Ft_vm.Instr.Halt |]
+  in
+  let ckpt =
+    Ft_runtime.Checkpointer.create ~page_size:64
+      ~medium:Ft_runtime.Checkpointer.Reliable_memory ~nprocs:1
+      ~heap_words:1024 ~stack_words:64 ()
+  in
+  let commit () =
+    ignore
+      (Ft_runtime.Checkpointer.commit ckpt ~pid:0 ~machine
+         ~kstate:(Ft_os.Kernel.snapshot_kstate kernel 0))
+  in
+  (* checkpoint zero, then dirty and flush a page so the log has seen
+     real records before the interesting commit *)
+  commit ();
+  Ft_vm.Memory.write (Ft_vm.Machine.heap machine) 130 77;
+  commit ();
+  let region =
+    Ft_stablemem.Vista.region (Ft_runtime.Checkpointer.vista ckpt ~pid:0)
+  in
+  let before = Ft_stablemem.Rio.words_written region in
+  commit ();
+  let delta = Ft_stablemem.Rio.words_written region - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "idle commit persisted %d words (< one page)" delta)
+    true
+    (delta < 64)
+
 let tests =
   [
     Alcotest.test_case "plain run" `Quick test_plain_run;
@@ -558,6 +593,8 @@ let tests =
     Alcotest.test_case "commit cost ordering" `Quick
       test_commit_all_overhead_exceeds_cbndvs;
     Alcotest.test_case "disk commits slower" `Quick test_disk_medium_slower;
+    Alcotest.test_case "zero-dirty commit appends no page records" `Quick
+      test_zero_dirty_commit_no_page_records;
     Alcotest.test_case "pingpong" `Quick test_pingpong;
     Alcotest.test_case "pingpong server killed" `Quick
       test_pingpong_server_killed;

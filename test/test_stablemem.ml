@@ -224,6 +224,120 @@ let prop_crash_point_atomicity =
       && Vista.aborts v2
          = aborts_before + (if crashed && log_was_published then 1 else 0))
 
+(* The unhooked blit fast path (one Array.blit) and the hooked
+   word-by-word path must agree on accounting and contents. *)
+let test_rio_fast_path_accounting () =
+  let fast = Rio.create ~size:64 and hooked = Rio.create ~size:64 in
+  let seen = ref 0 in
+  Rio.set_on_write hooked (Some (fun _ _ -> incr seen));
+  let src = Array.init 7 (fun i -> 100 + i) in
+  Rio.blit_in fast ~off:3 src;
+  Rio.blit_in hooked ~off:3 src;
+  Rio.blit_sub_in fast ~off:20 src ~spos:2 ~len:4;
+  Rio.blit_sub_in hooked ~off:20 src ~spos:2 ~len:4;
+  Rio.copy_within fast ~src_off:3 ~dst_off:40 ~len:5;
+  Rio.copy_within hooked ~src_off:3 ~dst_off:40 ~len:5;
+  Alcotest.(check int) "words_written: fast path matches hooked path"
+    (Rio.words_written hooked) (Rio.words_written fast);
+  Alcotest.(check int) "hook saw every word" 16 !seen;
+  Alcotest.(check bool) "identical contents" true
+    (Rio.sub fast ~off:0 ~len:64 = Rio.sub hooked ~off:0 ~len:64)
+
+(* qcheck: a diff-mode write is observationally equivalent to the
+   whole-range write — same data image whether the transaction commits
+   or aborts, for any overlap pattern between incoming and current
+   words (small value range makes unchanged words common, so the run
+   coalescing and the whole-range fallback both get exercised). *)
+let prop_diff_mode_equivalence =
+  QCheck.Test.make ~name:"diff-mode writes equal whole-range writes"
+    ~count:300
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_bound 8) (pair (0 -- 30) (0 -- 3)))
+        (list_of_size (Gen.int_bound 8)
+           (triple (0 -- 24) (0 -- 3) (1 -- 8)))
+        bool)
+    (fun (base, tx_writes, commit) ->
+      let mk () =
+        let r = Rio.create ~size:256 in
+        let v = Vista.create ~data_words:32 r in
+        List.iter
+          (fun (off, value) ->
+            Vista.begin_tx v;
+            Vista.write_range v ~off [| value |];
+            Vista.commit v)
+          base;
+        (r, v)
+      in
+      let apply diff (r, v) =
+        Vista.begin_tx v;
+        List.iter
+          (fun (off, value, len) ->
+            Vista.write_range ~diff v ~off
+              (Array.init len (fun i -> (value + i) mod 4)))
+          tx_writes;
+        if commit then Vista.commit v else Vista.abort v;
+        Array.to_list (Rio.sub r ~off:0 ~len:32)
+      in
+      apply true (mk ()) = apply false (mk ()))
+
+(* Torture a diff-mode commit at every persisted word write: recovery
+   over a fresh Vista must restore exactly the previous committed image
+   (or, past the commit point, the new one) — never a hybrid. *)
+let test_diff_commit_crash_every_word () =
+  let data = 64 in
+  let base = Array.init data (fun i -> (i * 3) + 1) in
+  (* sparse changes: exercises run coalescing, not the fallback *)
+  let incoming =
+    Array.init data (fun i -> if i mod 5 = 0 then 7_000 + i else base.(i))
+  in
+  let run_with_crash point =
+    let r = Rio.create ~size:512 in
+    let v = Vista.create ~data_words:data r in
+    Vista.begin_tx v;
+    Vista.write_range v ~off:0 base;
+    Vista.commit v;
+    let commits_pre = Vista.commits v in
+    Vista.begin_tx v;
+    let writes = ref 0 in
+    Rio.set_on_write r
+      (Some
+         (fun _ _ ->
+           if !writes >= point then raise (Rio.Crash_point !writes);
+           incr writes));
+    let crashed =
+      match
+        Vista.write_range ~diff:true v ~off:0 incoming;
+        Vista.commit v
+      with
+      | () -> false
+      | exception Rio.Crash_point _ -> true
+    in
+    Rio.set_on_write r None;
+    if crashed then begin
+      let v2 = Vista.create ~data_words:data r in
+      Vista.recover v2;
+      let img = Array.to_list (Rio.sub r ~off:0 ~len:data) in
+      let rolled_back =
+        img = Array.to_list base && Vista.commits v2 = commits_pre
+      in
+      let committed =
+        img = Array.to_list incoming && Vista.commits v2 = commits_pre + 1
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "crash point %d: pre or post image, never hybrid"
+           point)
+        true (rolled_back || committed)
+    end;
+    crashed
+  in
+  let point = ref 0 in
+  while run_with_crash !point do
+    incr point;
+    if !point > 10_000 then Alcotest.fail "commit never completed"
+  done;
+  Alcotest.(check bool) "swept multiple crash points" true (!point > 10)
+
 let tests =
   [
     Alcotest.test_case "rio basics" `Quick test_rio_basics;
@@ -239,8 +353,13 @@ let tests =
       test_vista_outside_data_area_rejected;
     Alcotest.test_case "vista nesting" `Quick test_vista_nesting_rejected;
     Alcotest.test_case "disk costs" `Quick test_disk_costs;
+    Alcotest.test_case "rio fast-path accounting" `Quick
+      test_rio_fast_path_accounting;
+    Alcotest.test_case "diff commit crash at every word" `Quick
+      test_diff_commit_crash_every_word;
     QCheck_alcotest.to_alcotest prop_vista_atomicity;
     QCheck_alcotest.to_alcotest prop_crash_point_atomicity;
+    QCheck_alcotest.to_alcotest prop_diff_mode_equivalence;
   ]
 
 let () = Alcotest.run "ft_stablemem" [ ("stablemem", tests) ]
