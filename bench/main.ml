@@ -451,6 +451,46 @@ let micro_net_transport loss =
     (Staged.stage (fun () ->
          Sys.opaque_identity (net_burst ~loss ~n:256)))
 
+(* The multi-tenant scheduler end to end on a small fleet: build the
+   postgres tenants, drive every one to its verdict. *)
+let micro_serve_fleet =
+  Test.make ~name:"micro_serve_fleet_8x20"
+    (Staged.stage (fun () ->
+         let s =
+           Ft_harness.Serve.fleet ~tenants:8 ~queries_per_tenant:20 ~seed:5 ()
+         in
+         Sys.opaque_identity (Ft_runtime.Scheduler.run s)))
+
+(* Fleet scheduler throughput (scheduling steps per wall second) and the
+   tail latency of a tiny oracle-checked campaign — the units `ft serve`
+   reports, tracked across PRs in BENCH_RESULTS.json. *)
+let serve_stats ~quick () =
+  print_string
+    (Ft_harness.Report.section "Fleet scheduler (ft serve units)");
+  let tenants = if quick then 8 else 32 in
+  let sched =
+    Ft_harness.Serve.fleet ~tenants ~queries_per_tenant:50 ~seed:11 ()
+  in
+  let t0 = Unix.gettimeofday () in
+  ignore (Ft_runtime.Scheduler.run sched);
+  let dt = Unix.gettimeofday () -. t0 in
+  let steps = Ft_runtime.Scheduler.steps sched in
+  let rate = if dt < 1e-6 then 0. else float_of_int steps /. dt in
+  Printf.printf
+    "scheduler: %d tenants, %d steps in %6.3f s = %9.0f steps/s\n" tenants
+    steps dt rate;
+  let report =
+    Ft_harness.Serve.run ~quiet:true
+      { Ft_harness.Serve.smoke_params with seed = 11 }
+  in
+  let p999 =
+    match report.Ft_harness.Serve.summaries with
+    | s :: _ -> s.Ft_harness.Serve.s_p999_ns
+    | [] -> 0
+  in
+  Printf.printf "p999     : %d ns (smoke fleet, CPVS, kills on)\n" p999;
+  (rate, p999)
+
 (* Checker throughput in model states per second, the unit DESIGN.md
    quotes for exploration budgets. *)
 let mc_throughput ?(depth = 6) () =
@@ -480,7 +520,7 @@ let tests =
     ablation_crash_early 1; ablation_crash_early 32; micro_save_work;
     micro_dangerous; micro_vm; micro_vista_persisted_log;
     micro_vista_heap_list; micro_checkpoint; micro_mc_dfs;
-    micro_pool_dispatch 1;
+    micro_serve_fleet; micro_pool_dispatch 1;
   ]
   (* On a single-core box the default pool is 1 worker: running the
      dispatch bench twice under the same name would emit a duplicate
@@ -520,7 +560,7 @@ let run_benchmarks ~quota_s () =
 (* One JSON object per bench invocation: ns/run per bechamel test, the
    Figure-8 regeneration wall-clock, channel goodput and model-checker
    throughput — the numbers EXPERIMENTS.md tracks across PRs. *)
-let write_json ~path ~quick ~fig8 ~mc ~goodput ~bechamel =
+let write_json ~path ~quick ~fig8 ~mc ~goodput ~serve ~bechamel =
   let open Ft_exp.Jstore in
   let obj =
     Obj
@@ -539,6 +579,11 @@ let write_json ~path ~quick ~fig8 ~mc ~goodput ~bechamel =
                       match speedup with Some s -> Float s | None -> Null );
                   ] );
             ])
+      @ (let steps_per_s, p999 = serve in
+         [
+           ("serve_sched_steps_per_s", Float steps_per_s);
+           ("serve_p999_ns", Int p999);
+         ])
       @ [
           ( "mc_states_per_s",
             Obj (List.map (fun (name, r) -> (name, Float r)) mc) );
@@ -592,8 +637,9 @@ let () =
   in
   let mc = mc_throughput ~depth:(if quick then 5 else 6) () in
   let goodput = net_goodput ~n:(if quick then 2_000 else 10_000) () in
+  let serve = serve_stats ~quick () in
   let bechamel = run_benchmarks ~quota_s:(if quick then 0.05 else 0.5) () in
   (match !json_path with
-  | Some path -> write_json ~path ~quick ~fig8 ~mc ~goodput ~bechamel
+  | Some path -> write_json ~path ~quick ~fig8 ~mc ~goodput ~serve ~bechamel
   | None -> ());
   print_endline "\nbench: done."

@@ -27,6 +27,13 @@ let print_space () =
 
 type sweep_opts = { workers : int option; fresh : bool; out_dir : string }
 
+(* A command that ran to completion but found violations: report on
+   stderr and exit 1 — distinct from usage errors, which cmdliner
+   reports itself and which exit 2 (see the eval match at the bottom). *)
+let fail_run msg =
+  Printf.eprintf "ft: %s\n%!" msg;
+  `Ok 1
+
 let sweep opts ~name jobs =
   Ft_exp.Exp.lookup
     (Ft_exp.Exp.run_sweep ?workers:opts.workers ~fresh:opts.fresh
@@ -41,7 +48,7 @@ let run_figure8 apps scale seed opts =
         (Ft_harness.Figure8.render
            (Ft_harness.Figure8.of_records ~scale ~seed app lookup)))
     apps;
-  `Ok ()
+  `Ok 0
 
 let table1_app_of_string = function
   | "nvi" -> Ok Ft_harness.Table1.Nvi
@@ -76,13 +83,13 @@ let run_table1 apps crashes opts =
   List.iter
     (fun (app, rows) -> print_string (Ft_harness.Table1.render ~app rows))
     (table1_rows crashes opts apps);
-  `Ok ()
+  `Ok 0
 
 let run_table2 apps crashes opts =
   List.iter
     (fun (app, rows) -> print_string (Ft_harness.Table2.render ~app rows))
     (table2_rows crashes opts apps);
-  `Ok ()
+  `Ok 0
 
 let run_analysis crashes opts =
   let t1 =
@@ -103,7 +110,7 @@ let run_analysis crashes opts =
     (Ft_harness.Analysis.render_propagation ~app:"nvi"
        ~os_failure_rate:(Ft_harness.Table2.average t2 /. 100.)
        ~violation_rate:v);
-  `Ok ()
+  `Ok 0
 
 let run_all scale crashes seed opts =
   print_space ();
@@ -132,7 +139,7 @@ let run_all scale crashes seed opts =
            ~os_failure_rate:(Ft_harness.Table2.average rows /. 100.)
            ~violation_rate:v))
     t2s;
-  `Ok ()
+  `Ok 0
 
 (* Crash-point torture: sweep an injected crash over every word write
    of a multi-page commit (or a seeded sample) and verify recovery.
@@ -163,8 +170,8 @@ let run_torture points_s seed defect opts =
         report.Ft_harness.Torture.violations = []
         && report.Ft_harness.Torture.explored
            = report.Ft_harness.Torture.requested
-      then `Ok ()
-      else `Error (false, "torture found atomicity violations")
+      then `Ok 0
+      else fail_run "torture found atomicity violations"
 
 (* Netstorm: run the protocol space across an unreliable network and
    verify retransmission keeps every run complete and consistent.
@@ -184,13 +191,80 @@ let run_netstorm loss dup reorder partition apps scale seed opts =
       ~fresh:opts.fresh ~scale ~seed ~points ~apps ()
   in
   print_string (Ft_harness.Netstorm.render ~points ~apps report);
-  if Ft_harness.Netstorm.clean report then `Ok ()
-  else `Error (false, "netstorm found violations")
+  if Ft_harness.Netstorm.clean report then `Ok 0
+  else fail_run "netstorm found violations"
+
+(* Serve: the fleet-scale campaign — many postgres tenants per
+   multi-tenant scheduler, open-loop load, Poisson kills, SLO-grade
+   reporting.  Exits non-zero on any oracle violation, zero goodput, or
+   missing shard, so CI can gate on it. *)
+let run_serve procs requests proto_names crash_rate storm_name shard_size
+    interval_ns smoke bench_out seed opts =
+  let bad = ref [] in
+  let protocols =
+    match proto_names with
+    | [] -> [ Ft_core.Protocols.cpvs ]
+    | [ "all" ] -> Ft_core.Protocols.figure8
+    | names ->
+        List.filter_map
+          (fun n ->
+            match Ft_core.Protocols.by_name n with
+            | Some s -> Some s
+            | None ->
+                bad := n :: !bad;
+                None)
+          names
+  in
+  let storm =
+    match storm_name with
+    | None -> Ok None
+    | Some s -> (
+        match
+          List.find_opt
+            (fun pt -> pt.Ft_harness.Netstorm.label = s)
+            Ft_harness.Netstorm.default_points
+        with
+        | Some pt -> Ok (Some pt)
+        | None -> Error s)
+  in
+  match (!bad, storm) with
+  | n :: _, _ -> `Error (false, "unknown protocol " ^ n)
+  | _, Error s -> `Error (false, "unknown storm tier " ^ s ^ " (calm, breeze, gale or storm)")
+  | [], Ok storm ->
+      let p =
+        if smoke then { Ft_harness.Serve.smoke_params with seed; storm }
+        else
+          {
+            Ft_harness.Serve.default_params with
+            procs;
+            requests;
+            crash_rate;
+            storm;
+            seed;
+            shard_size;
+            interval_ns;
+          }
+      in
+      let report =
+        Ft_harness.Serve.run ?workers:opts.workers ~out_dir:opts.out_dir
+          ~fresh:opts.fresh ~protocols p
+      in
+      print_string (Ft_harness.Serve.render report);
+      Option.iter
+        (fun path -> Ft_harness.Serve.merge_bench ~path report)
+        bench_out;
+      let goodput_ok =
+        List.for_all
+          (fun s -> s.Ft_harness.Serve.s_goodput > 0.)
+          report.Ft_harness.Serve.summaries
+      in
+      if Ft_harness.Serve.clean report && goodput_ok then `Ok 0
+      else fail_run "serve found violations or zero goodput"
 
 let run_ablation opts =
   let lookup = sweep opts ~name:"ablation" (Ft_harness.Ablation.jobs ()) in
   print_string (Ft_harness.Ablation.render_records lookup);
-  `Ok ()
+  `Ok 0
 
 (* Bounded model checking: every schedule x every crash point of a
    small program, per protocol, plus the mutant suite that keeps the
@@ -336,15 +410,14 @@ let run_mc nprocs depth proto_names mutants no_prune engine_xcheck opts =
         xcheck_jobs
     end;
     if !honest_viol > 0 then
-      `Error (false, "model checker found protocol violations")
+      fail_run "model checker found protocol violations"
     else if !surviving <> [] then
-      `Error
-        (false, "surviving mutants: " ^ String.concat ", " !surviving)
+      fail_run ("surviving mutants: " ^ String.concat ", " !surviving)
     else if !xcheck_failures > 0 then
-      `Error (false, "engine cross-check failures")
+      fail_run "engine cross-check failures"
     else if !missing > 0 then
-      `Error (false, "sweep jobs died without a verdict")
-    else `Ok ()
+      fail_run "sweep jobs died without a verdict"
+    else `Ok 0
   end
 
 (* Run one application under one protocol and print the run's vitals. *)
@@ -404,7 +477,7 @@ let run_single app_name proto_name medium_name seed scale kills_ms =
          else "VIOLATED");
       if app = Ft_harness.Figure8.Xpilot then
         Printf.printf "frame rate : %.1f fps\n" (Ft_apps.Xpilot.fps r);
-      `Ok ()
+      `Ok 0
 
 (* Disassemble a workload's compiled code (a development aid: the fault
    model operates at this level). *)
@@ -417,7 +490,7 @@ let run_disasm app_name pid =
         `Error (false, "no such process")
       else begin
         print_endline (Ft_vm.Asm.disassemble w.Ft_apps.Workload.programs.(pid));
-        `Ok ()
+        `Ok 0
       end
 
 (* --- cmdliner plumbing --------------------------------------------------- *)
@@ -477,7 +550,7 @@ let t_apps_arg =
 
 let space_cmd =
   Cmd.v (Cmd.info "space" ~doc:"Print the Figure 3 protocol space.")
-    Term.(const (fun () -> `Ok (print_space ())) $ const () |> ret)
+    Term.(const (fun () -> print_space (); `Ok 0) $ const () |> ret)
 
 let figure8_cmd =
   Cmd.v (Cmd.info "figure8" ~doc:"Regenerate Figure 8 (a-d).")
@@ -553,6 +626,63 @@ let netstorm_cmd =
             (const run_netstorm $ loss_arg $ dup_arg $ reorder_arg
             $ partition_arg $ apps_arg $ scale_arg $ seed_arg
             $ sweep_opts_term))
+
+let serve_cmd =
+  let procs_arg =
+    Arg.(value & opt int 100
+         & info [ "procs" ] ~doc:"Tenant instances in the fleet.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 100_000
+         & info [ "requests" ] ~doc:"Total queries, fleet-wide.")
+  in
+  let proto_arg =
+    Arg.(value & opt_all string []
+         & info [ "protocol" ]
+             ~doc:"Protocol (repeatable; $(b,all) for the Figure 8 seven; \
+                   default CPVS).")
+  in
+  let crash_arg =
+    Arg.(value & opt float 0.5
+         & info [ "crash-rate" ] ~docv:"R"
+             ~doc:"Expected kills per tenant per simulated second.")
+  in
+  let storm_arg =
+    Arg.(value & opt (some string) None
+         & info [ "storm" ] ~docv:"TIER"
+             ~doc:"Netstorm weather on the shard-shared transport: \
+                   $(b,calm), $(b,breeze), $(b,gale) or $(b,storm).")
+  in
+  let shard_arg =
+    Arg.(value & opt int 64
+         & info [ "shard-size" ] ~doc:"Tenants per scheduler/job.")
+  in
+  let interval_arg =
+    Arg.(value & opt int 1_000_000
+         & info [ "interval-ns" ]
+             ~doc:"Open-loop arrival interval per tenant, ns.")
+  in
+  let smoke_arg =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Small fixed fleet for CI: asserts non-zero goodput and \
+                   clean oracles.")
+  in
+  let bench_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "bench-out" ] ~docv:"FILE"
+             ~doc:"Merge the per-protocol serve metrics into this flat \
+                   BENCH_RESULTS.json.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the postgres workload across a fleet of tenants under \
+             continuous fault injection and report latency percentiles, \
+             goodput and MTTR.")
+    Term.(ret
+            (const run_serve $ procs_arg $ requests_arg $ proto_arg
+            $ crash_arg $ storm_arg $ shard_arg $ interval_arg $ smoke_arg
+            $ bench_out_arg $ seed_arg $ sweep_opts_term))
 
 let ablation_cmd =
   Cmd.v (Cmd.info "ablation" ~doc:"Run the DESIGN.md ablations (2.6).")
@@ -631,14 +761,27 @@ let all_cmd =
             (const run_all $ scale_arg $ crashes_arg $ seed_arg
             $ sweep_opts_term))
 
+(* One exit-code contract for every subcommand: a usage problem (unknown
+   flag, unknown subcommand, bad argument value — cmdliner prints the
+   subcommand's usage to stderr) exits 2; a command that ran and found
+   violations prints the reason to stderr via [fail_run] and exits 1;
+   clean runs, --help and --version exit 0.  Each term evaluates to its
+   exit code, so violations are not routed through cmdliner's error
+   machinery (which cannot be told apart from a parse error). *)
 let () =
   let info =
     Cmd.info "ft" ~version:"1.0"
       ~doc:"Failure transparency and the limits of generic recovery"
   in
+  let group =
+    Cmd.group info
+      [ space_cmd; figure8_cmd; table1_cmd; table2_cmd; analysis_cmd;
+        ablation_cmd; torture_cmd; netstorm_cmd; mc_cmd; serve_cmd; run_cmd;
+        disasm_cmd; all_cmd ]
+  in
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ space_cmd; figure8_cmd; table1_cmd; table2_cmd; analysis_cmd;
-            ablation_cmd; torture_cmd; netstorm_cmd; mc_cmd; run_cmd;
-            disasm_cmd; all_cmd ]))
+    (match Cmd.eval_value group with
+    | Ok (`Ok code) -> code
+    | Ok (`Help | `Version) -> 0
+    | Error `Exn -> Cmd.Exit.internal_error
+    | Error (`Parse | `Term) -> 2)

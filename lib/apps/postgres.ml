@@ -40,6 +40,13 @@ type params = {
   seed : int;
 }
 
+(* Driver mode: every query additionally outputs [ack_base + n] where
+   [n] is the 1-based query sequence number — a per-request response the
+   serve harness timestamps for latency.  The base keeps acks disjoint
+   from every organic output (SELECT results top out near 10^6, SCAN
+   checksums below 1_000_003, the final size report is small). *)
+let ack_base = 10_000_000
+
 let default_params =
   { queries = 1_200; keyspace = 400; interval_ns = 1_000_000;
     check_every = 1; seed = 11 }
@@ -48,7 +55,7 @@ let small_params =
   { queries = 250; keyspace = 120; interval_ns = 1_000_000;
     check_every = 1; seed = 11 }
 
-let program ?(check_every = 16) () =
+let program ?(check_every = 16) ?(ack = false) () =
   let fns =
     [
       func "hash" [ "k" ]
@@ -222,7 +229,10 @@ let program ?(check_every = 16) () =
                       If ((Deref (Int h_nqueries) %: Int check_every)
                           =: Int 0,
                           [ Expr (Call ("sanity", [])) ], []);
-                    ] );
+                    ]
+                    @ (if ack then
+                         [ Output (Int ack_base +: Deref (Int h_nqueries)) ]
+                       else []) );
               ] );
           Close_file (Deref (Int h_wal_fd));
           Output (Deref (Int h_size));  (* final table size report *)
@@ -243,14 +253,25 @@ let input_script p =
       let v = Random.State.int rng 1000 in
       (op * 1_000_000) + (k * 1000) + v)
 
-let workload ?(params = default_params) () =
+let workload ?(params = default_params) ?(ack = false) ?(open_loop = false) ()
+    =
   let code =
-    Ft_vm.Asm.compile (program ~check_every:params.check_every ())
+    Ft_vm.Asm.compile (program ~check_every:params.check_every ~ack ())
   in
+  (* Open-loop: queries arrive at fixed absolute times regardless of how
+     far the server has fallen behind, so a crash shows up as latency on
+     the backlog rather than shifting the whole schedule (the serving
+     regime); closed-loop scripted input is the paper's interactive
+     think-time model. *)
   Workload.make ~name:"postgres" ~nprocs:1 ~programs:[| code |]
     ~heap_words
     ~configure:(fun k ->
-      Ft_os.Kernel.set_input k 0
-        (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:params.interval_ns
-           (input_script params)))
+      if open_loop then
+        Ft_os.Kernel.set_input_absolute k 0
+          (Ft_os.Kernel.open_loop_input ~start:0
+             ~interval_ns:params.interval_ns (input_script params))
+      else
+        Ft_os.Kernel.set_input k 0
+          (Ft_os.Kernel.scripted_input ~start:0
+             ~interval_ns:params.interval_ns (input_script params)))
     ()

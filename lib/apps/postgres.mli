@@ -17,10 +17,22 @@ val heap_words : int
 val wal_file : int
 val nbuckets : int
 
-val program : ?check_every:int -> unit -> Ft_vm.Asm.program
+val ack_base : int
+(** Driver-mode ack outputs are [ack_base + n] for the 1-based query
+    sequence number [n]; disjoint from every organic output value. *)
+
+val program : ?check_every:int -> ?ack:bool -> unit -> Ft_vm.Asm.program
+(** [ack] turns on driver mode: every query additionally outputs its
+    sequence-numbered acknowledgement — the per-request response the
+    serve harness timestamps for latency. *)
 
 val input_script : params -> int list
 (** Query tokens: [op * 1_000_000 + key * 1_000 + value]; op 1 INSERT,
     2 SELECT, 3 UPDATE, 4 DELETE, 5 SCAN. *)
 
-val workload : ?params:params -> unit -> Workload.t
+val workload :
+  ?params:params -> ?ack:bool -> ?open_loop:bool -> unit -> Workload.t
+(** [open_loop] switches the query stream from think-time scripted input
+    to fixed absolute arrival times ({!Ft_os.Kernel.set_input_absolute}),
+    so backlog after a crash appears as request latency instead of
+    shifting the schedule. *)

@@ -75,6 +75,41 @@ let of_json v =
     sim_time_ns = Jstore.get_int "sim_ns" v;
   }
 
+(* --- exact quantiles ----------------------------------------------------- *)
+
+(* Nearest-rank: the smallest sample value with at least ceil(q*n) of
+   the sorted sample at or below it.  Exact on tiny samples (n=1 returns
+   the sample; n=2 puts p50 on the first element) and under ties —
+   no interpolation, every answer is a value that actually occurred. *)
+
+let nearest_rank ~n q =
+  if n <= 0 then invalid_arg "Metrics.percentile: empty sample";
+  if not (q > 0. && q <= 1.) then
+    invalid_arg "Metrics.percentile: q outside (0, 1]";
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  max 1 (min n rank)
+
+let percentile sample q =
+  let a = Array.copy sample in
+  Array.sort compare a;
+  a.(nearest_rank ~n:(Array.length a) q - 1)
+
+let p50 sample = percentile sample 0.50
+let p99 sample = percentile sample 0.99
+let p999 sample = percentile sample 0.999
+
+let percentile_counts cells q =
+  let cells = Array.copy cells in
+  Array.sort compare cells;
+  let n = Array.fold_left (fun acc (_, c) -> acc + c) 0 cells in
+  let rank = nearest_rank ~n q in
+  let rec scan i seen =
+    let v, c = cells.(i) in
+    let seen = seen + c in
+    if seen >= rank then v else scan (i + 1) seen
+  in
+  scan 0 0
+
 let summary m =
   Printf.sprintf
     "commits=%d nd=%d (logged %d) recoveries=%d crashes=%d sim=%.3fs"

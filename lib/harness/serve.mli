@@ -1,0 +1,109 @@
+(** Serve: the fleet-scale serving campaign — hundreds to thousands of
+    postgres tenants sharded over {!Ft_runtime.Scheduler} instances
+    under continuous seeded fault injection (Poisson kills, optional
+    netstorm weather on a shard-shared transport), reporting the
+    operator's view: exact p50/p99/p999 request latency against an
+    open-loop arrival schedule, goodput, useful work per unit cost
+    (Dwork–Halpern–Waarts), and MTTR after each crash.  Oracle-checked:
+    per-tenant Consistency against a fault-free reference and the
+    visible half of Save-work.  Shards are pure {!Ft_exp.Exp} jobs, so
+    serial and [-j N] campaigns are byte-identical. *)
+
+type params = {
+  procs : int;  (** tenant instances in the fleet *)
+  requests : int;  (** total queries, fleet-wide *)
+  crash_rate : float;
+      (** expected kills per tenant per simulated second *)
+  storm : Netstorm.point option;
+      (** weather on the shard-shared transport (loss/dup/reorder) *)
+  seed : int;
+  shard_size : int;  (** tenants per scheduler/job *)
+  interval_ns : int;  (** open-loop arrival interval per tenant *)
+  keyspace : int;
+  check_every : int;  (** postgres sanity-check cadence *)
+}
+
+val default_params : params
+
+val smoke_params : params
+(** Small, fast, still multi-shard: the CI gate. *)
+
+val queries_per_tenant : params -> int
+
+val fleet :
+  ?protocol:Ft_core.Protocol.spec ->
+  ?crash_rate:float ->
+  tenants:int ->
+  queries_per_tenant:int ->
+  seed:int ->
+  unit ->
+  Ft_runtime.Scheduler.t
+(** A ready-to-run in-process multi-tenant scheduler over the serve
+    workload — the bench micros time {!Ft_runtime.Scheduler.run} on
+    it. *)
+
+val jobs :
+  ?protocols:Ft_core.Protocol.spec list -> params -> Ft_exp.Job.t list
+(** One job per (protocol, shard); each steps its tenants in one
+    scheduler and runs the per-tenant fault-free references. *)
+
+type proto_summary = {
+  s_protocol : string;
+  s_tenants : int;
+  s_requests : int;
+  s_acked : int;  (** distinct requests acknowledged *)
+  s_crashes : int;
+  s_recoveries : int;
+  s_failed : int;  (** tenants that did not complete *)
+  s_sim_ns : int;  (** fleet wall: max tenant sim time *)
+  s_instr : int;
+  s_ref_instr : int;
+  s_p50_ns : int;
+  s_p99_ns : int;
+  s_p999_ns : int;  (** exact nearest-rank latency percentiles *)
+  s_mttr_count : int;
+  s_mttr_mean_ns : int;
+  s_mttr_max_ns : int;
+  s_goodput : float;  (** acked requests per simulated second *)
+  s_work_per_minstr : float;
+      (** acked requests per million instructions executed — replay is
+          waste, so this is the work-per-unit-cost ranking metric *)
+  s_overhead : float;  (** instructions vs the fault-free reference *)
+  s_bad : string list;  (** oracle violations *)
+}
+
+type report = {
+  params : params;
+  summaries : proto_summary list;
+  missing : string list;
+}
+
+val clean : report -> bool
+(** No oracle violations and no missing shards. *)
+
+val of_records :
+  ?protocols:Ft_core.Protocol.spec list ->
+  params ->
+  (string -> Ft_exp.Jstore.value option) ->
+  report
+
+val run :
+  ?workers:int ->
+  ?out_dir:string ->
+  ?fresh:bool ->
+  ?quiet:bool ->
+  ?protocols:Ft_core.Protocol.spec list ->
+  params ->
+  report
+(** The campaign.  With [out_dir], runs as a named resumable store
+    sweep ([serve.jsonl]); without, evaluates in memory. *)
+
+val render : report -> string
+
+val bench_kv : report -> (string * Ft_exp.Jstore.value) list
+(** [serve_<protocol>_{p50_ns,p99_ns,p999_ns,goodput,mttr_ns,
+    work_per_minstr}] pairs. *)
+
+val merge_bench : path:string -> report -> unit
+(** Merge {!bench_kv} into a flat BENCH_RESULTS.json, preserving every
+    other key (the CI schema gate requires the key set only to grow). *)

@@ -322,6 +322,32 @@ let next_event t =
 
 let pending t = not (Q.is_empty t.queue)
 
+(* Range-restricted views for a multi-tenant scheduler sharing one
+   transport: a tenant owning global pids [lo, hi) must judge deadlock
+   and degradation from its own links only, not from frames another
+   tenant still has in flight.  Links never cross tenants, so an event's
+   sending endpoint identifies its owner. *)
+let event_src = function
+  | Data { e_src; _ } | Ack { e_src; _ } | Retry { e_src; _ } -> e_src
+
+let pending_in t ~lo ~hi =
+  Q.exists (fun _ ev -> let s = event_src ev in lo <= s && s < hi) t.queue
+
+let next_event_in t ~lo ~hi =
+  Seq.fold_left
+    (fun acc ((at, _), ev) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          let s = event_src ev in
+          if lo <= s && s < hi then Some at else None)
+    None (Q.to_seq t.queue)
+
+let any_failed_in t ~lo ~hi =
+  Hashtbl.fold
+    (fun (src, _) l acc -> acc || (l.l_failed && lo <= src && src < hi))
+    t.links false
+
 let reachable t ~src ~dst ~now =
   let pol = t.policy src dst in
   (not (Policy.partitioned pol ~src ~dst ~now))

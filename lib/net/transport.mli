@@ -65,6 +65,18 @@ val next_event : 'a t -> int option
 
 val pending : 'a t -> bool
 
+val pending_in : 'a t -> lo:int -> hi:int -> bool
+(** Like {!pending}, restricted to events whose sending endpoint lies in
+    [lo, hi) — one tenant's slice of a shared transport.  Links never
+    cross tenants, so this is exactly the tenant's own traffic. *)
+
+val next_event_in : 'a t -> lo:int -> hi:int -> int option
+(** Like {!next_event}, restricted to the [lo, hi) pid range. *)
+
+val any_failed_in : 'a t -> lo:int -> hi:int -> bool
+(** Like {!any_failed}, restricted to links whose source lies in
+    [lo, hi). *)
+
 val reachable : 'a t -> src:int -> dst:int -> now:int -> bool
 (** No active partition cuts [src]->[dst] at [now] and the link has not
     exhausted a retry budget.  The 2PC coordinator's prepare check. *)

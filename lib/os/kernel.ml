@@ -120,6 +120,14 @@ type t = {
       (* when set, sends travel the unreliable transport instead of
          being enqueued directly; [None] is byte-identical to the
          original reliable path (including its RNG draws) *)
+  mutable net_base : int;
+      (* this kernel's offset into a shared transport's pid space: a
+         multi-tenant scheduler gives every tenant a disjoint global pid
+         range [net_base, net_base + nprocs) on one transport.  0 for a
+         privately attached transport. *)
+  input_abs : bool array;
+      (* per pid: input script entries are absolute arrival times
+         (open-loop load) rather than think-time gaps (closed loop) *)
 }
 
 let create ?(costs = default_costs) ?(seed = 42) ?(fs_capacity = 1 lsl 20)
@@ -151,6 +159,8 @@ let create ?(costs = default_costs) ?(seed = 42) ?(fs_capacity = 1 lsl 20)
     panicked = false;
     syscall_tally = Hashtbl.create 16;
     net = None;
+    net_base = 0;
+    input_abs = Array.make nprocs false;
   }
 
 let costs t = t.costs
@@ -184,18 +194,47 @@ let attach_net ?(policy = Ft_net.Policy.reliable) ?link_policy ?rto_ns
   t.net <- Some tr;
   tr
 
+(* A multi-tenant scheduler shares one transport across N kernels, each
+   owning the global pid range [base, base + nprocs).  The scheduler
+   supplies the transport's [deliver] callback and routes each arrival
+   back to the owning kernel through {!deliver_net}. *)
+let set_net t ?(base = 0) tr =
+  t.net <- Some tr;
+  t.net_base <- base
+
+let net_base t = t.net_base
+
+(* Complete a shared-transport delivery: [dst] is this kernel's local
+   pid; [at] is the arrival time stamped by the transport. *)
+let deliver_net t ~at ~dst (m : message) =
+  Queue.add { m with msg_deliver_at = at } t.mailboxes.(dst)
+
 (* Scripted user input.  Each entry is (gap, token): the token becomes
    available [gap] after the previous read completed — the paper's
    interactive cadence (100 ms between keystrokes in nvi, 1 s between
    commands in magic), where the user types the next key after seeing
    the response, so commit latency shows up in elapsed time. *)
-let set_input t pid pairs = t.inputs.(pid) <- pairs
+let set_input t pid pairs =
+  t.inputs.(pid) <- pairs;
+  t.input_abs.(pid) <- false
 
 let scripted_input ~start ~interval_ns tokens =
   Array.of_list
     (List.mapi
        (fun i tok -> ((if i = 0 then start else interval_ns), tok))
        tokens)
+
+(* Open-loop load: each entry is (absolute_ready_ns, token).  Arrival
+   times are fixed in advance and do not wait for the previous response,
+   so queueing delay — and thus recovery time — shows up as request
+   latency instead of shifting the whole schedule. *)
+let set_input_absolute t pid pairs =
+  t.inputs.(pid) <- pairs;
+  t.input_abs.(pid) <- true
+
+let open_loop_input ~start ~interval_ns tokens =
+  Array.of_list
+    (List.mapi (fun i tok -> (start + (i * interval_ns), tok)) tokens)
 
 let set_timer_signal t pid ~period_ns ~first_at =
   let k = t.kstates.(pid) in
@@ -391,11 +430,15 @@ let service t ~pid ~now ~a0 ~a1 s =
         (* End of input: a fixed ND result (the user went home). *)
         done_ ~r0:(-1) (Ev_nd (Ft_core.Event.Fixed, true))
       else begin
-        (* The user reads the response, then types the next key [gap]
-           later: processing and commit latency serialize with think
-           time, as in the paper's interactive runs. *)
+        (* Closed loop: the user reads the response, then types the next
+           key [gap] later — processing and commit latency serialize with
+           think time, as in the paper's interactive runs.  Open loop:
+           the token was due at an absolute time; a process that arrives
+           late pays the backlog as latency, not as schedule slip. *)
         let gap, tok = script.(k.input_pos) in
-        let ready = now + gap in
+        let ready =
+          if t.input_abs.(pid) then max now gap else now + gap
+        in
         k.input_pos <- k.input_pos + 1;
         k.last_input_at <- ready;
         done_ ~r0:tok ~new_time:ready (Ev_nd (Ft_core.Event.Fixed, true))
@@ -404,7 +447,8 @@ let service t ~pid ~now ~a0 ~a1 s =
       let script = t.inputs.(pid) in
       let ready =
         k.input_pos < Array.length script
-        && k.last_input_at + fst script.(k.input_pos) <= now
+        && (if t.input_abs.(pid) then fst script.(k.input_pos) <= now
+            else k.last_input_at + fst script.(k.input_pos) <= now)
       in
       done_ ~r0:(if ready then 1 else 0)
         (Ev_nd (Ft_core.Event.Transient, false))
@@ -447,7 +491,8 @@ let service t ~pid ~now ~a0 ~a1 s =
               msg_deliver_at = now;
             }
           in
-          Ft_net.Transport.send net ~now ~src:pid ~dst:dest m;
+          Ft_net.Transport.send net ~now ~src:(t.net_base + pid)
+            ~dst:(t.net_base + dest) m;
           done_ ~cost:(base * 3) (Ev_send { dest; tag = m.msg_tag }))
   | Ft_vm.Syscall.Recv | Ft_vm.Syscall.Try_recv -> (
       (* Pop the next message, skipping duplicates already consumed

@@ -88,6 +88,17 @@ val set_input : t -> int -> (int * int) array -> unit
 val scripted_input :
   start:int -> interval_ns:int -> int list -> (int * int) array
 
+val set_input_absolute : t -> int -> (int * int) array -> unit
+(** Open-loop scripted input: [(absolute_ready_ns, token)] pairs.  Each
+    token is available at its fixed arrival time regardless of when the
+    previous response completed, so backlog after a crash shows up as
+    request latency rather than shifting the whole schedule. *)
+
+val open_loop_input :
+  start:int -> interval_ns:int -> int list -> (int * int) array
+(** Fixed-rate arrival schedule for {!set_input_absolute}: token [i]
+    becomes ready at [start + i * interval_ns]. *)
+
 val set_timer_signal : t -> int -> period_ns:int -> first_at:int -> unit
 
 val poll_signal : t -> int -> now:int -> bool
@@ -150,6 +161,22 @@ val attach_net :
 val net : t -> message Ft_net.Transport.t option
 (** The attached transport, if any — the engine pumps it and consults
     reachability for 2PC timeouts. *)
+
+val set_net : t -> ?base:int -> message Ft_net.Transport.t -> unit
+(** Install a transport owned by someone else — the multi-tenant
+    scheduler's shared transport.  This kernel's processes occupy the
+    global pid range [base, base + nprocs) on it; the transport's
+    [deliver] callback must route arrivals back through
+    {!deliver_net}. *)
+
+val net_base : t -> int
+(** This kernel's offset into the (shared) transport pid space; 0 for a
+    privately attached transport. *)
+
+val deliver_net : t -> at:int -> dst:int -> message -> unit
+(** Complete a transport delivery into local pid [dst]'s mailbox,
+    stamping the arrival time.  Used by the shared-transport routing
+    callback; {!attach_net} installs an equivalent private one. *)
 
 val service :
   t -> pid:int -> now:int -> a0:int -> a1:int -> Ft_vm.Syscall.t -> result

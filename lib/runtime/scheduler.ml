@@ -1,0 +1,894 @@
+(** The multi-tenant scheduler core: the event loop that used to live in
+    {!Engine}, factored so one scheduler can step many independent
+    application instances ("tenants") against a shared virtual clock.
+
+    A tenant is everything one experiment used to own: its VM processes,
+    kernel, checkpointer, protocol instance, trace, fault bookkeeping
+    and recovery budgets.  The scheduler repeatedly picks the tenant
+    whose next runnable process has the smallest local clock (ties break
+    to the lowest tenant id) and runs exactly one iteration of the
+    legacy engine loop for it — so a 1-tenant scheduler performs the
+    byte-identical sequence of machine, kernel, checkpointer and RNG
+    operations the old engine did, and {!Engine} is now a thin facade
+    over it.
+
+    Tenants may share one {!Ft_net.Transport}: each kernel is assigned a
+    disjoint global pid range on it ({!Ft_os.Kernel.set_net} with
+    [~base]), links never cross tenants, and the per-tenant network
+    verdicts (pending frames, earliest event, exhausted retry budgets)
+    are answered by the transport's range queries, so a tenant sharing a
+    transport reaches the same conclusions it would on a private one. *)
+
+type proc = {
+  pid : int;
+  machine : Ft_vm.Machine.t;
+  pristine_code : Ft_vm.Instr.t array;
+  mutable time : int;            (* local clock, ns *)
+  mutable blocked : bool;        (* waiting for a message *)
+  mutable halted : bool;
+  mutable failed : bool;         (* unrecoverable *)
+  mutable recoveries : int;      (* consecutive attempts from one point *)
+  mutable recovered_at_icount : int;
+      (* icount at the last restore; a commit strictly past it proves
+         progress and resets the attempt counter *)
+  mutable commit_count : int;    (* protocol-triggered commits *)
+  mutable nd_count : int;
+  mutable logged_count : int;
+  mutable visible_count : int;
+  mutable first_visible_at : int;
+  mutable last_visible_at : int;
+}
+
+type config = {
+  protocol : Ft_core.Protocol.spec;
+  medium : Checkpointer.medium;
+  cost : Checkpointer.cost_model;
+  batch : int;                  (* max instructions per scheduling slice *)
+  deadline_ns : int option;     (* stop the run at this simulated time *)
+  max_instructions : int;       (* safety net against runaways *)
+  auto_recover : bool;
+  suppress_faults_on_recovery : bool;
+  max_recovery_attempts : int;
+  reboot_delay_ns : int;        (* after a kernel panic *)
+  kills : (int * int) list;     (* (time_ns, pid) stop failures to inject *)
+  kill_at_decision : (int * int) list;
+      (* (decision_index, pid) stop failures: applied just before the
+         scheduler's Nth pick, so crash points can be enumerated
+         deterministically (model-checker cross-check) *)
+  pick_override : (int list -> int option) option;
+      (* given the runnable pids (ascending), choose who runs next;
+         [None] falls back to the smallest-local-clock default *)
+  twopc_timeout_ns : int;
+      (* 2PC prepare/commit timeout: an unreachable participant makes
+         the coordinator presume abort and retry the round later *)
+  twopc_max_retries : int;
+      (* aborted-round retries (doubling backoff) before the coordinator
+         gives up and the run degrades to Net_unreachable *)
+  heap_words : int;
+  stack_words : int;
+  page_size : int;
+  expand_resources_on_recovery : bool;
+      (* §2.6: grow resource limits at reboot, turning fixed ND
+         exhaustion results transient *)
+  excluded_pages : int -> bool;
+      (* §2.6: recomputable heap pages left out of checkpoints *)
+}
+
+let default_config =
+  {
+    protocol = Ft_core.Protocols.cpvs;
+    medium = Checkpointer.Reliable_memory;
+    cost = Checkpointer.default_cost;
+    batch = 256;
+    deadline_ns = None;
+    max_instructions = 2_000_000_000;
+    auto_recover = true;
+    suppress_faults_on_recovery = false;
+    max_recovery_attempts = 3;
+    reboot_delay_ns = 30_000_000_000;
+    kills = [];
+    kill_at_decision = [];
+    pick_override = None;
+    twopc_timeout_ns = 2_000_000;
+    twopc_max_retries = 8;
+    heap_words = 65_536;
+    stack_words = 4_096;
+    page_size = 64;
+    expand_resources_on_recovery = false;
+    excluded_pages = (fun _ -> false);
+  }
+
+type outcome =
+  | Completed            (* every process halted *)
+  | Deadline             (* simulated deadline reached *)
+  | Recovery_failed      (* a process kept crashing past its last commit *)
+  | Deadlocked           (* all processes blocked *)
+  | Instruction_budget   (* safety net tripped *)
+  | Net_unreachable      (* the transport's retry budget ran out: a link
+                            (or a 2PC round) gave up instead of wedging *)
+
+type result = {
+  outcome : outcome;
+  trace : Ft_core.Trace.t;
+  visible : int list;                  (* values output, in order *)
+  sim_time_ns : int;
+  wall_instructions : int;
+  commit_counts : int array;
+  nd_counts : int array;
+  logged_counts : int array;
+  visible_counts : int array;
+  recoveries : int;
+  crashes : int;
+  recovery_crashes : int;              (* crashes during restore itself *)
+  activation : (int * int) option;     (* pid, trace index at activation *)
+  first_crash : (int * int) option;    (* pid, trace index of crash event *)
+  commit_after_activation : bool;
+  memory_pokes : int;                  (* kernel-fault memory corruptions *)
+  aborted_rounds : int;                (* 2PC rounds presumed aborted on a
+                                          prepare/commit timeout *)
+  visible_times : (int * int * int) list;
+      (* (pid, value, local time) of each visible output, in order —
+         the serve harness turns these into per-request latencies *)
+  crash_times : (int * int) list;      (* (pid, local time) of each crash,
+                                          in order — MTTR measurement *)
+}
+
+(* One application instance: the state the legacy engine called [t]. *)
+type tenant = {
+  tid : int;
+  cfg : config;
+  kernel : Ft_os.Kernel.t;
+  procs : proc array;
+  ckpt : Checkpointer.t;
+  protocol : Ft_core.Protocol.t;
+  trace : Ft_core.Trace.t;
+  mutable visible_rev : (int * int * int) list;
+  mutable crash_rev : (int * int) list;
+  mutable instructions : int;
+  mutable total_recoveries : int;
+  mutable total_crashes : int;
+  mutable recovery_crashes : int;
+  mutable kills_pending : (int * int) list;
+  mutable decision_kills : (int * int) list;
+  mutable decisions : int;  (* scheduling decisions taken so far *)
+  mutable activation : (int * int) option;
+  mutable first_crash : (int * int) option;
+  mutable commit_after_activation : bool;
+  mutable on_recover : (int -> unit) option;
+  mutable outcome : outcome option;
+  mutable memory_pokes : int;
+  mutable ack_tag : int;  (* synthetic (negative) tags for 2PC acks *)
+  mutable round : int;    (* coordinated-commit round counter *)
+  mutable aborted_rounds : int;
+  mutable result : result option;  (* set once the tenant finishes *)
+}
+
+type t = {
+  tenants : tenant array;
+  mutable live : int;       (* tenants without a result yet *)
+  mutable steps : int;      (* scheduling steps taken, all tenants *)
+}
+
+let make_tenant tid (cfg, kernel, programs) =
+  let nprocs = Array.length programs in
+  if nprocs <> Ft_os.Kernel.nprocs kernel then
+    invalid_arg "Scheduler.create: kernel sized for a different nprocs";
+  let procs =
+    Array.mapi
+      (fun pid code ->
+        {
+          pid;
+          machine =
+            Ft_vm.Machine.create ~stack_size:cfg.stack_words
+              ~heap_size:cfg.heap_words ~page_size:cfg.page_size
+              (Array.copy code);
+          pristine_code = Array.copy code;
+          time = 0;
+          blocked = false;
+          halted = false;
+          failed = false;
+          recoveries = 0;
+          recovered_at_icount = 0;
+          commit_count = 0;
+          nd_count = 0;
+          logged_count = 0;
+          visible_count = 0;
+          first_visible_at = -1;
+          last_visible_at = -1;
+        })
+      programs
+  in
+  let ckpt =
+    Checkpointer.create ~cost:cfg.cost ~excluded:cfg.excluded_pages
+      ~page_size:cfg.page_size ~medium:cfg.medium ~nprocs
+      ~heap_words:cfg.heap_words ~stack_words:cfg.stack_words ()
+  in
+  let tn =
+    {
+      tid;
+      cfg;
+      kernel;
+      procs;
+      ckpt;
+      protocol = Ft_core.Protocol.instantiate cfg.protocol ~nprocs;
+      trace = Ft_core.Trace.create ~nprocs;
+      visible_rev = [];
+      crash_rev = [];
+      instructions = 0;
+      total_recoveries = 0;
+      total_crashes = 0;
+      recovery_crashes = 0;
+      kills_pending = List.sort compare cfg.kills;
+      decision_kills = List.sort compare cfg.kill_at_decision;
+      decisions = 0;
+      activation = None;
+      first_crash = None;
+      commit_after_activation = false;
+      on_recover = None;
+      outcome = None;
+      memory_pokes = 0;
+      ack_tag = -1;
+      round = 0;
+      aborted_rounds = 0;
+      result = None;
+    }
+  in
+  (* "The initial state of any application is always committed" (§4):
+     take checkpoint zero for every process, outside protocol counts. *)
+  Array.iter
+    (fun p ->
+      ignore
+        (Checkpointer.commit ckpt ~pid:p.pid ~machine:p.machine
+           ~kstate:(Ft_os.Kernel.snapshot_kstate kernel p.pid)))
+    procs;
+  tn
+
+let create ~tenants () =
+  if Array.length tenants = 0 then invalid_arg "Scheduler.create: no tenants";
+  let tenants = Array.mapi make_tenant tenants in
+  { tenants; live = Array.length tenants; steps = 0 }
+
+let tenant_count t = Array.length t.tenants
+let steps t = t.steps
+let machine t ~tid ~pid = t.tenants.(tid).procs.(pid).machine
+let kernel t ~tid = t.tenants.(tid).kernel
+let checkpointer t ~tid = t.tenants.(tid).ckpt
+let set_on_recover t ~tid f = t.tenants.(tid).on_recover <- Some f
+
+(* Fault injectors mark the moment the injected bug first executes. *)
+let record_activation t ~tid pid =
+  let tn = t.tenants.(tid) in
+  if tn.activation = None then
+    tn.activation <- Some (pid, Ft_core.Trace.next_index tn.trace pid)
+
+let activation_recorded t ~tid = t.tenants.(tid).activation <> None
+
+let instr_ns tn = (Ft_os.Kernel.costs tn.kernel).Ft_os.Kernel.instr_ns
+
+(* This tenant's slice of the (possibly shared) transport pid space. *)
+let net_range tn =
+  let lo = Ft_os.Kernel.net_base tn.kernel in
+  (lo, lo + Ft_os.Kernel.nprocs tn.kernel)
+
+(* --- crash and recovery -------------------------------------------------- *)
+
+let record_crash tn (p : proc) =
+  tn.total_crashes <- tn.total_crashes + 1;
+  tn.crash_rev <- (p.pid, p.time) :: tn.crash_rev;
+  let e = Ft_core.Trace.record tn.trace ~pid:p.pid Ft_core.Event.Crash in
+  if tn.first_crash = None then
+    tn.first_crash <- Some (p.pid, e.Ft_core.Event.index)
+
+let give_up tn (p : proc) =
+  p.failed <- true;
+  if tn.outcome = None then tn.outcome <- Some Recovery_failed
+
+let recover tn (p : proc) =
+  if p.recoveries >= tn.cfg.max_recovery_attempts then give_up tn p
+  else begin
+    p.recoveries <- p.recoveries + 1;
+    tn.total_recoveries <- tn.total_recoveries + 1;
+    if tn.cfg.suppress_faults_on_recovery then begin
+      (* The paper's end-to-end check suppresses the fault activation
+         during recovery (§4.1): restore pristine code and tell the
+         injector to stand down. *)
+      Array.blit p.pristine_code 0 p.machine.Ft_vm.Machine.code 0
+        (Array.length p.pristine_code);
+      p.machine.Ft_vm.Machine.on_execute <- None;
+      match tn.on_recover with Some f -> f p.pid | None -> ()
+    end;
+    if tn.cfg.expand_resources_on_recovery then
+      Ft_os.Kernel.expand_resources tn.kernel;
+    (* The restore itself runs on the same fallible machine and can be
+       crashed by an injector mid-replay.  Vista recovery is idempotent,
+       so retry from the same checkpoint — with a growing reboot delay —
+       up to the attempt cap, then degrade to [Recovery_failed] instead
+       of looping forever. *)
+    let rec restore_with_retry attempt =
+      match Checkpointer.restore tn.ckpt ~pid:p.pid ~machine:p.machine with
+      | restored -> Some restored
+      | exception Ft_stablemem.Rio.Crash_point _ ->
+          tn.recovery_crashes <- tn.recovery_crashes + 1;
+          p.time <- p.time + (attempt * tn.cfg.reboot_delay_ns);
+          if attempt >= tn.cfg.max_recovery_attempts then None
+          else restore_with_retry (attempt + 1)
+    in
+    match restore_with_retry 1 with
+    | None -> give_up tn p
+    | Some (kstate, cost) ->
+        Ft_os.Kernel.restore_kstate tn.kernel p.pid kstate;
+        Ft_os.Kernel.requeue_uncommitted tn.kernel p.pid;
+        (* [+ 1]: a commit-before checkpoint counts its (rewound, not yet
+           serviced) Sys instruction in icount, so the replay re-reaches
+           that same commit at exactly icount + 1.  Progress means
+           committing beyond that. *)
+        p.recovered_at_icount <- Ft_vm.Machine.icount p.machine + 1;
+        p.time <- p.time + cost;
+        p.blocked <- false;
+        p.halted <- false
+  end
+
+let crash_proc tn (p : proc) =
+  record_crash tn p;
+  if tn.cfg.auto_recover then recover tn p else p.failed <- true
+
+(* --- commits ------------------------------------------------------------ *)
+
+(* Returns [false] when the process crashed partway through the commit
+   (and was restored to its last checkpoint): the caller must abandon
+   whatever the commit was protecting — the restored machine will replay
+   it — rather than keep acting on the pre-crash control flow. *)
+let do_local_commit ?round tn (p : proc) =
+  match
+    Checkpointer.commit tn.ckpt ~pid:p.pid ~machine:p.machine
+      ~kstate:(Ft_os.Kernel.snapshot_kstate tn.kernel p.pid)
+  with
+  | exception Ft_stablemem.Rio.Crash_point _ ->
+      (* The process died partway through writing its checkpoint; the
+         torn Vista transaction is rolled back by the restore. *)
+      Ft_vm.Machine.kill p.machine;
+      crash_proc tn p;
+      false
+  | cost ->
+      p.time <- p.time + cost;
+      p.commit_count <- p.commit_count + 1;
+      (* A commit strictly past the last restore point is real progress:
+         the failure was transient, so the next crash starts a fresh
+         recovery budget.  (A commit AT the restore point is just the
+         deterministic replay re-reaching the same state and must not
+         refill the budget, or a crash loop would never give up.) *)
+      if p.recoveries > 0
+         && Ft_vm.Machine.icount p.machine > p.recovered_at_icount
+      then p.recoveries <- 0;
+      let kind =
+        match round with
+        | Some r -> Ft_core.Event.Commit_round r
+        | None -> Ft_core.Event.Commit
+      in
+      ignore (Ft_core.Trace.record tn.trace ~pid:p.pid kind);
+      Ft_os.Kernel.note_commit tn.kernel p.pid;
+      tn.protocol.Ft_core.Protocol.note_commit ~pid:p.pid;
+      (match tn.activation with
+      | Some (apid, _) when apid = p.pid && tn.first_crash = None ->
+          tn.commit_after_activation <- true
+      | _ -> ());
+      true
+
+(* Two-phase commit: the coordinator asks every live process to commit and
+   waits for all acknowledgements.  Time: participants commit after one
+   message latency; the coordinator finishes one latency after the last.
+   The acknowledgements are recorded in the trace (as logged protocol
+   messages) so the participants' commits happen-before whatever the
+   coordinator does next — the edge Save-work-orphan relies on.
+
+   With an unreliable transport attached, the round is guarded by a
+   prepare/commit timeout with presumed-abort: if any participant is
+   unreachable (partitioned in either direction, or behind a link whose
+   retry budget ran out), nobody commits this round; the coordinator
+   waits out the timeout — doubling per retry — and tries again, so a
+   healing partition only delays the round.  A round that exhausts its
+   retries degrades the run to [Net_unreachable] rather than committing
+   unsafely or wedging. *)
+let do_global_commit tn (coordinator : proc) =
+  let latency =
+    (Ft_os.Kernel.costs tn.kernel).Ft_os.Kernel.network_latency_ns
+  in
+  let live_participants () =
+    Array.to_list tn.procs
+    |> List.filter (fun q ->
+           (not q.halted) && (not q.failed) && q.pid <> coordinator.pid)
+  in
+  let base = Ft_os.Kernel.net_base tn.kernel in
+  let reachable (q : proc) =
+    match Ft_os.Kernel.net tn.kernel with
+    | None -> true
+    | Some net ->
+        let now = coordinator.time in
+        Ft_net.Transport.reachable net ~src:(base + coordinator.pid)
+          ~dst:(base + q.pid) ~now
+        && Ft_net.Transport.reachable net ~src:(base + q.pid)
+             ~dst:(base + coordinator.pid) ~now
+  in
+  let commit_round () =
+    let start = coordinator.time in
+    let finish = ref start in
+    let round = tn.round in
+    tn.round <- round + 1;
+    (* participants first, each acknowledging to the coordinator *)
+    List.iter
+      (fun q ->
+        q.time <- max q.time (start + latency);
+        (* A participant whose commit crashed (and rolled back) never
+           acknowledges; the coordinator still commits the others. *)
+        if do_local_commit ~round tn q then begin
+          let tag = tn.ack_tag in
+          tn.ack_tag <- tag - 1;
+          ignore
+            (Ft_core.Trace.record tn.trace ~pid:q.pid
+               (Ft_core.Event.Send { dest = coordinator.pid; tag }));
+          ignore
+            (Ft_core.Trace.record tn.trace ~pid:coordinator.pid ~logged:true
+               (Ft_core.Event.Receive { src = q.pid; tag }));
+          if q.time > !finish then finish := q.time
+        end)
+      (live_participants ());
+    (* the coordinator commits last, once every ack is in *)
+    coordinator.time <- max coordinator.time (!finish + latency);
+    do_local_commit ~round tn coordinator
+  in
+  let rec attempt retries =
+    if List.for_all reachable (live_participants ()) then commit_round ()
+    else begin
+      (* presumed abort: no participant prepared, so nothing to undo —
+         the round simply never happened *)
+      tn.aborted_rounds <- tn.aborted_rounds + 1;
+      if retries >= tn.cfg.twopc_max_retries then begin
+        (* the partition outlived the retry budget: end the run honestly
+           instead of wedging or outputting without the commit *)
+        coordinator.failed <- true;
+        if tn.outcome = None then tn.outcome <- Some Net_unreachable;
+        false
+      end
+      else begin
+        coordinator.time <-
+          coordinator.time + (tn.cfg.twopc_timeout_ns * (1 lsl retries));
+        attempt (retries + 1)
+      end
+    end
+  in
+  attempt 0
+
+(* Like [do_local_commit], [false] means the committing process crashed
+   mid-commit and was restored: abandon the surrounding control flow. *)
+let do_commit tn p = function
+  | Ft_core.Protocol.Local -> do_local_commit tn p
+  | Ft_core.Protocol.Global -> do_global_commit tn p
+
+(* A kernel panic stops the whole (shared) machine — all of {e this
+   tenant's} processes; co-tenants run their own kernels and survive.
+   Every process sees a stop failure and is recovered after the reboot.
+   The reboot clears the injected kernel fault. *)
+let kernel_panic tn =
+  Ft_os.Kernel.clear_os_fault tn.kernel;
+  let reboot_done =
+    Array.fold_left (fun acc p -> max acc p.time) 0 tn.procs
+    + tn.cfg.reboot_delay_ns
+  in
+  Array.iter
+    (fun p ->
+      if (not p.halted) && not p.failed then begin
+        Ft_vm.Machine.kill p.machine;
+        record_crash tn p;
+        p.time <- reboot_done;
+        if tn.cfg.auto_recover then recover tn p else p.failed <- true
+      end)
+    tn.procs
+
+(* --- event handling ------------------------------------------------------ *)
+
+let classify_pre ~(sys : Ft_vm.Syscall.t) ~a0 : Ft_core.Protocol.event_info option =
+  let open Ft_core in
+  match sys with
+  | Gettimeofday | Random | Poll_input ->
+      Some { Protocol.kind = Event.Nd Event.Transient; loggable = false }
+  | Read_input ->
+      Some { Protocol.kind = Event.Nd Event.Fixed; loggable = true }
+  | Write_output ->
+      Some { Protocol.kind = Event.Visible a0; loggable = false }
+  | Send ->
+      Some { Protocol.kind = Event.Send { dest = a0; tag = -1 };
+             loggable = false }
+  | Recv | Try_recv ->
+      Some { Protocol.kind = Event.Receive { src = -1; tag = -1 };
+             loggable = true }
+  | Open_file | Write_file ->
+      (* ND only on resource-exhaustion failure, which is known post-
+         service; the engine re-consults the protocol then. *)
+      None
+  | Read_file | Close_file | Sigaction | Sleep | Yield -> None
+
+let event_kind_of_served (served : Ft_os.Kernel.served) :
+    Ft_core.Event.kind option =
+  match served.Ft_os.Kernel.ev with
+  | Ft_os.Kernel.Ev_none -> None
+  | Ft_os.Kernel.Ev_nd (c, _) -> Some (Ft_core.Event.Nd c)
+  | Ft_os.Kernel.Ev_visible v -> Some (Ft_core.Event.Visible v)
+  | Ft_os.Kernel.Ev_send { dest; tag } ->
+      Some (Ft_core.Event.Send { dest; tag })
+  | Ft_os.Kernel.Ev_receive { src; tag } ->
+      Some (Ft_core.Event.Receive { src; tag })
+
+(* Deliver a due timer signal: a transient, unloggable ND event. *)
+let maybe_deliver_signal tn (p : proc) =
+  if Ft_os.Kernel.poll_signal tn.kernel p.pid ~now:p.time then begin
+    let info =
+      { Ft_core.Protocol.kind = Ft_core.Event.Nd Ft_core.Event.Transient;
+        loggable = false }
+    in
+    let reaction = tn.protocol.Ft_core.Protocol.react ~pid:p.pid info in
+    let survived =
+      match reaction.Ft_core.Protocol.commit_before with
+      | Some scope -> do_commit tn p scope
+      | None -> true
+    in
+    (* A commit crash restored the machine to its checkpoint: the signal
+       delivery belongs to the replay, not to this (dead) control flow. *)
+    if survived && Ft_vm.Machine.deliver_signal p.machine then begin
+      p.nd_count <- p.nd_count + 1;
+      ignore
+        (Ft_core.Trace.record tn.trace ~pid:p.pid
+           (Ft_core.Event.Nd Ft_core.Event.Transient));
+      match reaction.Ft_core.Protocol.commit_after with
+      | Some scope -> ignore (do_commit tn p scope : bool)
+      | None -> ()
+    end
+  end
+
+let handle_syscall tn (p : proc) (sys : Ft_vm.Syscall.t) =
+  let m = p.machine in
+  Ft_vm.Machine.rewind_syscall m;
+  let a0 = m.Ft_vm.Machine.regs.(0) and a1 = m.Ft_vm.Machine.regs.(1) in
+  (* Special cases the kernel does not see. *)
+  match sys with
+  | Ft_vm.Syscall.Sigaction ->
+      m.Ft_vm.Machine.signal_handler <- a0;
+      p.time <- p.time + (Ft_os.Kernel.costs tn.kernel).Ft_os.Kernel.syscall_ns;
+      Ft_vm.Machine.advance_past_syscall m
+  | _ -> (
+      let pre = classify_pre ~sys ~a0 in
+      let reaction =
+        match pre with
+        | Some info -> tn.protocol.Ft_core.Protocol.react ~pid:p.pid info
+        | None -> Ft_core.Protocol.no_reaction
+      in
+      let survived =
+        match reaction.Ft_core.Protocol.commit_before with
+        | Some scope -> do_commit tn p scope
+        | None -> true
+      in
+      (* A crash inside the pre-event commit restored the machine to its
+         last checkpoint: the syscall must not be serviced on the restored
+         state — the replay will re-issue it from the rewound pc. *)
+      if not survived then ()
+      else
+      match Ft_os.Kernel.service tn.kernel ~pid:p.pid ~now:p.time ~a0 ~a1 sys with
+      | Ft_os.Kernel.Panic -> kernel_panic tn
+      | Ft_os.Kernel.Block_recv ->
+          (* Leave the machine pointing at the Sys instruction; retry when
+             a message shows up. *)
+          p.blocked <- true
+      | Ft_os.Kernel.Served served ->
+          p.blocked <- false;
+          (match served.Ft_os.Kernel.r0 with
+          | Some v -> Ft_vm.Machine.set_reg m 0 v
+          | None -> ());
+          (match served.Ft_os.Kernel.r1 with
+          | Some v -> Ft_vm.Machine.set_reg m 1 v
+          | None -> ());
+          p.time <- p.time + served.Ft_os.Kernel.cost_ns;
+          (match served.Ft_os.Kernel.new_time with
+          | Some nt -> p.time <- max p.time nt
+          | None -> ());
+          (* Events whose ND-ness depends on the result (e.g. disk-full
+             write failures) are classified only after servicing; give
+             the protocol its chance to react to those now. *)
+          let reaction =
+            match (pre, served.Ft_os.Kernel.ev) with
+            | None, Ft_os.Kernel.Ev_nd (c, loggable) ->
+                tn.protocol.Ft_core.Protocol.react ~pid:p.pid
+                  { Ft_core.Protocol.kind = Ft_core.Event.Nd c; loggable }
+            | _ -> reaction
+          in
+          let logged =
+            reaction.Ft_core.Protocol.log
+            &&
+            match served.Ft_os.Kernel.ev with
+            | Ft_os.Kernel.Ev_nd (_, loggable) -> loggable
+            | Ft_os.Kernel.Ev_receive _ -> true
+            | _ -> false
+          in
+          (* A faulty kernel may corrupt process memory through a syscall
+             (a bad copyout): flip a bit of a live word, biased towards
+             the metadata-rich low heap. *)
+          (match served.Ft_os.Kernel.poke with
+          | Some seed ->
+              let heap = Ft_vm.Machine.heap m in
+              let size = Ft_vm.Memory.size heap in
+              let rng = Random.State.make [| seed |] in
+              let region =
+                if Random.State.bool rng then min size 4096 else size
+              in
+              let rec hunt tries best =
+                if tries = 0 then best
+                else
+                  let a = Random.State.int rng region in
+                  if Ft_vm.Memory.read heap a <> 0 then a
+                  else hunt (tries - 1) best
+              in
+              let a = hunt 64 (Random.State.int rng region) in
+              let bit = Random.State.int rng 24 in
+              Ft_vm.Memory.write heap a
+                (Ft_vm.Memory.read heap a lxor (1 lsl bit));
+              tn.memory_pokes <- tn.memory_pokes + 1
+          | None -> ());
+          (* Logged user input must be stable before its effects propagate
+             (a synchronous write on DC-disk); logged receives live in the
+             kernel's recovery buffer — committed senders regenerate them
+             — and cost nothing extra. *)
+          (match served.Ft_os.Kernel.ev with
+          | Ft_os.Kernel.Ev_nd _ when logged ->
+              p.time <- p.time + Checkpointer.log_cost tn.ckpt ~words:4
+          | _ -> ());
+          (match event_kind_of_served served with
+          | Some kind ->
+              ignore (Ft_core.Trace.record tn.trace ~pid:p.pid ~logged kind);
+              (match kind with
+              | Ft_core.Event.Nd _ | Ft_core.Event.Receive _ ->
+                  p.nd_count <- p.nd_count + 1;
+                  if logged then p.logged_count <- p.logged_count + 1
+              | Ft_core.Event.Visible v ->
+                  p.visible_count <- p.visible_count + 1;
+                  if p.first_visible_at < 0 then p.first_visible_at <- p.time;
+                  p.last_visible_at <- p.time;
+                  tn.visible_rev <- (p.pid, v, p.time) :: tn.visible_rev
+              | _ -> ())
+          | None -> ());
+          Ft_vm.Machine.advance_past_syscall m;
+          (* The machine is already past the syscall: a crash in the
+             post-event commit just restores and replays from there. *)
+          (match reaction.Ft_core.Protocol.commit_after with
+          | Some scope -> ignore (do_commit tn p scope : bool)
+          | None -> ()))
+
+(* --- scheduling ---------------------------------------------------------- *)
+
+let runnable tn (p : proc) =
+  (not p.halted) && (not p.failed)
+  && ((not p.blocked) || Ft_os.Kernel.mailbox_nonempty tn.kernel p.pid)
+
+let pick tn =
+  (* deterministic stop failures keyed by scheduling-decision index:
+     applied before the pick, so the kill changes this decision's
+     runnable set *)
+  let due, later =
+    List.partition (fun (d, _) -> d <= tn.decisions) tn.decision_kills
+  in
+  tn.decision_kills <- later;
+  List.iter
+    (fun (_, pid) ->
+      let p = tn.procs.(pid) in
+      if (not p.halted) && not p.failed then begin
+        Ft_vm.Machine.kill p.machine;
+        crash_proc tn p
+      end)
+    due;
+  let best = ref None in
+  Array.iter
+    (fun p ->
+      if runnable tn p then
+        match !best with
+        | Some q when q.time <= p.time -> ()
+        | _ -> best := Some p)
+    tn.procs;
+  match !best with
+  | None -> None
+  | Some _ as default ->
+      tn.decisions <- tn.decisions + 1;
+      (match tn.cfg.pick_override with
+      | None -> default
+      | Some f -> (
+          let candidates =
+            Array.to_list tn.procs |> List.filter (runnable tn)
+            |> List.map (fun p -> p.pid)
+          in
+          match f candidates with
+          | Some pid when List.mem pid candidates -> Some tn.procs.(pid)
+          | _ -> default))
+
+let apply_due_kills tn =
+  let due, later =
+    List.partition
+      (fun (at, pid) ->
+        let p = tn.procs.(pid) in
+        p.time >= at && not p.halted)
+      tn.kills_pending
+  in
+  tn.kills_pending <- later;
+  List.iter
+    (fun (_, pid) ->
+      let p = tn.procs.(pid) in
+      if (not p.halted) && not p.failed then begin
+        Ft_vm.Machine.kill p.machine;
+        crash_proc tn p
+      end)
+    due
+
+let past_deadline tn (p : proc) =
+  match tn.cfg.deadline_ns with Some d -> p.time >= d | None -> false
+
+(* Run one scheduling slice of process [p]. *)
+let slice tn (p : proc) =
+  maybe_deliver_signal tn p;
+  let m = p.machine in
+  let executed = Ft_vm.Machine.step_n m tn.cfg.batch in
+  tn.instructions <- tn.instructions + executed;
+  p.time <- p.time + (executed * instr_ns tn);
+  match Ft_vm.Machine.status m with
+  | Ft_vm.Machine.Running -> ()
+  | Ft_vm.Machine.Halted -> p.halted <- true
+  | Ft_vm.Machine.Crashed _ -> crash_proc tn p
+  | Ft_vm.Machine.Need_syscall sys -> handle_syscall tn p sys
+
+let finished tn =
+  Array.for_all (fun p -> p.halted || p.failed) tn.procs
+
+let result_of tn outcome =
+  let arr f = Array.map f tn.procs in
+  let visible_times = List.rev tn.visible_rev in
+  {
+    outcome;
+    trace = tn.trace;
+    visible = List.map (fun (_, v, _) -> v) visible_times;
+    sim_time_ns = Array.fold_left (fun acc p -> max acc p.time) 0 tn.procs;
+    wall_instructions = tn.instructions;
+    commit_counts = arr (fun p -> p.commit_count);
+    nd_counts = arr (fun p -> p.nd_count);
+    logged_counts = arr (fun p -> p.logged_count);
+    visible_counts = arr (fun p -> p.visible_count);
+    recoveries = tn.total_recoveries;
+    crashes = tn.total_crashes;
+    recovery_crashes = tn.recovery_crashes;
+    activation = tn.activation;
+    first_crash = tn.first_crash;
+    commit_after_activation = tn.commit_after_activation;
+    memory_pokes = tn.memory_pokes;
+    aborted_rounds = tn.aborted_rounds;
+    visible_times;
+    crash_times = List.rev tn.crash_rev;
+  }
+
+(* Fire transport events up to this tenant's most advanced live local
+   clock.  On a shared transport this may fire a co-tenant's events a
+   little "early" in wall order; arrivals are stamped with their own
+   delivery time and receivers advance on consume, so nothing observable
+   moves (the same argument that lets a slow receiver's frames land
+   early on a private transport). *)
+let pump_net tn =
+  match Ft_os.Kernel.net tn.kernel with
+  | None -> ()
+  | Some net ->
+      let now =
+        Array.fold_left
+          (fun acc p -> if p.halted || p.failed then acc else max acc p.time)
+          0 tn.procs
+      in
+      Ft_net.Transport.pump net ~now
+
+(* --- the scheduler loop -------------------------------------------------- *)
+
+let finish t tn outcome =
+  tn.result <- Some (result_of tn outcome);
+  t.live <- t.live - 1
+
+(* One iteration of the legacy engine loop for tenant [tn]: exactly the
+   operations (and order) `Engine.run`'s `loop ()` body performed, so a
+   1-tenant scheduler is step-identical to the old engine. *)
+let step t tn =
+  t.steps <- t.steps + 1;
+  apply_due_kills tn;
+  pump_net tn;
+  if tn.instructions > tn.cfg.max_instructions then
+    finish t tn Instruction_budget
+  else if finished tn then
+    finish t tn
+      (match tn.outcome with
+      | Some o -> o
+      | None ->
+          if Array.exists (fun p -> p.failed) tn.procs then Recovery_failed
+          else Completed)
+  else
+    match pick tn with
+    | None -> (
+        (* Nobody is runnable.  If the network still holds events of
+           ours — frames in flight, pending retries — the world can
+           move: advance simulated time to the next event and pump.
+           Only a quiet network is a verdict: a link that exhausted its
+           retry budget while a receiver blocks is [Net_unreachable]
+           (graceful degradation, §2.6 spirit); otherwise the processes
+           deadlocked all by themselves. *)
+        let lo, hi = net_range tn in
+        match Ft_os.Kernel.net tn.kernel with
+        | Some net when Ft_net.Transport.pending_in net ~lo ~hi -> (
+            match Ft_net.Transport.next_event_in net ~lo ~hi with
+            | Some at
+              when (match tn.cfg.deadline_ns with
+                   | Some d -> at >= d
+                   | None -> false) ->
+                finish t tn Deadline
+            | Some at -> Ft_net.Transport.pump net ~now:at
+            | None -> finish t tn Deadlocked)
+        | Some net
+          when Ft_net.Transport.any_failed_in net ~lo ~hi
+               && Array.exists
+                    (fun p -> p.blocked && (not p.halted) && not p.failed)
+                    tn.procs ->
+            finish t tn Net_unreachable
+        | _ ->
+            (* A 2PC round that exhausted its presumed-abort retries
+               marked the outcome before the rest of the system drained;
+               that verdict, not Deadlocked, is the honest one. *)
+            finish t tn
+              (match tn.outcome with
+              | Some Net_unreachable -> Net_unreachable
+              | _ -> Deadlocked))
+    | Some p ->
+        if past_deadline tn p then finish t tn Deadline
+        else slice tn p
+
+(* The tenant's position on the shared virtual clock: the smallest local
+   clock among its runnable processes, or the earliest network event
+   that could unblock it.  A tenant with neither can only conclude —
+   schedule it immediately so its verdict is not delayed. *)
+let tenant_next_time tn =
+  let best = ref max_int in
+  Array.iter
+    (fun p -> if runnable tn p && p.time < !best then best := p.time)
+    tn.procs;
+  if !best < max_int then !best
+  else
+    match Ft_os.Kernel.net tn.kernel with
+    | Some net ->
+        let lo, hi = net_range tn in
+        (match Ft_net.Transport.next_event_in net ~lo ~hi with
+        | Some at -> at
+        | None -> min_int)
+    | None -> min_int
+
+(* Pick the live tenant furthest behind on the virtual clock (ties break
+   to the lowest tenant id — the strict [<] keeps the first minimum). *)
+let pick_tenant t =
+  let best = ref None in
+  let best_time = ref max_int in
+  Array.iter
+    (fun tn ->
+      if tn.result = None then begin
+        let at = tenant_next_time tn in
+        if at < !best_time || !best = None then begin
+          best := Some tn;
+          best_time := at
+        end
+      end)
+    t.tenants;
+  !best
+
+let run t =
+  let rec drive () =
+    if t.live = 0 then Array.map (fun tn -> Option.get tn.result) t.tenants
+    else begin
+      (match pick_tenant t with
+      | Some tn -> step t tn
+      | None -> assert false);
+      drive ()
+    end
+  in
+  drive ()

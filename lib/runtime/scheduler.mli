@@ -1,15 +1,24 @@
-(** The execution engine: runs VM processes on the kernel model under a
-    recovery protocol, with Discount Checking commits, rollback and
-    replay.  Schedules the runnable process with the smallest local
-    clock (a conservative parallel simulation), consults the protocol at
-    every event, records the {!Ft_core.Trace}, charges simulated time,
-    and recovers crashed processes from their last checkpoint.
+(** The multi-tenant scheduler core: the engine's event loop factored so
+    one scheduler steps many independent application instances
+    ("tenants") against a shared virtual clock.
 
-    Since the multi-tenant refactor this is a thin facade over a
-    1-tenant {!Scheduler}; the types are equalities so the two APIs
-    interoperate. *)
+    A tenant is everything one experiment used to own — VM processes,
+    kernel, checkpointer, protocol instance, trace, fault bookkeeping,
+    recovery budgets.  The scheduler repeatedly picks the live tenant
+    furthest behind on the virtual clock (ties to the lowest tenant id)
+    and runs one iteration of the legacy engine loop for it, so a
+    1-tenant scheduler is step-identical to the old {!Engine} — which is
+    now a facade over this module.
 
-type config = Scheduler.config = {
+    Tenants may share one {!Ft_net.Transport}: give each kernel a
+    disjoint global pid range with {!Ft_os.Kernel.set_net}[ ~base] and
+    route the transport's [deliver] callback back through
+    {!Ft_os.Kernel.deliver_net}.  Links never cross tenants, so the
+    per-tenant network verdicts (pending frames, earliest event, dead
+    links) come from the transport's range queries and match what a
+    private transport would say. *)
+
+type config = {
   protocol : Ft_core.Protocol.spec;
   medium : Checkpointer.medium;
   cost : Checkpointer.cost_model;
@@ -52,7 +61,7 @@ type config = Scheduler.config = {
 
 val default_config : config
 
-type outcome = Scheduler.outcome =
+type outcome =
   | Completed  (** every process halted *)
   | Deadline
   | Recovery_failed  (** a process kept crashing past its last commit *)
@@ -63,7 +72,7 @@ type outcome = Scheduler.outcome =
           or a 2PC round exhausted its presumed-abort retries): the run
           degrades instead of wedging in [Block_recv] *)
 
-type result = Scheduler.result = {
+type result = {
   outcome : outcome;
   trace : Ft_core.Trace.t;
   visible : int list;  (** values output to the user, in order *)
@@ -87,39 +96,48 @@ type result = Scheduler.result = {
   aborted_rounds : int;
       (** 2PC rounds presumed aborted on a prepare/commit timeout *)
   visible_times : (int * int * int) list;
-      (** (pid, value, local time ns) of each visible output, in order *)
+      (** (pid, value, local time ns) of each visible output, in order —
+          the serve harness turns these into per-request latencies *)
   crash_times : (int * int) list;
-      (** (pid, local time ns) of each crash, in order *)
+      (** (pid, local time ns) of each crash, in order — MTTR
+          measurement *)
 }
 
 type t
 
 val create :
-  ?cfg:config -> kernel:Ft_os.Kernel.t -> programs:Ft_vm.Instr.t array array ->
-  unit -> t
-(** Builds the engine and takes checkpoint zero of every process ("the
-    initial state of any application is always committed", §4). *)
+  tenants:(config * Ft_os.Kernel.t * Ft_vm.Instr.t array array) array ->
+  unit ->
+  t
+(** Builds every tenant and takes checkpoint zero of each of its
+    processes ("the initial state of any application is always
+    committed", §4).  Kernels must be sized for their program arrays;
+    sharing a transport between kernels is the caller's wiring
+    ({!Ft_os.Kernel.set_net}). *)
 
-val machine : t -> int -> Ft_vm.Machine.t
-val kernel : t -> Ft_os.Kernel.t
+val tenant_count : t -> int
 
-val checkpointer : t -> Checkpointer.t
-(** The engine's checkpointer — fault injectors reach the per-process
-    Rio regions through it ({!Checkpointer.vista}). *)
+val steps : t -> int
+(** Scheduling steps taken so far, across all tenants — one step is one
+    iteration of the legacy engine loop (the bench hot-loop metric). *)
 
-val set_on_recover : t -> (int -> unit) -> unit
-(** Called on each recovery when fault suppression is on; injectors use
-    it to stand down. *)
+val machine : t -> tid:int -> pid:int -> Ft_vm.Machine.t
+val kernel : t -> tid:int -> Ft_os.Kernel.t
 
-val record_activation : t -> int -> unit
+val checkpointer : t -> tid:int -> Checkpointer.t
+(** A tenant's checkpointer — fault injectors reach the per-process Rio
+    regions through it ({!Checkpointer.vista}). *)
+
+val set_on_recover : t -> tid:int -> (int -> unit) -> unit
+(** Called on each of the tenant's recoveries when fault suppression is
+    on; injectors use it to stand down. *)
+
+val record_activation : t -> tid:int -> int -> unit
 (** Fault injectors mark the moment the injected bug first changes the
     execution. *)
 
-val activation_recorded : t -> bool
+val activation_recorded : t -> tid:int -> bool
 
-val run : t -> result
-
-val execute :
-  ?cfg:config -> kernel:Ft_os.Kernel.t -> programs:Ft_vm.Instr.t array array ->
-  unit -> t * result
-(** [create] then [run]. *)
+val run : t -> result array
+(** Drive every tenant to its verdict; [(run t).(tid)] is tenant
+    [tid]'s result. *)

@@ -361,10 +361,69 @@ let test_measure_matches_records_path () =
     (Ft_harness.Figure8.render via_measure)
     (Ft_harness.Figure8.render via_records)
 
+(* --- exact nearest-rank percentiles -------------------------------------- *)
+
+let test_percentile_tiny_samples () =
+  Alcotest.(check int) "n=1 p50" 42 (Ft_exp.Metrics.p50 [| 42 |]);
+  Alcotest.(check int) "n=1 p999" 42 (Ft_exp.Metrics.p999 [| 42 |]);
+  let two = [| 20; 10 |] in
+  Alcotest.(check int) "n=2 p50 lands on the first element" 10
+    (Ft_exp.Metrics.p50 two);
+  Alcotest.(check int) "n=2 p99 lands on the second" 20
+    (Ft_exp.Metrics.p99 two);
+  Alcotest.(check int) "q=1 is the max" 20 (Ft_exp.Metrics.percentile two 1.0);
+  Alcotest.(check int) "input array untouched" 20 two.(0)
+
+let test_percentile_ties () =
+  let a = [| 5; 1; 5; 5; 9 |] in
+  Alcotest.(check int) "p50 under ties" 5 (Ft_exp.Metrics.p50 a);
+  (* rank ceil(0.8 * 5) = 4 is still inside the tied run *)
+  Alcotest.(check int) "p80 under ties" 5 (Ft_exp.Metrics.percentile a 0.8);
+  (* rank ceil(0.9 * 5) = 5 steps past it *)
+  Alcotest.(check int) "p90 past the ties" 9 (Ft_exp.Metrics.percentile a 0.9);
+  Alcotest.(check int) "p99 top" 9 (Ft_exp.Metrics.p99 a)
+
+let test_percentile_rejects () =
+  Alcotest.check_raises "empty sample"
+    (Invalid_argument "Metrics.percentile: empty sample") (fun () ->
+      ignore (Ft_exp.Metrics.p50 [||]));
+  Alcotest.check_raises "q = 0"
+    (Invalid_argument "Metrics.percentile: q outside (0, 1]") (fun () ->
+      ignore (Ft_exp.Metrics.percentile [| 1 |] 0.));
+  Alcotest.check_raises "q > 1"
+    (Invalid_argument "Metrics.percentile: q outside (0, 1]") (fun () ->
+      ignore (Ft_exp.Metrics.percentile [| 1 |] 1.5))
+
+(* The histogram path (what sharded campaigns merge) must agree with
+   expanding every cell and taking the plain percentile. *)
+let prop_percentile_counts_matches_expansion =
+  QCheck.Test.make ~name:"histogram percentile == expanded percentile"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 8) (pair (0 -- 100) (0 -- 3)))
+        (1 -- 1000))
+    (fun (cells, qm) ->
+      let q = float_of_int qm /. 1000. in
+      let total = List.fold_left (fun a (_, c) -> a + c) 0 cells in
+      QCheck.assume (total > 0);
+      let expanded =
+        Array.of_list
+          (List.concat_map (fun (v, c) -> List.init c (fun _ -> v)) cells)
+      in
+      Ft_exp.Metrics.percentile_counts (Array.of_list cells) q
+      = Ft_exp.Metrics.percentile expanded q)
+
 let tests =
   [
     Alcotest.test_case "pool runs each job once" `Quick
       test_pool_runs_each_job_once;
+    Alcotest.test_case "percentile tiny samples" `Quick
+      test_percentile_tiny_samples;
+    Alcotest.test_case "percentile ties" `Quick test_percentile_ties;
+    Alcotest.test_case "percentile rejects bad input" `Quick
+      test_percentile_rejects;
+    QCheck_alcotest.to_alcotest prop_percentile_counts_matches_expansion;
     Alcotest.test_case "pool contains failures" `Quick
       test_pool_contains_failures;
     Alcotest.test_case "pool retry recovers" `Quick test_pool_retry_recovers;

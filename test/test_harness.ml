@@ -183,6 +183,48 @@ let test_torture_sample_reproducible () =
   Alcotest.(check int) "clean sample" 0
     (List.length a.Ft_harness.Torture.violations)
 
+(* --- fleet serving campaign ----------------------------------------------- *)
+
+(* A tiny fleet, kills on, all oracles armed: the campaign must come
+   back clean with every request acknowledged exactly once. *)
+let tiny_serve_params =
+  { Ft_harness.Serve.smoke_params with
+    procs = 6;
+    requests = 600;
+    shard_size = 2;
+    seed = 3 }
+
+let test_serve_tiny_fleet_clean () =
+  let report = Ft_harness.Serve.run ~quiet:true tiny_serve_params in
+  Alcotest.(check bool) "oracles clean" true (Ft_harness.Serve.clean report);
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (s.Ft_harness.Serve.s_protocol ^ " all acked")
+        s.Ft_harness.Serve.s_requests s.Ft_harness.Serve.s_acked;
+      Alcotest.(check bool)
+        (s.Ft_harness.Serve.s_protocol ^ " goodput positive")
+        true
+        (s.Ft_harness.Serve.s_goodput > 0.);
+      Alcotest.(check bool)
+        (s.Ft_harness.Serve.s_protocol ^ " percentiles ordered")
+        true
+        (s.Ft_harness.Serve.s_p50_ns <= s.Ft_harness.Serve.s_p99_ns
+        && s.Ft_harness.Serve.s_p99_ns <= s.Ft_harness.Serve.s_p999_ns))
+    report.Ft_harness.Serve.summaries
+
+(* Shards are pure jobs: the sharded campaign renders byte-identically
+   under -j1 and -j4. *)
+let serve_rendered workers =
+  let jobs = Ft_harness.Serve.jobs tiny_serve_params in
+  let lookup = Ft_exp.Exp.eval_lookup ~workers jobs in
+  Ft_harness.Serve.render
+    (Ft_harness.Serve.of_records tiny_serve_params lookup)
+
+let test_serve_parallel_equals_serial () =
+  Alcotest.(check string)
+    "serve -j1 == -j4" (serve_rendered 1) (serve_rendered 4)
+
 (* Byte-identical pinning of the paper outputs: any change to simulated
    (charged) costs, protocol decisions, workload generation or RNG
    derivation shows up here as a diff against the committed golden
@@ -243,6 +285,10 @@ let tests =
       test_torture_catches_defect;
     Alcotest.test_case "torture sample reproducible" `Quick
       test_torture_sample_reproducible;
+    Alcotest.test_case "serve tiny fleet clean" `Slow
+      test_serve_tiny_fleet_clean;
+    Alcotest.test_case "serve parallel == serial" `Slow
+      test_serve_parallel_equals_serial;
     Alcotest.test_case "figure8 golden rendering" `Quick test_figure8_golden;
     Alcotest.test_case "table1 golden rendering" `Quick test_table1_golden;
   ]

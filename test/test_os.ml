@@ -25,6 +25,30 @@ let test_input_script_and_think_time () =
   let s3 = serve k 0 Ft_vm.Syscall.Read_input in
   Alcotest.(check (option int)) "exhausted" (Some (-1)) s3.Ft_os.Kernel.r0
 
+let test_absolute_input_open_loop () =
+  (* Open-loop arrivals: each token is ready at its own absolute time.
+     An early reader waits for the arrival; a late reader drains the
+     backlog at [now] — the missed schedule shows up as latency, never
+     as schedule slip. *)
+  let k = mk ~nprocs:1 () in
+  Ft_os.Kernel.set_input_absolute k 0
+    (Ft_os.Kernel.open_loop_input ~start:100 ~interval_ns:1_000 [ 7; 8; 9 ]);
+  let s1 = serve ~now:0 k 0 Ft_vm.Syscall.Read_input in
+  Alcotest.(check (option int)) "first token" (Some 7) s1.Ft_os.Kernel.r0;
+  Alcotest.(check (option int)) "early reader waits for arrival" (Some 100)
+    s1.Ft_os.Kernel.new_time;
+  (* tokens due at 1100 and 2100, both read at now = 5000 *)
+  let s2 = serve ~now:5_000 k 0 Ft_vm.Syscall.Read_input in
+  Alcotest.(check (option int)) "second token" (Some 8) s2.Ft_os.Kernel.r0;
+  Alcotest.(check (option int)) "backlog served at now" (Some 5_000)
+    s2.Ft_os.Kernel.new_time;
+  let s3 = serve ~now:5_000 k 0 Ft_vm.Syscall.Read_input in
+  Alcotest.(check (option int)) "third token" (Some 9) s3.Ft_os.Kernel.r0;
+  Alcotest.(check (option int)) "no think-time shift" (Some 5_000)
+    s3.Ft_os.Kernel.new_time;
+  let s4 = serve ~now:5_000 k 0 Ft_vm.Syscall.Read_input in
+  Alcotest.(check (option int)) "exhausted" (Some (-1)) s4.Ft_os.Kernel.r0
+
 let test_event_classification () =
   let k = mk () in
   let time_ev = (serve k 0 Ft_vm.Syscall.Gettimeofday).Ft_os.Kernel.ev in
@@ -166,6 +190,8 @@ let test_kstate_snapshot_roundtrip () =
 let tests =
   [
     Alcotest.test_case "input script" `Quick test_input_script_and_think_time;
+    Alcotest.test_case "absolute input open loop" `Quick
+      test_absolute_input_open_loop;
     Alcotest.test_case "event classification" `Quick
       test_event_classification;
     Alcotest.test_case "send/recv roundtrip" `Quick test_send_recv_roundtrip;

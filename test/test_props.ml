@@ -129,6 +129,57 @@ let stop_failure_prop =
            ~reference:(Lazy.force counter_reference).Ft_runtime.Engine.visible
            ~observed:r.Ft_runtime.Engine.visible)
 
+(* --- multi-tenant scheduler == private engines ---------------------------- *)
+
+(* Random fleets: any mix of protocols and kill schedules packed into one
+   scheduler must give each tenant byte-identical results to a private
+   engine — the tentpole refactor's correctness contract. *)
+let scheduler_tenant ~protocol ~kills ~seed () =
+  let code = Ft_vm.Asm.compile counter_program in
+  let kernel = Ft_os.Kernel.create ~seed ~nprocs:1 () in
+  Ft_os.Kernel.set_input kernel 0
+    (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:500_000 counter_tokens);
+  ({ Ft_runtime.Engine.default_config with protocol; kills }, kernel, [| code |])
+
+let scheduler_matches_engines_prop =
+  QCheck.Test.make
+    ~name:"multi-tenant scheduler == one private engine per tenant"
+    ~count:40
+    QCheck.(
+      list_of_size
+        (Gen.int_range 1 3)
+        (pair (0 -- 6) (list_of_size (Gen.int_bound 2) (1 -- 12))))
+    (fun tenants ->
+      let mk i (pi, kill_ms) =
+        scheduler_tenant
+          ~protocol:(List.nth Protocols.figure8 pi)
+          ~kills:(List.map (fun ms -> (ms * 1_000_000, 0)) kill_ms)
+          ~seed:(1 + i) ()
+      in
+      let sched =
+        Ft_runtime.Scheduler.create
+          ~tenants:(Array.of_list (List.mapi mk tenants))
+          ()
+      in
+      let rs = Ft_runtime.Scheduler.run sched in
+      List.for_all
+        (fun i ->
+          let cfg, kernel, programs = mk i (List.nth tenants i) in
+          let _, r' =
+            Ft_runtime.Engine.execute ~cfg ~kernel ~programs ()
+          in
+          let open Ft_runtime.Engine in
+          let r = rs.(i) in
+          r.outcome = r'.outcome && r.visible = r'.visible
+          && r.sim_time_ns = r'.sim_time_ns
+          && r.wall_instructions = r'.wall_instructions
+          && r.commit_counts = r'.commit_counts
+          && r.crashes = r'.crashes
+          && r.recoveries = r'.recoveries
+          && r.visible_times = r'.visible_times
+          && r.crash_times = r'.crash_times)
+        (List.init (List.length tenants) Fun.id))
+
 (* --- consistency modulo duplicates (§2.3) -------------------------------- *)
 
 (* Duplicate bursts are exactly what rollback re-emission produces, and
@@ -404,7 +455,8 @@ let violations_agree_prop spec =
 let tests =
   List.map QCheck_alcotest.to_alcotest
     (conformance_tests
-    @ [ no_commit_violates; stop_failure_prop; consistency_dup_bursts_prop;
+    @ [ no_commit_violates; stop_failure_prop;
+        scheduler_matches_engines_prop; consistency_dup_bursts_prop;
         consistency_reorder_extra_prop ]
     @ List.map violations_agree_prop
         [ Protocols.no_commit; Protocols.cpvs; Protocols.cand_log ])

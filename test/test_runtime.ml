@@ -561,9 +561,133 @@ let test_zero_dirty_commit_no_page_records () =
     true
     (delta < 64)
 
+(* --- multi-tenant scheduler ----------------------------------------------- *)
+
+(* A scheduler hosting several tenants must hand every tenant exactly
+   the result its own private engine would produce — outcome, outputs,
+   clocks, instruction counts, trace, everything.  Heterogeneous mix:
+   an echo tenant with two kills, a two-process pingpong with the
+   server killed, and a clean echo on a different kernel seed. *)
+let tenant_makers spec =
+  let mk_echo ~seed ~kills () =
+    let kernel = Ft_os.Kernel.create ~seed ~nprocs:1 () in
+    Ft_os.Kernel.set_input kernel 0
+      (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:1_000_000 tokens);
+    ( { Ft_runtime.Engine.default_config with protocol = spec; kills },
+      kernel,
+      [| Ft_vm.Asm.compile echo_program |] )
+  in
+  let mk_pingpong ~kills () =
+    let kernel = Ft_os.Kernel.create ~seed:7 ~nprocs:2 () in
+    ( { Ft_runtime.Engine.default_config with protocol = spec; kills },
+      kernel,
+      pingpong_programs ~rounds:5 )
+  in
+  [|
+    (fun () -> mk_echo ~seed:1 ~kills:[ (2_100_000, 0); (5_300_000, 0) ] ());
+    (fun () -> mk_pingpong ~kills:[ (1_000_000, 1) ] ());
+    (fun () -> mk_echo ~seed:2 ~kills:[] ());
+  |]
+
+let check_same_result ~msg r r' =
+  let open Ft_runtime.Engine in
+  let name field = Printf.sprintf "%s %s" msg field in
+  Alcotest.(check bool) (name "outcome") true (r.outcome = r'.outcome);
+  Alcotest.(check (list int)) (name "visible") r'.visible r.visible;
+  Alcotest.(check int) (name "sim time") r'.sim_time_ns r.sim_time_ns;
+  Alcotest.(check int) (name "instructions") r'.wall_instructions
+    r.wall_instructions;
+  Alcotest.(check (array int)) (name "commits") r'.commit_counts
+    r.commit_counts;
+  Alcotest.(check (array int)) (name "nd events") r'.nd_counts r.nd_counts;
+  Alcotest.(check int) (name "crashes") r'.crashes r.crashes;
+  Alcotest.(check int) (name "recoveries") r'.recoveries r.recoveries;
+  Alcotest.(check bool) (name "visible times") true
+    (r.visible_times = r'.visible_times);
+  Alcotest.(check bool) (name "crash times") true
+    (r.crash_times = r'.crash_times);
+  Alcotest.(check bool) (name "trace") true
+    (Ft_core.Trace.events r.trace = Ft_core.Trace.events r'.trace)
+
+let test_scheduler_matches_private_engines () =
+  List.iter
+    (fun spec ->
+      let mks = tenant_makers spec in
+      let sched =
+        Ft_runtime.Scheduler.create
+          ~tenants:(Array.map (fun mk -> mk ()) mks)
+          ()
+      in
+      let rs = Ft_runtime.Scheduler.run sched in
+      Array.iteri
+        (fun i mk ->
+          let cfg, kernel, programs = mk () in
+          let _, r' =
+            Ft_runtime.Engine.execute ~cfg ~kernel ~programs ()
+          in
+          check_same_result
+            ~msg:
+              (Printf.sprintf "%s tenant %d"
+                 spec.Ft_core.Protocol.spec_name i)
+            rs.(i) r')
+        mks)
+    Ft_core.Protocols.figure8
+
+(* Two pingpong tenants on ONE shared transport with disjoint global pid
+   ranges and a lossy link policy: retransmission must carry both to
+   completion, the outputs must stay consistent, and a kill in tenant 0
+   must not touch tenant 1. *)
+let test_scheduler_shared_transport () =
+  let wnprocs = 2 and n = 2 in
+  let kernels =
+    Array.init n (fun i -> Ft_os.Kernel.create ~seed:(50 + i) ~nprocs:wnprocs ())
+  in
+  let tr =
+    Ft_net.Transport.create
+      ~policy:(fun _ _ -> Ft_net.Policy.make ~drop:0.2 ())
+      ~seed:99 ~nprocs:(n * wnprocs) ~latency_ns:20_000 ~jitter_ns:5_000
+      ~deliver:(fun ~at ~src:_ ~dst m ->
+        Ft_os.Kernel.deliver_net kernels.(dst / wnprocs) ~at
+          ~dst:(dst mod wnprocs) m)
+      ()
+  in
+  Array.iteri (fun i k -> Ft_os.Kernel.set_net k ~base:(i * wnprocs) tr) kernels;
+  let cfg kills = { Ft_runtime.Engine.default_config with kills } in
+  let sched =
+    Ft_runtime.Scheduler.create
+      ~tenants:
+        [|
+          (cfg [ (1_000_000, 1) ], kernels.(0), pingpong_programs ~rounds:5);
+          (cfg [], kernels.(1), pingpong_programs ~rounds:5);
+        |]
+      ()
+  in
+  let rs = Ft_runtime.Scheduler.run sched in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tenant %d completed" i)
+        true
+        (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+      Alcotest.(check bool)
+        (Printf.sprintf "tenant %d consistent" i)
+        true
+        (Ft_core.Consistency.is_consistent
+           ~reference:(pingpong_reference 5)
+           ~observed:r.Ft_runtime.Engine.visible))
+    rs;
+  Alcotest.(check int) "kill landed in tenant 0" 1
+    rs.(0).Ft_runtime.Engine.crashes;
+  Alcotest.(check int) "tenant 1 untouched by the kill" 0
+    rs.(1).Ft_runtime.Engine.crashes
+
 let tests =
   [
     Alcotest.test_case "plain run" `Quick test_plain_run;
+    Alcotest.test_case "scheduler == private engines (all protocols)" `Quick
+      test_scheduler_matches_private_engines;
+    Alcotest.test_case "scheduler shared transport" `Quick
+      test_scheduler_shared_transport;
     Alcotest.test_case "recoveries reset on progress" `Quick
       test_recoveries_reset_on_progress;
     Alcotest.test_case "commit crash recovers" `Quick
