@@ -451,6 +451,56 @@ let micro_net_transport loss =
     (Staged.stage (fun () ->
          Sys.opaque_identity (net_burst ~loss ~n:256)))
 
+(* The escalation ladder end to end: a deterministic wild jump planted
+   in place of the echo loop's Halt crashes every replay at the same
+   point, so the full ladder burns its whole budget — two generic
+   replays, two deep rollbacks, three perturbed replays — classifying
+   the fault Bohrbug and giving up.  Times the recovery machinery
+   itself: restore, deep rollback re-commit, kernel perturbation,
+   sequenced-egress absorption. *)
+let micro_classifier_replay =
+  let code =
+    let c =
+      Ft_vm.Asm.(
+        compile
+          (program
+             [
+               func "main" []
+                 [
+                   Let ("c", Int 0);
+                   Let ("quit", Int 0);
+                   While
+                     ( Not (Var "quit"),
+                       [
+                         Set ("c", Input);
+                         If
+                           ( Var "c" <: Int 0,
+                             [ Set ("quit", Int 1) ],
+                             [ Output (Var "c" *: Int 2) ] );
+                       ] );
+                 ];
+             ]))
+    in
+    Array.iteri
+      (fun i ins -> if ins = Ft_vm.Instr.Halt then c.(i) <- Ft_vm.Instr.Jmp (-1))
+      c;
+    c
+  in
+  Test.make ~name:"micro_classifier_replay"
+    (Staged.stage (fun () ->
+         let kernel = Ft_os.Kernel.create ~nprocs:1 () in
+         Ft_os.Kernel.set_input kernel 0
+           (Ft_os.Kernel.scripted_input ~start:0 ~interval_ns:1_000_000
+              [ 3; 1; 4; 1 ]);
+         let cfg =
+           {
+             Ft_runtime.Engine.default_config with
+             policy = Some Ft_recovery.Policy.full;
+           }
+         in
+         Sys.opaque_identity
+           (Ft_runtime.Engine.execute ~cfg ~kernel ~programs:[| code |] ())))
+
 (* The multi-tenant scheduler end to end on a small fleet: build the
    postgres tenants, drive every one to its verdict. *)
 let micro_serve_fleet =
@@ -491,6 +541,44 @@ let serve_stats ~quick () =
   Printf.printf "p999     : %d ns (smoke fleet, CPVS, kills on)\n" p999;
   (rate, p999)
 
+(* Rescued fraction per escalation rung on the smoke campaign, plus the
+   quarantine breaker on a one-looper fleet — the `ft rescue` / `ft
+   serve --poison` units, tracked across PRs in BENCH_RESULTS.json. *)
+let rescue_stats () =
+  print_string
+    (Ft_harness.Report.section "Escalating recovery (ft rescue smoke units)");
+  let r = Ft_harness.Rescue.run ~quiet:true Ft_harness.Rescue.smoke_spec in
+  List.iter
+    (fun s ->
+      Printf.printf "%-8s rescued %3.0f%% of %d crashed runs (L0 %d, L1 %d, L2 %d)\n"
+        s.Ft_harness.Rescue.l_name
+        (100. *. Ft_harness.Rescue.ladder_rescued_frac s)
+        s.Ft_harness.Rescue.l_crashes s.Ft_harness.Rescue.l_rescued_by_rung.(0)
+        s.Ft_harness.Rescue.l_rescued_by_rung.(1)
+        s.Ft_harness.Rescue.l_rescued_by_rung.(2))
+    (Ft_harness.Rescue.summaries r);
+  Ft_harness.Rescue.bench_kv r
+
+let quarantine_stats () =
+  let report =
+    Ft_harness.Serve.run ~quiet:true
+      { Ft_harness.Serve.smoke_params with seed = 11; poison = 1 }
+  in
+  let kv =
+    List.filter
+      (fun (k, _) ->
+        let suffix s = String.length k >= String.length s
+                       && String.sub k (String.length k - String.length s)
+                            (String.length s) = s in
+        suffix "quarantined_tenants" || suffix "crash_loop_events")
+      (Ft_harness.Serve.bench_kv report)
+  in
+  List.iter
+    (fun (k, v) ->
+      Printf.printf "%-36s %s\n" k (Ft_exp.Jstore.to_string v))
+    kv;
+  kv
+
 (* Checker throughput in model states per second, the unit DESIGN.md
    quotes for exploration budgets. *)
 let mc_throughput ?(depth = 6) () =
@@ -520,7 +608,7 @@ let tests =
     ablation_crash_early 1; ablation_crash_early 32; micro_save_work;
     micro_dangerous; micro_vm; micro_vista_persisted_log;
     micro_vista_heap_list; micro_checkpoint; micro_mc_dfs;
-    micro_serve_fleet; micro_pool_dispatch 1;
+    micro_serve_fleet; micro_classifier_replay; micro_pool_dispatch 1;
   ]
   (* On a single-core box the default pool is 1 worker: running the
      dispatch bench twice under the same name would emit a duplicate
@@ -560,7 +648,8 @@ let run_benchmarks ~quota_s () =
 (* One JSON object per bench invocation: ns/run per bechamel test, the
    Figure-8 regeneration wall-clock, channel goodput and model-checker
    throughput — the numbers EXPERIMENTS.md tracks across PRs. *)
-let write_json ~path ~quick ~fig8 ~mc ~goodput ~serve ~bechamel =
+let write_json ~path ~quick ~fig8 ~mc ~goodput ~serve ~rescue ~quarantine
+    ~bechamel =
   let open Ft_exp.Jstore in
   let obj =
     Obj
@@ -584,6 +673,7 @@ let write_json ~path ~quick ~fig8 ~mc ~goodput ~serve ~bechamel =
            ("serve_sched_steps_per_s", Float steps_per_s);
            ("serve_p999_ns", Int p999);
          ])
+      @ rescue @ quarantine
       @ [
           ( "mc_states_per_s",
             Obj (List.map (fun (name, r) -> (name, Float r)) mc) );
@@ -638,8 +728,12 @@ let () =
   let mc = mc_throughput ~depth:(if quick then 5 else 6) () in
   let goodput = net_goodput ~n:(if quick then 2_000 else 10_000) () in
   let serve = serve_stats ~quick () in
+  let rescue = rescue_stats () in
+  let quarantine = quarantine_stats () in
   let bechamel = run_benchmarks ~quota_s:(if quick then 0.05 else 0.5) () in
   (match !json_path with
-  | Some path -> write_json ~path ~quick ~fig8 ~mc ~goodput ~serve ~bechamel
+  | Some path ->
+      write_json ~path ~quick ~fig8 ~mc ~goodput ~serve ~rescue ~quarantine
+        ~bechamel
   | None -> ());
   print_endline "\nbench: done."

@@ -199,7 +199,7 @@ let run_netstorm loss dup reorder partition apps scale seed opts =
    reporting.  Exits non-zero on any oracle violation, zero goodput, or
    missing shard, so CI can gate on it. *)
 let run_serve procs requests proto_names crash_rate storm_name shard_size
-    interval_ns smoke bench_out seed opts =
+    interval_ns poison smoke bench_out seed opts =
   let bad = ref [] in
   let protocols =
     match proto_names with
@@ -232,7 +232,8 @@ let run_serve procs requests proto_names crash_rate storm_name shard_size
   | _, Error s -> `Error (false, "unknown storm tier " ^ s ^ " (calm, breeze, gale or storm)")
   | [], Ok storm ->
       let p =
-        if smoke then { Ft_harness.Serve.smoke_params with seed; storm }
+        if smoke then
+          { Ft_harness.Serve.smoke_params with seed; storm; poison }
         else
           {
             Ft_harness.Serve.default_params with
@@ -243,6 +244,7 @@ let run_serve procs requests proto_names crash_rate storm_name shard_size
             seed;
             shard_size;
             interval_ns;
+            poison;
           }
       in
       let report =
@@ -260,6 +262,63 @@ let run_serve procs requests proto_names crash_rate storm_name shard_size
       in
       if Ft_harness.Serve.clean report && goodput_ok then `Ok 0
       else fail_run "serve found violations or zero goodput"
+
+(* Rescue: inject recurring application faults — the kind generic replay
+   re-executes — and measure how much of the crashed-run mass each
+   escalation rung (deep rollback, perturbed replay) reclaims.  Exits
+   non-zero on any Consistency violation at any rung or a missing cell,
+   so CI can gate on it. *)
+let run_rescue app_names proto_names ladder_names crashes smoke bench_out
+    seed opts =
+  let bad = ref [] in
+  let protocols =
+    match proto_names with
+    | [] -> Ft_harness.Rescue.default_spec.Ft_harness.Rescue.protocols
+    | names ->
+        List.filter_map
+          (fun n ->
+            match Ft_core.Protocols.by_name n with
+            | Some s -> Some s
+            | None ->
+                bad := n :: !bad;
+                None)
+          names
+  in
+  let bad_ladder =
+    List.find_opt
+      (fun n -> Ft_recovery.Policy.by_name n = None)
+      ladder_names
+  in
+  match (!bad, bad_ladder) with
+  | n :: _, _ -> `Error (false, "unknown protocol " ^ n)
+  | _, Some n ->
+      `Error (false, "unknown ladder " ^ n ^ " (generic, deep or full)")
+  | [], None ->
+      let spec =
+        if smoke then
+          { Ft_harness.Rescue.smoke_spec with Ft_harness.Rescue.seed0 = seed }
+        else
+          {
+            Ft_harness.Rescue.default_spec with
+            Ft_harness.Rescue.apps = app_names;
+            protocols;
+            ladder_names =
+              (if ladder_names = [] then Ft_harness.Rescue.ladders
+               else ladder_names);
+            target_crashes = crashes;
+            seed0 = seed;
+          }
+      in
+      let report =
+        Ft_harness.Rescue.run ?workers:opts.workers ~out_dir:opts.out_dir
+          ~fresh:opts.fresh spec
+      in
+      print_string (Ft_harness.Rescue.render report);
+      Option.iter
+        (fun path -> Ft_harness.Rescue.merge_bench ~path report)
+        bench_out;
+      if Ft_harness.Rescue.clean report then `Ok 0
+      else fail_run "rescue found consistency violations or missing cells"
 
 let run_ablation opts =
   let lookup = sweep opts ~name:"ablation" (Ft_harness.Ablation.jobs ()) in
@@ -662,6 +721,14 @@ let serve_cmd =
          & info [ "interval-ns" ]
              ~doc:"Open-loop arrival interval per tenant, ns.")
   in
+  let poison_arg =
+    Arg.(value & opt int 0
+         & info [ "poison" ] ~docv:"N"
+             ~doc:"Crash-looping tenants: plant a deterministic Bohrbug in \
+                   the first $(docv) tenants (every generic replay \
+                   re-executes it) and arm the per-tenant quarantine \
+                   circuit breaker fleet-wide.")
+  in
   let smoke_arg =
     Arg.(value & flag
          & info [ "smoke" ]
@@ -681,8 +748,65 @@ let serve_cmd =
              goodput and MTTR.")
     Term.(ret
             (const run_serve $ procs_arg $ requests_arg $ proto_arg
-            $ crash_arg $ storm_arg $ shard_arg $ interval_arg $ smoke_arg
-            $ bench_out_arg $ seed_arg $ sweep_opts_term))
+            $ crash_arg $ storm_arg $ shard_arg $ interval_arg $ poison_arg
+            $ smoke_arg $ bench_out_arg $ seed_arg $ sweep_opts_term))
+
+let rescue_cmd =
+  let apps_arg =
+    let conv_app =
+      Arg.conv
+        ( (fun s ->
+            match Ft_harness.Rescue.app_of_string s with
+            | Some a -> Ok a
+            | None -> Error (`Msg ("unknown app " ^ s))),
+          fun fmt a ->
+            Format.pp_print_string fmt (Ft_harness.Rescue.app_name a) )
+    in
+    Arg.(value & opt_all conv_app
+           [ Ft_harness.Rescue.Nvi; Ft_harness.Rescue.Postgres ]
+         & info [ "app" ] ~doc:"Application: nvi or postgres (repeatable).")
+  in
+  let proto_arg =
+    Arg.(value & opt_all string []
+         & info [ "protocol" ]
+             ~doc:"Protocol (repeatable; default CPVS and CBNDVS).")
+  in
+  let ladder_arg =
+    Arg.(value & opt_all string []
+         & info [ "ladder" ]
+             ~doc:"Recovery ladder: $(b,generic), $(b,deep) or $(b,full) \
+                   (repeatable; default all three).")
+  in
+  let crashes_arg =
+    Arg.(value & opt int 40
+         & info [ "crashes" ]
+             ~doc:"Target crashed runs per (app, fault, protocol, ladder) \
+                   cell.")
+  in
+  let smoke_arg =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Small fixed campaign for CI: nvi, generic vs full, \
+                   asserts zero Consistency violations at every rung.")
+  in
+  let bench_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "bench-out" ] ~docv:"FILE"
+             ~doc:"Merge the rescue metrics into this flat \
+                   BENCH_RESULTS.json.")
+  in
+  let rescue_seed_arg =
+    Arg.(value & opt int 7_000
+         & info [ "seed" ] ~doc:"Base seed for the per-cell trial streams.")
+  in
+  Cmd.v
+    (Cmd.info "rescue"
+       ~doc:"Measure how much of the unrecoverable app-fault mass each \
+             escalation rung (deep rollback, perturbed replay) rescues.")
+    Term.(ret
+            (const run_rescue $ apps_arg $ proto_arg $ ladder_arg
+            $ crashes_arg $ smoke_arg $ bench_out_arg $ rescue_seed_arg
+            $ sweep_opts_term))
 
 let ablation_cmd =
   Cmd.v (Cmd.info "ablation" ~doc:"Run the DESIGN.md ablations (2.6).")
@@ -776,8 +900,8 @@ let () =
   let group =
     Cmd.group info
       [ space_cmd; figure8_cmd; table1_cmd; table2_cmd; analysis_cmd;
-        ablation_cmd; torture_cmd; netstorm_cmd; mc_cmd; serve_cmd; run_cmd;
-        disasm_cmd; all_cmd ]
+        ablation_cmd; torture_cmd; netstorm_cmd; mc_cmd; serve_cmd;
+        rescue_cmd; run_cmd; disasm_cmd; all_cmd ]
   in
   exit
     (match Cmd.eval_value group with

@@ -39,6 +39,10 @@ type 'a shared = {
   mutable finished : int;
   mutable failed : int;
   mutable busy_s : float;
+  mutable live : int;
+      (** worker domains still running: the coordinator must stop
+          waiting when every worker has died, or a sweep whose workers
+          were all killed by asynchronous exceptions would hang *)
 }
 
 let run ?workers ?(timeout_s = Float.infinity) ?(retries = 1) ?on_progress
@@ -58,6 +62,7 @@ let run ?workers ?(timeout_s = Float.infinity) ?(retries = 1) ?on_progress
       finished = 0;
       failed = 0;
       busy_s = 0.;
+      live = 0;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -117,7 +122,21 @@ let run ?workers ?(timeout_s = Float.infinity) ?(retries = 1) ?on_progress
       if idx < n then sh.next <- idx + 1;
       Mutex.unlock sh.mutex;
       if idx < n then begin
-        let outcome, dur = attempt_job arr.(idx) in
+        let outcome, dur =
+          (* [attempt_job] already confines exceptions raised by the job
+             itself; this layer confines what it cannot — asynchronous
+             exceptions (Out_of_memory, Stack_overflow) landing in the
+             retry bookkeeping — so a worker domain survives anything a
+             job can throw at it and the sweep continues. *)
+          try attempt_job arr.(idx)
+          with e ->
+            ( Failed
+                {
+                  error = "worker exception: " ^ Printexc.to_string e;
+                  attempts = 0;
+                },
+              0. )
+        in
         Mutex.lock sh.mutex;
         results.(idx) <- Some (outcome, dur);
         sh.finished <- sh.finished + 1;
@@ -126,7 +145,7 @@ let run ?workers ?(timeout_s = Float.infinity) ?(retries = 1) ?on_progress
         | Done _ -> ());
         sh.busy_s <- sh.busy_s +. dur;
         (match on_progress with
-        | Some f -> f (snapshot ())
+        | Some f -> ( try f (snapshot ()) with _ -> ())
         | None -> ());
         Condition.signal sh.done_cond;
         Mutex.unlock sh.mutex;
@@ -139,12 +158,23 @@ let run ?workers ?(timeout_s = Float.infinity) ?(retries = 1) ?on_progress
     (* serial path: run in the calling domain, no spawn overhead *)
     worker ()
   else begin
-    let domains =
-      Array.init workers (fun _ -> Domain.spawn worker)
+    sh.live <- workers;
+    let guarded_worker () =
+      (* Last line of defence: whatever kills a worker, its death is
+         recorded and the coordinator is woken, so the sweep ends with
+         every unrun job reported as [Failed] instead of hanging. *)
+      (try worker () with _ -> ());
+      Mutex.lock sh.mutex;
+      sh.live <- sh.live - 1;
+      Condition.signal sh.done_cond;
+      Mutex.unlock sh.mutex
     in
-    (* Sleep until every slot is filled, then reap the workers. *)
+    let domains =
+      Array.init workers (fun _ -> Domain.spawn guarded_worker)
+    in
+    (* Sleep until every slot is filled — or every worker is gone. *)
     Mutex.lock sh.mutex;
-    while sh.finished < n do
+    while sh.finished < n && sh.live > 0 do
       Condition.wait sh.done_cond sh.mutex
     done;
     Mutex.unlock sh.mutex;

@@ -194,3 +194,62 @@ let arm engine ~pid p =
                     (Ft_vm.Memory.read heap a lxor (1 lsl bit)));
               Ft_runtime.Engine.record_activation engine pid
             end)
+
+(* Arm a fault that RECURS on replay.  Code mutations already recur for
+   free — the mutation lives in the code array, which recovery does not
+   touch (without suppression), so every replay re-executes the bug: the
+   paper's propagating / Bohrbug case.  Bit flips are one-shot as
+   planned by [arm]; here they are re-armed after every restore with
+   parameters drawn from (seed, salt) — the environment salt the
+   scheduler passes to its replay hook.
+
+   The plan's firing instant is ABSOLUTE in the lineage's icount
+   timeline (the plan is drawn at icount 0, where [arm]'s relative
+   counter coincides with absolute icount); each re-arm converts it to
+   the machine's current position.  Identical salt (generic replay,
+   deep rollback) therefore recurs at the same absolute point of the
+   replay — the state there is identical, so the corruption and the
+   crash are too: a deterministic recurrence that defeats rungs L0 and
+   L1.  If the restore point is already past the firing instant, the
+   recurrence bites immediately — a state-dependent bug that the
+   restored state still triggers.  A perturbed (L2) replay carries a
+   fresh salt: the flip is redrawn — new instant, new word, new bit —
+   and when the redrawn instant already lies in the past the fault is
+   dodged outright, never to fire again on this lineage: the Heisenbug
+   escape.  Everything is deterministic given (seed, salt): identical
+   replays stay replayable. *)
+let arm_recurring engine ~pid ~seed ft ~code ~horizon =
+  let plan_for salt =
+    let rng = Random.State.make [| seed; salt; 0xf11b |] in
+    plan rng ft ~code ~horizon
+  in
+  match plan_for 0 with
+  | None -> None
+  | Some (Code_mutation _ as p) ->
+      arm engine ~pid p;
+      Some p
+  | Some (Bit_flip _ as p) ->
+      arm engine ~pid p;
+      let m = Ft_runtime.Engine.machine engine pid in
+      Ft_runtime.Engine.set_on_replay engine (fun rpid ~salt ->
+          if rpid = pid then
+            let now = Ft_vm.Machine.icount m in
+            match plan_for salt with
+            | Some (Bit_flip { at_icount; target; bit; loc_seed }) ->
+                if salt = 0 || at_icount > now then
+                  (* Same environment: recur at the same absolute point
+                     (immediately, if the restore already sits past it).
+                     New environment: fire at the redrawn instant. *)
+                  arm engine ~pid
+                    (Bit_flip
+                       {
+                         at_icount = max 1 (at_icount - now);
+                         target;
+                         bit;
+                         loc_seed;
+                       })
+                (* else: the redrawn instant is already behind this
+                   replay — the perturbed environment dodged the fault
+                   for good.  Leave the old hook; it has fired. *)
+            | Some (Code_mutation _) | None -> ());
+      Some p

@@ -34,3 +34,20 @@ val arm : Ft_runtime.Engine.t -> pid:int -> plan -> unit
 (** Install the fault.  Activation is semantic: an off-by-one comparison
     activates only on operands where the operators disagree, a deleted
     branch only when it would have been taken. *)
+
+val arm_recurring :
+  Ft_runtime.Engine.t ->
+  pid:int ->
+  seed:int ->
+  Fault_type.t ->
+  code:Ft_vm.Instr.t array ->
+  horizon:int ->
+  plan option
+(** Arm a fault that recurs on replay.  Code mutations recur for free
+    (the mutation lives in the code array); bit flips are re-armed
+    after every restore, redrawn from [(seed, salt)] where [salt] is
+    the environment perturbation the scheduler passes to its replay
+    hook — identical under generic replay and deep rollback, fresh
+    under a perturbed (L2) replay, so only perturbation can dodge the
+    recurrence.  Claims the engine's [set_on_replay] slot.  Returns
+    the initially armed plan, [None] if the program offers no site. *)

@@ -1,0 +1,19 @@
+(* Exponential inter-arrival sampling via inversion.  This is the exact
+   algorithm (and draw order) the serve harness always used, so factoring
+   it here leaves every existing campaign's schedules byte-identical. *)
+let poisson ~rate ~horizon_ns ~min_gap_ns rng =
+  if rate <= 0. then []
+  else begin
+    let rec go at acc =
+      let u = Random.State.float rng 1.0 in
+      let gap_ns = int_of_float (-.log (1. -. u) /. rate *. 1e9) in
+      let at = at + max min_gap_ns gap_ns in
+      if at > horizon_ns then List.rev acc else go at (at :: acc)
+    in
+    go 0 []
+  end
+
+let tenant ?(pid = 0) ~crash_rate ~horizon_ns ~seed tid =
+  let rng = Random.State.make [| seed; tid; 0x6b1 |] in
+  poisson ~rate:crash_rate ~horizon_ns ~min_gap_ns:1_000_000 rng
+  |> List.map (fun at -> (at, pid))

@@ -1,0 +1,23 @@
+(** Seeded Poisson stop-failure schedules.
+
+    One helper owns the exponential-gap sampling that the serving and
+    rescue campaigns feed into [Scheduler.config.kills], so every
+    harness draws kill clocks the same way: a pure function of
+    (seed, tenant id), byte-stable across sharding and worker counts. *)
+
+val poisson :
+  rate:float -> horizon_ns:int -> min_gap_ns:int -> Random.State.t ->
+  int list
+(** Kill times (ns) with exponential gaps at [rate] events per simulated
+    second, each gap floored at [min_gap_ns], out to [horizon_ns].
+    Empty when [rate <= 0]. *)
+
+val tenant :
+  ?pid:int -> crash_rate:float -> horizon_ns:int -> seed:int -> int ->
+  (int * int) list
+(** [tenant ~crash_rate ~horizon_ns ~seed tid] is tenant [tid]'s kill
+    schedule in [Scheduler.config.kills] form — [(time_ns, pid)] pairs,
+    [pid] defaulting to 0 — drawn from a per-tenant stream derived from
+    [(seed, tid)].  Gaps are floored at 1ms so a kill cannot land inside
+    the previous recovery's reboot.  Deterministic: the identical list
+    for identical arguments, whatever else has been sampled. *)

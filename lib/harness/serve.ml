@@ -46,6 +46,13 @@ type params = {
   interval_ns : int;     (* open-loop arrival interval per tenant *)
   keyspace : int;
   check_every : int;     (* postgres sanity-check cadence *)
+  poison : int;
+      (* crash-looping tenants: the first [poison] tenants of the fleet
+         carry a deterministic Bohrbug (a wild jump on the program's hot
+         path) that every generic replay re-executes — the crash loop
+         generic recovery cannot escape.  Arms the per-tenant quarantine
+         breaker fleet-wide; the demo is that the breaker parks the
+         loopers while healthy tenants' tail latency stays bounded *)
 }
 
 let default_params =
@@ -59,6 +66,7 @@ let default_params =
     interval_ns = 1_000_000;
     keyspace = 120;
     check_every = 16;
+    poison = 0;
   }
 
 (* Small, fast, still multi-shard: the CI gate. *)
@@ -73,6 +81,7 @@ let smoke_params =
     interval_ns = 1_000_000;
     keyspace = 60;
     check_every = 16;
+    poison = 0;
   }
 
 let queries_per_tenant p = max 1 (p.requests / max 1 p.procs)
@@ -85,21 +94,12 @@ let tenant_seed ~seed tid =
 
 (* Seeded Poisson kill process for one tenant: exponential gaps at
    [crash_rate] per simulated second, out to a horizon generously past
-   the open-loop schedule (recovery stalls push completion right). *)
+   the open-loop schedule (recovery stalls push completion right).
+   The sampling itself lives in {!Ft_faults.Kill_plan} (shared with the
+   rescue campaign); the draw order is unchanged, so schedules are
+   byte-identical to what this module always produced. *)
 let tenant_kills ~crash_rate ~horizon_ns ~seed tid =
-  if crash_rate <= 0. then []
-  else begin
-    let rng = Random.State.make [| seed; tid; 0x6b1 |] in
-    let rec go at acc =
-      let u = Random.State.float rng 1.0 in
-      let gap_ns =
-        int_of_float (-.log (1. -. u) /. crash_rate *. 1e9)
-      in
-      let at = at + max 1_000_000 gap_ns in
-      if at > horizon_ns then List.rev acc else go at ((at, 0) :: acc)
-    in
-    go 0 []
-  end
+  Ft_faults.Kill_plan.tenant ~crash_rate ~horizon_ns ~seed tid
 
 let tenant_workload p ~seed tid =
   let pg =
@@ -113,7 +113,35 @@ let tenant_workload p ~seed tid =
   in
   Ft_apps.Postgres.workload ~params:pg ~ack:true ~open_loop:true ()
 
-let tenant_config ~protocol ~kills (w : Ft_apps.Workload.t) =
+(* A deterministic Bohrbug: the program's first syscall becomes a wild
+   jump, so every execution crashes ([Bad_jump]) before the first ack and
+   every generic replay re-executes the crash — zero progress, forever.
+   This is the recurrence the rescue campaign measures, loose in a
+   fleet. *)
+let poison_program code =
+  let rec find i =
+    if i >= Array.length code then None
+    else
+      match code.(i) with Ft_vm.Instr.Sys _ -> Some i | _ -> find (i + 1)
+  in
+  match find 0 with
+  | Some i -> code.(i) <- Ft_vm.Instr.Jmp (-1)
+  | None -> ()
+
+(* Breaker tuning for poisoned fleets: a crash-looping tenant racks up
+   crashes separated only by replay time, so [threshold] of them land
+   well inside the window within milliseconds of simulated time; healthy
+   tenants under Poisson kills never accumulate that density. *)
+let quarantine_params =
+  {
+    Ft_recovery.Quarantine.window_ns = 50_000_000;
+    threshold = 6;
+    backoff_ns = 20_000_000;
+    backoff_mult = 2.0;
+    max_trips = 4;
+  }
+
+let tenant_config ?quarantine ~protocol ~kills (w : Ft_apps.Workload.t) =
   Ft_apps.Workload.engine_config w
     {
       Engine.default_config with
@@ -122,6 +150,7 @@ let tenant_config ~protocol ~kills (w : Ft_apps.Workload.t) =
       (* Random kills can land during replay before any new commit;
          give the budget room so only a genuinely wedged tenant fails. *)
       max_recovery_attempts = 10;
+      quarantine;
     }
 
 (* Build one shard's scheduler: tenants [lo, hi) of the fleet, each with
@@ -162,10 +191,16 @@ let shard_scheduler p ~protocol ~crash_rate ~lo ~hi () =
         kernels);
   let tenants =
     Array.init n (fun i ->
+        let tid = lo + i in
+        if tid < p.poison then
+          poison_program ws.(i).Ft_apps.Workload.programs.(0);
         let kills =
-          tenant_kills ~crash_rate ~horizon_ns ~seed:p.seed (lo + i)
+          tenant_kills ~crash_rate ~horizon_ns ~seed:p.seed tid
         in
-        ( tenant_config ~protocol ~kills ws.(i),
+        let quarantine =
+          if p.poison > 0 then Some quarantine_params else None
+        in
+        ( tenant_config ?quarantine ~protocol ~kills ws.(i),
           kernels.(i),
           ws.(i).Ft_apps.Workload.programs ))
   in
@@ -234,8 +269,9 @@ let storm_tag p =
 
 let job_key p ~label ~shard =
   Printf.sprintf
-    "serve/%s/%s/procs=%d/req=%d/crash=%g/shard=%d/size=%d/seed=%d" label
-    (storm_tag p) p.procs p.requests p.crash_rate shard p.shard_size p.seed
+    "serve/%s/%s/procs=%d/req=%d/crash=%g/poison=%d/shard=%d/size=%d/seed=%d"
+    label (storm_tag p) p.procs p.requests p.crash_rate p.poison
+    shard p.shard_size p.seed
 
 let shard_bounds p shard =
   let lo = shard * p.shard_size in
@@ -274,6 +310,7 @@ let job p ~protocol shard =
       let acked = ref 0 and crashes = ref 0 and recoveries = ref 0 in
       let failed = ref 0 and instr = ref 0 and ref_instr = ref 0 in
       let sim_ns = ref 0 in
+      let quarantined = ref 0 and crash_loops = ref 0 in
       let bad = ref [] in
       Array.iteri
         (fun i (r : Scheduler.result) ->
@@ -294,8 +331,18 @@ let job p ~protocol shard =
           let reference = refs.(i) in
           ref_instr := !ref_instr + reference.Scheduler.wall_instructions;
           let tname = Printf.sprintf "tenant %d" (lo + i) in
+          let poisoned = lo + i < p.poison in
+          if r.Scheduler.quarantine_trips > 0 then begin
+            incr quarantined;
+            crash_loops := !crash_loops + r.Scheduler.quarantine_trips
+          end;
+          (* A poisoned tenant's job is to crash-loop: not completing
+             (parked, latched, budget-exhausted) is its expected fate,
+             not an oracle violation.  Its output must still never be
+             WRONG — the consistency check below applies to everyone. *)
           (match r.Scheduler.outcome with
           | Scheduler.Completed -> ()
+          | _ when poisoned -> incr failed
           | o ->
               incr failed;
               bad :=
@@ -315,7 +362,8 @@ let job p ~protocol shard =
                   (Format.asprintf "%a" Consistency.pp_verdict v)
                 :: !bad);
           if
-            Save_work.visible_violations reference.Scheduler.trace = []
+            (not poisoned)
+            && Save_work.visible_violations reference.Scheduler.trace = []
             && Save_work.visible_violations r.Scheduler.trace <> []
           then bad := Printf.sprintf "%s: save-work broken" tname :: !bad)
         results;
@@ -335,6 +383,8 @@ let job p ~protocol shard =
           ("instr", Jstore.Int !instr);
           ("ref_instr", Jstore.Int !ref_instr);
           ("sched_steps", Jstore.Int (Scheduler.steps sched));
+          ("quarantined_tenants", Jstore.Int !quarantined);
+          ("crash_loop_events", Jstore.Int !crash_loops);
           ("bad", Jstore.List (List.rev_map (fun s -> Jstore.String s) !bad));
           ( "lat_us",
             Jstore.List
@@ -372,6 +422,8 @@ type proto_summary = {
   s_goodput : float;         (* acked requests per simulated second *)
   s_work_per_minstr : float; (* acked requests per million instructions *)
   s_overhead : float;        (* instructions vs the fault-free reference *)
+  s_quarantined : int;       (* tenants the circuit breaker parked *)
+  s_crash_loop_events : int; (* breaker trips across the fleet *)
   s_bad : string list;
 }
 
@@ -455,6 +507,9 @@ let summarize ~label shard_values =
     s_overhead =
       (if ref_instr <= 0 then 0.
        else float_of_int instr /. float_of_int ref_instr);
+    s_quarantined = sum (fun v -> Jstore.get_int ~default:0 "quarantined_tenants" v);
+    s_crash_loop_events =
+      sum (fun v -> Jstore.get_int ~default:0 "crash_loop_events" v);
     s_bad = bad;
   }
 
@@ -507,7 +562,7 @@ let render r =
     (Report.table
        ~headers:
          [ "protocol"; "acked"; "goodput"; "p50"; "p99"; "p999"; "mttr";
-           "crashes"; "work/Mi"; "overhead" ]
+           "crashes"; "quar"; "work/Mi"; "overhead" ]
        ~rows:
          (List.map
             (fun s ->
@@ -523,6 +578,10 @@ let render r =
                    Printf.sprintf "%s (max %s, n=%d)" (ms s.s_mttr_mean_ns)
                      (ms s.s_mttr_max_ns) s.s_mttr_count);
                 string_of_int s.s_crashes;
+                (if s.s_quarantined = 0 then "-"
+                 else
+                   Printf.sprintf "%d (%d trips)" s.s_quarantined
+                     s.s_crash_loop_events);
                 Printf.sprintf "%.1f" s.s_work_per_minstr;
                 Printf.sprintf "%.2fx" s.s_overhead;
               ])
@@ -566,6 +625,8 @@ let bench_kv r =
         (k "goodput", Jstore.Float s.s_goodput);
         (k "mttr_ns", Jstore.Int s.s_mttr_mean_ns);
         (k "work_per_minstr", Jstore.Float s.s_work_per_minstr);
+        (k "quarantined_tenants", Jstore.Int s.s_quarantined);
+        (k "crash_loop_events", Jstore.Int s.s_crash_loop_events);
       ])
     r.summaries
 

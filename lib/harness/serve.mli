@@ -21,6 +21,12 @@ type params = {
   interval_ns : int;  (** open-loop arrival interval per tenant *)
   keyspace : int;
   check_every : int;  (** postgres sanity-check cadence *)
+  poison : int;
+      (** crash-looping tenants: the first [poison] tenants carry a
+          deterministic Bohrbug (a wild jump on the hot path) that every
+          generic replay re-executes, and the per-tenant quarantine
+          circuit breaker is armed fleet-wide — the breaker parks the
+          loopers while healthy tenants' tail latency stays bounded *)
 }
 
 val default_params : params
@@ -69,6 +75,8 @@ type proto_summary = {
       (** acked requests per million instructions executed — replay is
           waste, so this is the work-per-unit-cost ranking metric *)
   s_overhead : float;  (** instructions vs the fault-free reference *)
+  s_quarantined : int;  (** tenants the circuit breaker parked *)
+  s_crash_loop_events : int;  (** breaker trips across the fleet *)
   s_bad : string list;  (** oracle violations *)
 }
 
@@ -102,7 +110,7 @@ val render : report -> string
 
 val bench_kv : report -> (string * Ft_exp.Jstore.value) list
 (** [serve_<protocol>_{p50_ns,p99_ns,p999_ns,goodput,mttr_ns,
-    work_per_minstr}] pairs. *)
+    work_per_minstr,quarantined_tenants,crash_loop_events}] pairs. *)
 
 val merge_bench : path:string -> report -> unit
 (** Merge {!bench_kv} into a flat BENCH_RESULTS.json, preserving every

@@ -102,7 +102,8 @@ type os_fault = {
 type t = {
   nprocs : int;
   costs : costs;
-  rng : Random.State.t;
+  seed : int;  (* base seed, kept so {!perturb} can derive fresh streams *)
+  mutable rng : Random.State.t;
   inputs : (int * int) array array;        (* per pid: (ready_ns, token) *)
   kstates : proc_kstate array;
   mailboxes : message Queue.t array;
@@ -135,6 +136,7 @@ let create ?(costs = default_costs) ?(seed = 42) ?(fs_capacity = 1 lsl 20)
   {
     nprocs;
     costs;
+    seed;
     rng = Random.State.make [| seed |];
     inputs = Array.make nprocs [||];
     kstates =
@@ -359,6 +361,53 @@ let requeue_uncommitted t pid =
   t.uncommitted_recv.(pid) := []
 
 let mailbox_nonempty t pid = not (Queue.is_empty t.mailboxes.(pid))
+
+(* --- environment perturbation (escalation rung L2) ---------------------- *)
+
+(* Re-randomize the environment's non-deterministic decisions for a
+   perturbed replay: reseed the kernel RNG stream (Random syscall
+   results, network jitter draws) from the base seed and [salt], and
+   re-interleave each pending mailbox ACROSS senders.  Per-sender order
+   is strictly preserved — the [msg_seq <= seen] duplicate filter would
+   silently drop an older sequence number delivered after a newer one —
+   so only the cross-sender interleaving (which a real network never
+   guaranteed anyway) is shuffled.  Deterministic given (seed, salt):
+   identical perturbed replays stay replayable. *)
+let perturb t ~salt =
+  t.rng <- Random.State.make [| t.seed; salt; 0x9e57 |];
+  for pid = 0 to t.nprocs - 1 do
+    let q = t.mailboxes.(pid) in
+    if Queue.length q > 1 then begin
+      let by_src = Hashtbl.create 4 in
+      let srcs = ref [] in
+      Queue.iter
+        (fun m ->
+          match Hashtbl.find_opt by_src m.msg_src with
+          | Some sq -> Queue.add m sq
+          | None ->
+              let sq = Queue.create () in
+              Queue.add m sq;
+              Hashtbl.add by_src m.msg_src sq;
+              srcs := m.msg_src :: !srcs)
+        q;
+      Queue.clear q;
+      let srcs = Array.of_list (List.rev !srcs) in
+      let rng = Random.State.make [| t.seed; salt; pid; 0x51ab |] in
+      let remaining = ref (Array.length srcs) in
+      while !remaining > 0 do
+        (* Draw a sender with a pending message, append its oldest. *)
+        let live = Array.of_list
+            (Array.to_list srcs
+            |> List.filter (fun s ->
+                   not (Queue.is_empty (Hashtbl.find by_src s))))
+        in
+        let s = live.(Random.State.int rng (Array.length live)) in
+        let sq = Hashtbl.find by_src s in
+        Queue.add (Queue.pop sq) q;
+        if Queue.is_empty sq then decr remaining
+      done
+    end
+  done
 
 (* --- syscall servicing -------------------------------------------------- *)
 

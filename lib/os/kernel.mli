@@ -139,6 +139,14 @@ val requeue_uncommitted : t -> int -> unit
 
 val mailbox_nonempty : t -> int -> bool
 
+val perturb : t -> salt:int -> unit
+(** Environment perturbation for an escalated (rung L2) replay:
+    reseed the kernel RNG stream (Random syscall results, jitter
+    draws) from the base seed and [salt], and re-interleave each
+    pending mailbox across senders — per-sender order is preserved, so
+    the duplicate filter keeps absorbing rollback replays.
+    Deterministic given (seed, salt). *)
+
 val attach_net :
   ?policy:Ft_net.Policy.t ->
   ?link_policy:(int -> int -> Ft_net.Policy.t) ->

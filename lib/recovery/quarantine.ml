@@ -1,0 +1,75 @@
+type params = {
+  window_ns : int;
+  threshold : int;
+  backoff_ns : int;
+  backoff_mult : float;
+  max_trips : int;
+}
+
+let default_params =
+  {
+    window_ns = 50_000_000;
+    threshold = 3;
+    backoff_ns = 20_000_000;
+    backoff_mult = 2.0;
+    max_trips = 3;
+  }
+
+type state = Closed | Open of { until_ns : int } | Half_open
+
+type t = {
+  p : params;
+  mutable st : state;
+  mutable recent : int list;  (* crash times, newest first *)
+  mutable trips : int;
+}
+
+let create p = { p; st = Closed; recent = []; trips = 0 }
+let state t = t.st
+let trips t = t.trips
+
+let park_duration t =
+  let d =
+    float_of_int t.p.backoff_ns
+    *. (t.p.backoff_mult ** float_of_int (max 0 (t.trips - 1)))
+  in
+  int_of_float d
+
+let trip t ~now_ns =
+  t.trips <- t.trips + 1;
+  if t.trips > t.p.max_trips then begin
+    t.st <- Open { until_ns = max_int };
+    `Latched
+  end
+  else begin
+    let until_ns = now_ns + park_duration t in
+    t.st <- Open { until_ns };
+    t.recent <- [];
+    `Park_until until_ns
+  end
+
+let note_crash t ~now_ns =
+  match t.st with
+  | Half_open ->
+      (* The probe itself crashed: straight back to Open, longer park. *)
+      trip t ~now_ns
+  | Open { until_ns } when until_ns = max_int -> `Latched
+  | Open _ | Closed ->
+      t.recent <-
+        now_ns :: List.filter (fun c -> now_ns - c <= t.p.window_ns) t.recent;
+      if List.length t.recent >= t.p.threshold then trip t ~now_ns else `Ok
+
+let note_progress t =
+  t.st <- Closed;
+  t.recent <- [];
+  t.trips <- 0
+
+let probe t ~now_ns =
+  match t.st with
+  | Closed | Half_open -> true
+  | Open { until_ns } ->
+      if until_ns <> max_int && now_ns >= until_ns then begin
+        t.st <- Half_open;
+        true
+      end
+      else false

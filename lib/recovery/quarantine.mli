@@ -1,0 +1,47 @@
+(** Per-tenant crash-loop circuit breaker (ladder rung L3).
+
+    When a tenant crashes [threshold] times within a sliding
+    [window_ns] of virtual time, the breaker trips [Open] and the
+    tenant is parked until a probe deadline (exponential backoff per
+    trip).  At the deadline the breaker goes [Half_open]: the tenant
+    runs one probe; progress closes the breaker and clears its
+    history, another crash re-trips it with a longer park.  After
+    [max_trips] trips the breaker latches open for good and the tenant
+    is handed back as unrecoverable — parked forever beats wrecking
+    healthy tenants' tail latency.
+
+    All times are virtual (simulated) nanoseconds; the breaker itself
+    never reads a clock, callers pass [now_ns]. *)
+
+type params = {
+  window_ns : int;  (** sliding window for the crash-loop detector *)
+  threshold : int;  (** crashes within the window that trip the breaker *)
+  backoff_ns : int;  (** first park duration *)
+  backoff_mult : float;  (** park growth per successive trip *)
+  max_trips : int;  (** trips before latching open permanently *)
+}
+
+val default_params : params
+
+type state = Closed | Open of { until_ns : int } | Half_open
+
+type t
+
+val create : params -> t
+val state : t -> state
+val trips : t -> int
+
+val note_crash : t -> now_ns:int -> [ `Ok | `Park_until of int | `Latched ]
+(** Record a crash at virtual time [now_ns].  [`Ok]: below threshold,
+    keep recovering in place.  [`Park_until t]: the breaker tripped
+    (or a half-open probe failed); park the tenant until [t].
+    [`Latched]: [max_trips] exhausted, give the tenant up. *)
+
+val note_progress : t -> unit
+(** The tenant made progress: close the breaker and clear crash
+    history and trip count. *)
+
+val probe : t -> now_ns:int -> bool
+(** [probe t ~now_ns] transitions [Open] to [Half_open] once [now_ns]
+    reaches the park deadline; returns [true] if the tenant may run
+    (Closed, Half_open, or deadline reached), [false] while parked. *)

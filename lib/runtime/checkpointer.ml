@@ -50,6 +50,17 @@ let default_cost = {
    Everything mutable about a slot is region words — the OCaml record is
    pure layout, so a slot rebuilt over an old region (simulating a
    process that lost its heap in a crash) restores identically. *)
+(* One archived committed generation, for deep rollback.  The kernel
+   state is held serialized (the same pure word form the region uses) so
+   the archive shares no mutable structure with the live kernel. *)
+type gen = {
+  g_snap : Ft_vm.Machine.snapshot;
+  g_kwords : int array;
+  g_out_seq : int;
+      (* visible outputs released as of this generation: restored with it
+         so the sequenced egress channel can deduplicate replays *)
+}
+
 type slot = {
   vista : Ft_stablemem.Vista.t;
   heap_words : int;
@@ -63,12 +74,16 @@ type slot = {
   page_buf : int array;
   meta_buf : int array;
   kstate_buf : int array;
+  mutable archive : gen list;  (* newest first, length <= history *)
 }
 
 type t = {
   medium : medium;
   cost : cost_model;
   slots : slot array;
+  history : int;
+      (* committed generations kept for {!rollback}; 0 = off (default),
+         and the hot path stays allocation-free *)
   excluded : int -> bool;
       (* §2.6: pages of recomputable state the application chose not to
          checkpoint; their contents are lost at recovery *)
@@ -90,7 +105,8 @@ let log_area_words ~heap_words ~stack_words ~page_size ~kstate_cap =
   + Ft_stablemem.Vista.record_words ~len:1  (* commits-counter record *)
 
 let create ?(cost = default_cost) ?(excluded = fun _ -> false)
-    ?(page_size = 64) ~medium ~nprocs ~heap_words ~stack_words () =
+    ?(page_size = 64) ?(history = 0) ~medium ~nprocs ~heap_words
+    ~stack_words () =
   if page_size <= 0 then invalid_arg "Checkpointer.create: bad page_size";
   (* Kernel state payload: a handful of scalars, one pair per peer
      process, one triple per open file (the limit starts at 16 and grows
@@ -116,9 +132,10 @@ let create ?(cost = default_cost) ?(excluded = fun _ -> false)
       page_buf = Array.make page_size 0;
       meta_buf = Array.make meta_words 0;
       kstate_buf = Array.make (1 + kstate_cap) 0;
+      archive = [];
     }
   in
-  { medium; cost; slots = Array.init nprocs make_slot; excluded }
+  { medium; cost; slots = Array.init nprocs make_slot; history; excluded }
 
 let vista t ~pid = t.slots.(pid).vista
 
@@ -137,7 +154,7 @@ let has_checkpoint t ~pid = checkpoints t ~pid > 0
    page and a copy per page word, exactly as Vista's page-granular COW
    on a real address space would — this function is the OCaml process's
    hot path, not the paper's cost model. *)
-let commit t ~pid ~(machine : Ft_vm.Machine.t) ~kstate =
+let commit ?(out_seq = 0) t ~pid ~(machine : Ft_vm.Machine.t) ~kstate =
   let s = t.slots.(pid) in
   let heap = Ft_vm.Machine.heap machine in
   let page_size = Ft_vm.Memory.page_size heap in
@@ -182,6 +199,18 @@ let commit t ~pid ~(machine : Ft_vm.Machine.t) ~kstate =
     ~src:s.kstate_buf ~spos:0 ~len:(1 + klen);
   Ft_stablemem.Vista.commit v;
   Ft_vm.Memory.clear_dirty heap;
+  if t.history > 0 then begin
+    let g =
+      { g_snap = Ft_vm.Machine.snapshot machine; g_kwords = kw;
+        g_out_seq = out_seq }
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    s.archive <- take t.history (g :: s.archive)
+  end;
   let words =
     (List.length dirty * page_size) + sp + meta_words + t.cost.kstate_words
   in
@@ -250,3 +279,82 @@ let restore t ~pid ~(machine : Ft_vm.Machine.t) =
     | Disk d -> Ft_stablemem.Disk.write_cost d ~words
   in
   (kstate, cost)
+
+let history_depth t ~pid = List.length t.slots.(pid).archive
+
+(* Deep rollback (escalation rung L1): deliberately abandon the last
+   [back] committed generations and reinstate an earlier one.  The
+   archived machine image is restored and then re-committed IN FULL into
+   the Vista region — every heap page, the stack, the metadata and the
+   kernel state — as one transaction, so subsequent incremental commits
+   and restores see a region indistinguishable from one that had simply
+   committed that generation last.  The full transaction is exactly the
+   worst case [log_area_words] is sized for, and a crash at any word of
+   it recovers to the pre-rollback generation: Consistency is never at
+   risk, only whose work is lost. *)
+let rollback t ~pid ~(machine : Ft_vm.Machine.t) ~back =
+  let s = t.slots.(pid) in
+  if back < 1 then invalid_arg "Checkpointer.rollback: back < 1";
+  match List.nth_opt s.archive back with
+  | None -> None
+  | Some g ->
+      (* A crash may have interrupted a commit: roll its partial
+         transaction back first, as restore does. *)
+      Ft_stablemem.Vista.recover s.vista;
+      Ft_vm.Machine.restore machine g.g_snap;
+      let heap = Ft_vm.Machine.heap machine in
+      let page_size = Ft_vm.Memory.page_size heap in
+      let npages = (s.heap_words + page_size - 1) / page_size in
+      let v = s.vista in
+      Ft_stablemem.Vista.begin_tx v;
+      for p = 0 to npages - 1 do
+        if not (t.excluded p) then begin
+          Ft_vm.Memory.blit_page_into heap p s.page_buf;
+          Ft_stablemem.Vista.write_sub ~diff:true v ~off:(p * page_size)
+            ~src:s.page_buf ~spos:0 ~len:page_size
+        end
+      done;
+      let sp = machine.Ft_vm.Machine.sp in
+      if sp > 0 then
+        Ft_stablemem.Vista.write_sub ~diff:true v ~off:s.stack_base
+          ~src:machine.Ft_vm.Machine.stack ~spos:0 ~len:sp;
+      let nregs = Ft_vm.Instr.num_regs in
+      Array.blit machine.Ft_vm.Machine.regs 0 s.meta_buf 0 nregs;
+      s.meta_buf.(nregs) <- Ft_vm.Machine.pc machine;
+      s.meta_buf.(nregs + 1) <- sp;
+      s.meta_buf.(nregs + 2) <- machine.Ft_vm.Machine.fp;
+      s.meta_buf.(nregs + 3) <- Ft_vm.Machine.icount machine;
+      s.meta_buf.(nregs + 4) <- machine.Ft_vm.Machine.signal_handler;
+      s.meta_buf.(nregs + 5) <-
+        (if machine.Ft_vm.Machine.in_signal then 1 else 0);
+      Ft_stablemem.Vista.write_sub ~diff:true v ~off:s.meta_base
+        ~src:s.meta_buf ~spos:0 ~len:meta_words;
+      let klen = Array.length g.g_kwords in
+      s.kstate_buf.(0) <- klen;
+      Array.blit g.g_kwords 0 s.kstate_buf 1 klen;
+      Ft_stablemem.Vista.write_sub ~diff:true v ~off:s.kstate_base
+        ~src:s.kstate_buf ~spos:0 ~len:(1 + klen);
+      Ft_stablemem.Vista.commit v;
+      Ft_vm.Memory.clear_dirty heap;
+      (* Drop the sacrificed generations; the reinstated one stays
+         newest (it matches the region again). *)
+      let rec drop n l = if n = 0 then l else
+        match l with [] -> [] | _ :: rest -> drop (n - 1) rest
+      in
+      s.archive <- drop back s.archive;
+      let kstate = Ft_os.Kernel.kstate_of_words g.g_kwords in
+      (* Charged cost: one full restore plus one worst-case commit —
+         rung L1 is deliberately expensive. *)
+      let words = s.heap_words + sp + meta_words + t.cost.kstate_words in
+      let cost =
+        match t.medium with
+        | Reliable_memory ->
+            (2 * t.cost.base_ns)
+            + (npages * t.cost.page_trap_ns)
+            + (2 * words * t.cost.word_copy_ns)
+        | Disk d ->
+            t.cost.base_ns
+            + (npages * t.cost.page_trap_ns)
+            + (2 * Ft_stablemem.Disk.write_cost d ~words)
+      in
+      Some (kstate, cost, g.g_out_seq)

@@ -28,6 +28,7 @@ val create :
   ?cost:cost_model ->
   ?excluded:(int -> bool) ->
   ?page_size:int ->
+  ?history:int ->
   medium:medium ->
   nprocs:int ->
   heap_words:int ->
@@ -36,7 +37,9 @@ val create :
   t
 (** [page_size] (default 64) must match the machines being checkpointed;
     it sizes the persisted undo log for the worst-case transaction
-    (every page dirty). *)
+    (every page dirty).  [history] (default 0) keeps that many committed
+    generations per process for {!rollback}; 0 disables the archive and
+    leaves the commit hot path allocation-free. *)
 
 val checkpoints : t -> pid:int -> int
 (** Checkpoints taken, read from the persisted commits counter. *)
@@ -53,9 +56,13 @@ val vista : t -> pid:int -> Ft_stablemem.Vista.t
     rebuilt by the application. *)
 
 val commit :
-  t -> pid:int -> machine:Ft_vm.Machine.t ->
+  ?out_seq:int -> t -> pid:int -> machine:Ft_vm.Machine.t ->
   kstate:Ft_os.Kernel.kstate_snapshot -> int
-(** Take a checkpoint; returns the simulated cost in nanoseconds. *)
+(** Take a checkpoint; returns the simulated cost in nanoseconds.
+    [out_seq] (default 0) is the count of visible outputs the process
+    has released so far; it rides along in the rollback archive so the
+    sequenced egress channel can rewind its replay cursor with the
+    generation it reinstates. *)
 
 val log_cost : t -> words:int -> int
 (** Pessimistic logging of an ND event's result: the record must be
@@ -69,3 +76,20 @@ val restore :
     words (running Vista recovery first, in case the crash interrupted a
     commit); returns the kernel state to reinstall and the simulated
     recovery cost. *)
+
+val history_depth : t -> pid:int -> int
+(** Archived generations currently available to {!rollback} (0 unless
+    [create] was given [~history]). *)
+
+val rollback :
+  t -> pid:int -> machine:Ft_vm.Machine.t -> back:int ->
+  (Ft_os.Kernel.kstate_snapshot * int * int) option
+(** Deep rollback (escalation rung L1): abandon the last [back >= 1]
+    committed generations and reinstate the one [back] commits ago,
+    re-committing it in full into the Vista region as one transaction —
+    a crash at any word of it still recovers consistently.  Returns
+    [None] when the archive holds fewer than [back + 1] generations
+    (caller should fall back to a plain {!restore}); otherwise the
+    kernel state to reinstall, the simulated cost (a full restore plus
+    a worst-case commit) and the reinstated generation's released
+    visible-output count. *)

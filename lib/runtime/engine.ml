@@ -30,6 +30,8 @@ type config = Scheduler.config = {
   page_size : int;
   expand_resources_on_recovery : bool;
   excluded_pages : int -> bool;
+  policy : Ft_recovery.Policy.t option;
+  quarantine : Ft_recovery.Quarantine.params option;
 }
 
 let default_config = Scheduler.default_config
@@ -62,6 +64,12 @@ type result = Scheduler.result = {
   aborted_rounds : int;
   visible_times : (int * int * int) list;
   crash_times : (int * int) list;
+  deep_rollbacks : int;
+  perturbed_replays : int;
+  ladder_peaks : int array;
+  fault_classes : Ft_recovery.Classifier.verdict array;
+  quarantine_trips : int;
+  replay_mismatches : int;
 }
 
 type t = Scheduler.t
@@ -73,6 +81,7 @@ let machine t pid = Scheduler.machine t ~tid:0 ~pid
 let kernel t = Scheduler.kernel t ~tid:0
 let checkpointer t = Scheduler.checkpointer t ~tid:0
 let set_on_recover t f = Scheduler.set_on_recover t ~tid:0 f
+let set_on_replay t f = Scheduler.set_on_replay t ~tid:0 f
 let record_activation t pid = Scheduler.record_activation t ~tid:0 pid
 let activation_recorded t = Scheduler.activation_recorded t ~tid:0
 let run t = (Scheduler.run t).(0)

@@ -48,6 +48,11 @@ type config = Scheduler.config = {
   excluded_pages : int -> bool;
       (** §2.6: recomputable heap pages left out of checkpoints; lost at
           recovery *)
+  policy : Ft_recovery.Policy.t option;
+      (** escalation ladder driving recovery; [None] is the legacy
+          generic-replay path *)
+  quarantine : Ft_recovery.Quarantine.params option;
+      (** crash-loop circuit breaker; [None] = off *)
 }
 
 val default_config : config
@@ -90,6 +95,15 @@ type result = Scheduler.result = {
       (** (pid, value, local time ns) of each visible output, in order *)
   crash_times : (int * int) list;
       (** (pid, local time ns) of each crash, in order *)
+  deep_rollbacks : int;  (** L1 recoveries *)
+  perturbed_replays : int;  (** L2 recoveries *)
+  ladder_peaks : int array;  (** per process: highest rung used *)
+  fault_classes : Ft_recovery.Classifier.verdict array;
+      (** per process, from observed replay behavior *)
+  quarantine_trips : int;  (** cumulative breaker trips *)
+  replay_mismatches : int;
+      (** replayed visible outputs that disagreed with the value already
+          released at that sequence position; must be 0 at every rung *)
 }
 
 type t
@@ -110,6 +124,11 @@ val checkpointer : t -> Checkpointer.t
 val set_on_recover : t -> (int -> unit) -> unit
 (** Called on each recovery when fault suppression is on; injectors use
     it to stand down. *)
+
+val set_on_replay : t -> (int -> salt:int -> unit) -> unit
+(** Called with [(pid, ~salt)] after every successful restore;
+    recurring-fault injectors re-arm here, keyed by the environment
+    salt. *)
 
 val record_activation : t -> int -> unit
 (** Fault injectors mark the moment the injected bug first changes the

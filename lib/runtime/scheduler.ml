@@ -31,6 +31,30 @@ type proc = {
   mutable recovered_at_icount : int;
       (* icount at the last restore; a commit strictly past it proves
          progress and resets the attempt counter *)
+  mutable restore_base_icount : int;
+      (* the restored snapshot's own icount, before any re-execution.
+         Crash positions are classified relative to this base: replay
+         re-executes the rewound commit Sys, shifting absolute icounts
+         by one per restore under commit-before protocols, so only the
+         offset from the restore base is replay-invariant *)
+  mutable ladder_peak : int;     (* highest escalation rung used, 0..2 *)
+  mutable last_rung : int;       (* rung of the most recent recovery *)
+  mutable salt : int;            (* perturbation salt in effect, 0 = none *)
+  mutable crash_bar : int;
+      (* policy runs: highest icount at which this process has crashed.
+         A recurring fault keeps biting at (or before) the bar however
+         many commits land under it, so only a commit strictly past the
+         bar counts as progress and resets the ladder — otherwise a
+         fault whose recurrence outpaces nothing but the attempt counter
+         would hold the ladder at rung L0 forever. *)
+  mutable out_seq : int;
+      (* policy runs: this lineage's visible-output cursor.  Rewinds
+         with every restore/rollback; outputs below [emitted_n] are
+         replays the sequenced egress channel absorbs. *)
+  mutable committed_out_seq : int;  (* out_seq as of the newest commit *)
+  mutable emitted_rev : int list;   (* released values, newest first *)
+  mutable emitted_n : int;          (* = length emitted_rev *)
+  classifier : Ft_recovery.Classifier.t;
   mutable commit_count : int;    (* protocol-triggered commits *)
   mutable nd_count : int;
   mutable logged_count : int;
@@ -72,6 +96,11 @@ type config = {
          exhaustion results transient *)
   excluded_pages : int -> bool;
       (* §2.6: recomputable heap pages left out of checkpoints *)
+  policy : Ft_recovery.Policy.t option;
+      (* escalation ladder driving recovery; [None] is the legacy
+         generic-replay path, byte-identical to the old engine *)
+  quarantine : Ft_recovery.Quarantine.params option;
+      (* per-tenant crash-loop circuit breaker; [None] = off *)
 }
 
 let default_config =
@@ -96,6 +125,8 @@ let default_config =
     page_size = 64;
     expand_resources_on_recovery = false;
     excluded_pages = (fun _ -> false);
+    policy = None;
+    quarantine = None;
   }
 
 type outcome =
@@ -131,6 +162,16 @@ type result = {
          the serve harness turns these into per-request latencies *)
   crash_times : (int * int) list;      (* (pid, local time) of each crash,
                                           in order — MTTR measurement *)
+  deep_rollbacks : int;                (* L1 recoveries that discarded
+                                          committed generations *)
+  perturbed_replays : int;             (* L2 recoveries *)
+  ladder_peaks : int array;            (* per process: highest rung used *)
+  fault_classes : Ft_recovery.Classifier.verdict array;
+      (* per process, from observed replay behavior *)
+  quarantine_trips : int;              (* cumulative breaker trips *)
+  replay_mismatches : int;             (* replayed outputs that disagreed
+                                          with already-released values:
+                                          must be 0 at every rung *)
 }
 
 (* One application instance: the state the legacy engine called [t]. *)
@@ -155,6 +196,17 @@ type tenant = {
   mutable first_crash : (int * int) option;
   mutable commit_after_activation : bool;
   mutable on_recover : (int -> unit) option;
+  mutable on_replay : (int -> salt:int -> unit) option;
+      (* called after every restore with the environment salt in
+         effect; recurring-fault injectors re-arm here *)
+  mutable deep_rollbacks : int;
+  mutable perturbed_replays : int;
+  mutable replay_mismatches : int;
+      (* replayed visible outputs that disagreed with the value already
+         released at that sequence position: the machinery-consistency
+         oracle for the escalation ladder, expected to stay 0 *)
+  breaker : Ft_recovery.Quarantine.t option;
+  mutable quarantine_trips : int;
   mutable outcome : outcome option;
   mutable memory_pokes : int;
   mutable ack_tag : int;  (* synthetic (negative) tags for 2PC acks *)
@@ -189,6 +241,16 @@ let make_tenant tid (cfg, kernel, programs) =
           failed = false;
           recoveries = 0;
           recovered_at_icount = 0;
+          restore_base_icount = 0;
+          ladder_peak = 0;
+          last_rung = 0;
+          salt = 0;
+          crash_bar = -1;
+          out_seq = 0;
+          committed_out_seq = 0;
+          emitted_rev = [];
+          emitted_n = 0;
+          classifier = Ft_recovery.Classifier.create ();
           commit_count = 0;
           nd_count = 0;
           logged_count = 0;
@@ -198,9 +260,19 @@ let make_tenant tid (cfg, kernel, programs) =
         })
       programs
   in
+  (* Deep rollback (rung L1) needs archived generations: enough for
+     every L1 attempt to go [l1_depth] further back, plus the current
+     one.  Zero (the default) keeps the commit hot path archive-free. *)
+  let history =
+    match cfg.policy with
+    | Some pol when pol.Ft_recovery.Policy.l1_attempts > 0 ->
+        (pol.Ft_recovery.Policy.l1_depth * pol.Ft_recovery.Policy.l1_attempts)
+        + 1
+    | _ -> 0
+  in
   let ckpt =
     Checkpointer.create ~cost:cfg.cost ~excluded:cfg.excluded_pages
-      ~page_size:cfg.page_size ~medium:cfg.medium ~nprocs
+      ~page_size:cfg.page_size ~history ~medium:cfg.medium ~nprocs
       ~heap_words:cfg.heap_words ~stack_words:cfg.stack_words ()
   in
   let tn =
@@ -225,6 +297,12 @@ let make_tenant tid (cfg, kernel, programs) =
       first_crash = None;
       commit_after_activation = false;
       on_recover = None;
+      on_replay = None;
+      deep_rollbacks = 0;
+      perturbed_replays = 0;
+      replay_mismatches = 0;
+      breaker = Option.map Ft_recovery.Quarantine.create cfg.quarantine;
+      quarantine_trips = 0;
       outcome = None;
       memory_pokes = 0;
       ack_tag = -1;
@@ -254,6 +332,7 @@ let machine t ~tid ~pid = t.tenants.(tid).procs.(pid).machine
 let kernel t ~tid = t.tenants.(tid).kernel
 let checkpointer t ~tid = t.tenants.(tid).ckpt
 let set_on_recover t ~tid f = t.tenants.(tid).on_recover <- Some f
+let set_on_replay t ~tid f = t.tenants.(tid).on_replay <- Some f
 
 (* Fault injectors mark the moment the injected bug first executes. *)
 let record_activation t ~tid pid =
@@ -283,54 +362,164 @@ let give_up tn (p : proc) =
   p.failed <- true;
   if tn.outcome = None then tn.outcome <- Some Recovery_failed
 
-let recover tn (p : proc) =
+(* Prepare the process for a replay attempt: the paper's fault
+   suppression and §2.6 resource expansion, shared by every rung. *)
+let pre_replay tn (p : proc) =
+  if tn.cfg.suppress_faults_on_recovery then begin
+    (* The paper's end-to-end check suppresses the fault activation
+       during recovery (§4.1): restore pristine code and tell the
+       injector to stand down. *)
+    Array.blit p.pristine_code 0 p.machine.Ft_vm.Machine.code 0
+      (Array.length p.pristine_code);
+    p.machine.Ft_vm.Machine.on_execute <- None;
+    match tn.on_recover with Some f -> f p.pid | None -> ()
+  end;
+  if tn.cfg.expand_resources_on_recovery then
+    Ft_os.Kernel.expand_resources tn.kernel
+
+(* The restore itself runs on the same fallible machine and can be
+   crashed by an injector mid-replay.  Vista recovery is idempotent,
+   so retry from the same checkpoint — with a growing reboot delay —
+   up to the attempt cap, then degrade to [Recovery_failed] instead
+   of looping forever. *)
+let restore_with_retry tn (p : proc) =
+  let rec go attempt =
+    match Checkpointer.restore tn.ckpt ~pid:p.pid ~machine:p.machine with
+    | restored -> Some restored
+    | exception Ft_stablemem.Rio.Crash_point _ ->
+        tn.recovery_crashes <- tn.recovery_crashes + 1;
+        p.time <- p.time + (attempt * tn.cfg.reboot_delay_ns);
+        if attempt >= tn.cfg.max_recovery_attempts then None
+        else go (attempt + 1)
+  in
+  go 1
+
+let finish_restore tn (p : proc) (kstate, cost) =
+  Ft_os.Kernel.restore_kstate tn.kernel p.pid kstate;
+  Ft_os.Kernel.requeue_uncommitted tn.kernel p.pid;
+  (* [+ 1]: a commit-before checkpoint counts its (rewound, not yet
+     serviced) Sys instruction in icount, so the replay re-reaches
+     that same commit at exactly icount + 1.  Progress means
+     committing beyond that. *)
+  p.restore_base_icount <- Ft_vm.Machine.icount p.machine;
+  p.recovered_at_icount <- Ft_vm.Machine.icount p.machine + 1;
+  p.out_seq <- p.committed_out_seq;
+  p.time <- p.time + cost;
+  p.blocked <- false;
+  p.halted <- false
+
+(* Legacy generic recovery (ladder rung L0 only): the engine's
+   historical path, untouched when [cfg.policy = None]. *)
+let recover_generic tn (p : proc) =
   if p.recoveries >= tn.cfg.max_recovery_attempts then give_up tn p
   else begin
     p.recoveries <- p.recoveries + 1;
     tn.total_recoveries <- tn.total_recoveries + 1;
-    if tn.cfg.suppress_faults_on_recovery then begin
-      (* The paper's end-to-end check suppresses the fault activation
-         during recovery (§4.1): restore pristine code and tell the
-         injector to stand down. *)
-      Array.blit p.pristine_code 0 p.machine.Ft_vm.Machine.code 0
-        (Array.length p.pristine_code);
-      p.machine.Ft_vm.Machine.on_execute <- None;
-      match tn.on_recover with Some f -> f p.pid | None -> ()
-    end;
-    if tn.cfg.expand_resources_on_recovery then
-      Ft_os.Kernel.expand_resources tn.kernel;
-    (* The restore itself runs on the same fallible machine and can be
-       crashed by an injector mid-replay.  Vista recovery is idempotent,
-       so retry from the same checkpoint — with a growing reboot delay —
-       up to the attempt cap, then degrade to [Recovery_failed] instead
-       of looping forever. *)
-    let rec restore_with_retry attempt =
-      match Checkpointer.restore tn.ckpt ~pid:p.pid ~machine:p.machine with
-      | restored -> Some restored
-      | exception Ft_stablemem.Rio.Crash_point _ ->
-          tn.recovery_crashes <- tn.recovery_crashes + 1;
-          p.time <- p.time + (attempt * tn.cfg.reboot_delay_ns);
-          if attempt >= tn.cfg.max_recovery_attempts then None
-          else restore_with_retry (attempt + 1)
-    in
-    match restore_with_retry 1 with
+    pre_replay tn p;
+    match restore_with_retry tn p with
     | None -> give_up tn p
-    | Some (kstate, cost) ->
-        Ft_os.Kernel.restore_kstate tn.kernel p.pid kstate;
-        Ft_os.Kernel.requeue_uncommitted tn.kernel p.pid;
-        (* [+ 1]: a commit-before checkpoint counts its (rewound, not yet
-           serviced) Sys instruction in icount, so the replay re-reaches
-           that same commit at exactly icount + 1.  Progress means
-           committing beyond that. *)
-        p.recovered_at_icount <- Ft_vm.Machine.icount p.machine + 1;
-        p.time <- p.time + cost;
-        p.blocked <- false;
-        p.halted <- false
+    | Some restored ->
+        finish_restore tn p restored;
+        (match tn.on_replay with
+        | Some f -> f p.pid ~salt:p.salt
+        | None -> ())
   end
+
+(* Policy-driven recovery: the escalation ladder.  The attempt index
+   (consecutive crashes since the process last committed past its
+   restore point) picks the rung; each rung restores *some* committed
+   state — Consistency is never traded, only whose work is lost and
+   what environment the replay sees. *)
+let recover_policy tn pol (p : proc) =
+  p.recoveries <- p.recoveries + 1;
+  match Ft_recovery.Policy.decide pol ~attempt:p.recoveries with
+  | Ft_recovery.Policy.Give_up -> give_up tn p
+  | action ->
+      tn.total_recoveries <- tn.total_recoveries + 1;
+      pre_replay tn p;
+      let rung = Ft_recovery.Policy.rung action in
+      p.last_rung <- rung;
+      if rung > p.ladder_peak then p.ladder_peak <- rung;
+      let restored =
+        match action with
+        | Ft_recovery.Policy.Deep_rollback back -> (
+            (* Nested-crash discipline: a crash during the rollback's
+               own transaction recovers to the pre-rollback generation;
+               fall back to a plain restore of it. *)
+            match
+              Checkpointer.rollback tn.ckpt ~pid:p.pid ~machine:p.machine
+                ~back
+            with
+            | Some (kstate, cost, out_seq) ->
+                tn.deep_rollbacks <- tn.deep_rollbacks + 1;
+                p.committed_out_seq <- out_seq;
+                Some (kstate, cost)
+            | None ->
+                (* Not enough archived generations yet: a plain replay
+                   is the deepest rollback available. *)
+                restore_with_retry tn p
+            | exception Ft_stablemem.Rio.Crash_point _ ->
+                tn.recovery_crashes <- tn.recovery_crashes + 1;
+                p.time <- p.time + tn.cfg.reboot_delay_ns;
+                restore_with_retry tn p)
+        | _ -> restore_with_retry tn p
+      in
+      (match restored with
+      | None -> give_up tn p
+      | Some restored ->
+          finish_restore tn p restored;
+          (match action with
+          | Ft_recovery.Policy.Perturbed_replay { salt } ->
+              tn.perturbed_replays <- tn.perturbed_replays + 1;
+              p.salt <- salt;
+              Ft_os.Kernel.perturb tn.kernel ~salt
+          | _ -> ());
+          (match tn.on_replay with
+          | Some f -> f p.pid ~salt:p.salt
+          | None -> ()))
+
+let recover tn (p : proc) =
+  match tn.cfg.policy with
+  | None -> recover_generic tn p
+  | Some pol -> recover_policy tn pol p
 
 let crash_proc tn (p : proc) =
   record_crash tn p;
-  if tn.cfg.auto_recover then recover tn p else p.failed <- true
+  if tn.cfg.policy <> None then
+    p.crash_bar <- max p.crash_bar (Ft_vm.Machine.icount p.machine);
+  (* Classification is pure observation: it never feeds back into the
+     simulation, so the legacy path stays byte-identical. *)
+  Ft_recovery.Classifier.note_crash p.classifier ~salt:p.salt
+    ~icount:(Ft_vm.Machine.icount p.machine - p.restore_base_icount);
+  let verdict =
+    match tn.breaker with
+    | None -> `Ok
+    | Some b ->
+        ignore (Ft_recovery.Quarantine.probe b ~now_ns:p.time : bool);
+        Ft_recovery.Quarantine.note_crash b ~now_ns:p.time
+  in
+  match verdict with
+  | `Latched ->
+      tn.quarantine_trips <- tn.quarantine_trips + 1;
+      give_up tn p
+  | `Park_until until_ns ->
+      tn.quarantine_trips <- tn.quarantine_trips + 1;
+      if tn.cfg.auto_recover then begin
+        (* The breaker took over pacing: restart the ladder so the
+           half-open probe gets a fresh budget, recover, then park the
+           whole tenant until the probe deadline — it stops burning
+           scheduler steps and co-tenants' tail latency survives. *)
+        p.recoveries <- 0;
+        recover tn p;
+        if not p.failed then
+          Array.iter
+            (fun q ->
+              if (not q.halted) && not q.failed then
+                q.time <- max q.time until_ns)
+            tn.procs
+      end
+      else p.failed <- true
+  | `Ok -> if tn.cfg.auto_recover then recover tn p else p.failed <- true
 
 (* --- commits ------------------------------------------------------------ *)
 
@@ -340,7 +529,8 @@ let crash_proc tn (p : proc) =
    it — rather than keep acting on the pre-crash control flow. *)
 let do_local_commit ?round tn (p : proc) =
   match
-    Checkpointer.commit tn.ckpt ~pid:p.pid ~machine:p.machine
+    Checkpointer.commit ~out_seq:p.out_seq tn.ckpt ~pid:p.pid
+      ~machine:p.machine
       ~kstate:(Ft_os.Kernel.snapshot_kstate tn.kernel p.pid)
   with
   | exception Ft_stablemem.Rio.Crash_point _ ->
@@ -352,14 +542,28 @@ let do_local_commit ?round tn (p : proc) =
   | cost ->
       p.time <- p.time + cost;
       p.commit_count <- p.commit_count + 1;
+      p.committed_out_seq <- p.out_seq;
       (* A commit strictly past the last restore point is real progress:
          the failure was transient, so the next crash starts a fresh
          recovery budget.  (A commit AT the restore point is just the
          deterministic replay re-reaching the same state and must not
          refill the budget, or a crash loop would never give up.) *)
+      (* Policy runs additionally require the commit to pass the crash
+         high-water mark: a recurring fault keeps crashing at the same
+         icount, so commits underneath it are replay, not escape. *)
       if p.recoveries > 0
          && Ft_vm.Machine.icount p.machine > p.recovered_at_icount
-      then p.recoveries <- 0;
+         && (tn.cfg.policy = None
+             || Ft_vm.Machine.icount p.machine > p.crash_bar)
+      then begin
+        Ft_recovery.Classifier.note_progress p.classifier ~rung:p.last_rung;
+        (match tn.breaker with
+        | Some b ->
+            ignore (Ft_recovery.Quarantine.probe b ~now_ns:p.time : bool);
+            Ft_recovery.Quarantine.note_progress b
+        | None -> ());
+        p.recoveries <- 0
+      end;
       let kind =
         match round with
         | Some r -> Ft_core.Event.Commit_round r
@@ -647,10 +851,37 @@ let handle_syscall tn (p : proc) (sys : Ft_vm.Syscall.t) =
                   p.nd_count <- p.nd_count + 1;
                   if logged then p.logged_count <- p.logged_count + 1
               | Ft_core.Event.Visible v ->
-                  p.visible_count <- p.visible_count + 1;
-                  if p.first_visible_at < 0 then p.first_visible_at <- p.time;
-                  p.last_visible_at <- p.time;
-                  tn.visible_rev <- (p.pid, v, p.time) :: tn.visible_rev
+                  (* Sequenced egress (policy runs): a replayed output
+                     below the released cursor is absorbed by the
+                     channel — the outside world already has it — but it
+                     must agree with the value that was released, or the
+                     recovery machinery broke exactly-once output. *)
+                  let release =
+                    match tn.cfg.policy with
+                    | None -> true
+                    | Some _ ->
+                        if p.out_seq < p.emitted_n then begin
+                          let prior =
+                            List.nth p.emitted_rev
+                              (p.emitted_n - 1 - p.out_seq)
+                          in
+                          if prior <> v then
+                            tn.replay_mismatches <-
+                              tn.replay_mismatches + 1;
+                          false
+                        end
+                        else true
+                  in
+                  p.out_seq <- p.out_seq + 1;
+                  if release then begin
+                    p.visible_count <- p.visible_count + 1;
+                    if p.first_visible_at < 0 then
+                      p.first_visible_at <- p.time;
+                    p.last_visible_at <- p.time;
+                    tn.visible_rev <- (p.pid, v, p.time) :: tn.visible_rev;
+                    p.emitted_rev <- v :: p.emitted_rev;
+                    p.emitted_n <- p.emitted_n + 1
+                  end
               | _ -> ())
           | None -> ());
           Ft_vm.Machine.advance_past_syscall m;
@@ -765,6 +996,12 @@ let result_of tn outcome =
     aborted_rounds = tn.aborted_rounds;
     visible_times;
     crash_times = List.rev tn.crash_rev;
+    deep_rollbacks = tn.deep_rollbacks;
+    perturbed_replays = tn.perturbed_replays;
+    ladder_peaks = arr (fun p -> p.ladder_peak);
+    fault_classes = arr (fun p -> Ft_recovery.Classifier.classify p.classifier);
+    quarantine_trips = tn.quarantine_trips;
+    replay_mismatches = tn.replay_mismatches;
   }
 
 (* Fire transport events up to this tenant's most advanced live local

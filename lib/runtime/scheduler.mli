@@ -57,6 +57,15 @@ type config = {
   excluded_pages : int -> bool;
       (** §2.6: recomputable heap pages left out of checkpoints; lost at
           recovery *)
+  policy : Ft_recovery.Policy.t option;
+      (** escalation ladder driving recovery (L0 generic replay, L1 deep
+          rollback, L2 perturbed replay); [None] is the legacy
+          generic-replay path, byte-identical to the old engine *)
+  quarantine : Ft_recovery.Quarantine.params option;
+      (** per-tenant crash-loop circuit breaker: [threshold] crashes
+          within [window_ns] park the whole tenant until a half-open
+          probe (exponential backoff); latching open gives it up as
+          [Recovery_failed].  [None] = off *)
 }
 
 val default_config : config
@@ -101,6 +110,23 @@ type result = {
   crash_times : (int * int) list;
       (** (pid, local time ns) of each crash, in order — MTTR
           measurement *)
+  deep_rollbacks : int;
+      (** L1 recoveries that discarded committed generations (a
+          controlled Save-work sacrifice, never a Consistency one) *)
+  perturbed_replays : int;  (** L2 recoveries *)
+  ladder_peaks : int array;
+      (** per process: highest escalation rung used (0 = generic replay
+          only, 1 = deep rollback, 2 = perturbed replay) *)
+  fault_classes : Ft_recovery.Classifier.verdict array;
+      (** per process, from observed replay behavior — [Benign] when it
+          never crashed *)
+  quarantine_trips : int;
+      (** cumulative circuit-breaker trips across the run (crash-loop
+          events; 0 without a [quarantine] config) *)
+  replay_mismatches : int;
+      (** sequenced-egress oracle: replayed visible outputs that
+          disagreed with the value already released at that position —
+          any nonzero count means recovery broke exactly-once output *)
 }
 
 type t
@@ -131,6 +157,13 @@ val checkpointer : t -> tid:int -> Checkpointer.t
 val set_on_recover : t -> tid:int -> (int -> unit) -> unit
 (** Called on each of the tenant's recoveries when fault suppression is
     on; injectors use it to stand down. *)
+
+val set_on_replay : t -> tid:int -> (int -> salt:int -> unit) -> unit
+(** Called with [(pid, ~salt)] after every successful restore, whatever
+    the rung; [salt] is the environment perturbation in effect (0 =
+    unperturbed).  Recurring-fault injectors re-arm here, keyed by the
+    salt, so a Heisenbug's manifestation moves when the environment
+    does. *)
 
 val record_activation : t -> tid:int -> int -> unit
 (** Fault injectors mark the moment the injected bug first changes the

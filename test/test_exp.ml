@@ -68,6 +68,59 @@ let test_pool_contains_failures () =
       | _, _ -> Alcotest.fail "healthy job failed")
     results
 
+let test_pool_survives_raising_progress_callback () =
+  (* A monitoring callback that itself raises must not kill worker
+     domains (it runs inside their bookkeeping, under the pool mutex):
+     every job still completes and the sweep returns. *)
+  let calls = Atomic.make 0 in
+  let jobs =
+    List.init 12 (fun i ->
+        Ft_exp.Job.make ~key:(Printf.sprintf "job/%d" i) ~seed:i (fun () ->
+            if i mod 5 = 2 then failwith "injected";
+            Ft_exp.Jstore.Int i))
+  in
+  let on_progress _ =
+    Atomic.incr calls;
+    failwith "progress callback bug"
+  in
+  let results = Ft_exp.Pool.run ~workers:4 ~retries:0 ~on_progress jobs in
+  Alcotest.(check int) "all slots filled" 12 (List.length results);
+  Alcotest.(check bool) "callback was exercised" true (Atomic.get calls > 0);
+  List.iteri
+    (fun i (_, outcome, _) ->
+      match outcome with
+      | Ft_exp.Pool.Done (Ft_exp.Jstore.Int v) ->
+          Alcotest.(check int) "value intact" i v
+      | Ft_exp.Pool.Done _ -> Alcotest.fail "wrong payload"
+      | Ft_exp.Pool.Failed _ ->
+          Alcotest.(check int) "only injected jobs fail" 2 (i mod 5))
+    results
+
+let test_pool_surfaces_failed_count () =
+  (* The failed counter rides every progress snapshot, so a sweep's
+     monitor can report "3 cells failed" without scanning results. *)
+  let last = Atomic.make (-1) in
+  let jobs =
+    List.init 10 (fun i ->
+        Ft_exp.Job.make ~key:(Printf.sprintf "job/%d" i) ~seed:i (fun () ->
+            if i < 3 then failwith "injected";
+            Ft_exp.Jstore.Int i))
+  in
+  let on_progress (p : Ft_exp.Pool.progress) =
+    if p.Ft_exp.Pool.finished = p.Ft_exp.Pool.total then
+      Atomic.set last p.Ft_exp.Pool.failed
+  in
+  let results = Ft_exp.Pool.run ~workers:3 ~retries:0 ~on_progress jobs in
+  let failed =
+    List.length
+      (List.filter
+         (fun (_, o, _) ->
+           match o with Ft_exp.Pool.Failed _ -> true | _ -> false)
+         results)
+  in
+  Alcotest.(check int) "three jobs failed" 3 failed;
+  Alcotest.(check int) "final snapshot agrees" 3 (Atomic.get last)
+
 let test_pool_retry_recovers () =
   (* fails on the first attempt, succeeds on the retry *)
   let tries = Atomic.make 0 in
@@ -426,6 +479,10 @@ let tests =
     QCheck_alcotest.to_alcotest prop_percentile_counts_matches_expansion;
     Alcotest.test_case "pool contains failures" `Quick
       test_pool_contains_failures;
+    Alcotest.test_case "pool survives raising progress callback" `Quick
+      test_pool_survives_raising_progress_callback;
+    Alcotest.test_case "pool surfaces failed count" `Quick
+      test_pool_surfaces_failed_count;
     Alcotest.test_case "pool retry recovers" `Quick test_pool_retry_recovers;
     Alcotest.test_case "pool timeout" `Quick test_pool_timeout;
     Alcotest.test_case "pool timeout is per attempt" `Quick

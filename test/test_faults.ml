@@ -295,6 +295,48 @@ let test_mem_injector_flips_only_cold_words () =
   Alcotest.(check (list int)) "replayable from seed" flipped
     (Ft_faults.Mem_injector.flip_cold_bits inj2 ~seed:7 ~flips:4)
 
+let test_kill_plan_deterministic () =
+  let horizon_ns = 2_000_000_000 in
+  let a = Ft_faults.Kill_plan.tenant ~crash_rate:40.0 ~horizon_ns ~seed:7 3 in
+  let b = Ft_faults.Kill_plan.tenant ~crash_rate:40.0 ~horizon_ns ~seed:7 3 in
+  Alcotest.(check bool) "identical args, identical schedule" true (a = b);
+  Alcotest.(check bool) "schedule non-empty at this rate" true (a <> []);
+  let other = Ft_faults.Kill_plan.tenant ~crash_rate:40.0 ~horizon_ns ~seed:7 4 in
+  Alcotest.(check bool) "per-tenant streams differ" true (a <> other);
+  let times = List.map fst a in
+  let rec gaps_ok = function
+    | t1 :: (t2 :: _ as rest) -> t2 - t1 >= 1_000_000 && gaps_ok rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ascending with 1ms floor" true
+    (List.for_all (fun t -> t >= 1_000_000 && t <= horizon_ns) times
+    && gaps_ok times);
+  Alcotest.(check bool) "pids default to 0" true
+    (List.for_all (fun (_, pid) -> pid = 0) a);
+  Alcotest.(check bool) "pid override" true
+    (List.for_all
+       (fun (_, pid) -> pid = 2)
+       (Ft_faults.Kill_plan.tenant ~pid:2 ~crash_rate:40.0 ~horizon_ns ~seed:7
+          3));
+  Alcotest.(check (list int)) "zero rate, empty plan" []
+    (Ft_faults.Kill_plan.poisson ~rate:0.0 ~horizon_ns ~min_gap_ns:1
+       (Random.State.make [| 1 |]))
+
+let prop_kill_plan_pure =
+  QCheck.Test.make ~name:"kill plan is a pure function of (seed, tid)"
+    ~count:50
+    QCheck.(triple (0 -- 1000) (0 -- 64) (1 -- 100))
+    (fun (seed, tid, rate) ->
+      let crash_rate = float_of_int rate in
+      let horizon_ns = 500_000_000 in
+      (* interleave unrelated sampling between the two draws: the plan
+         must not depend on ambient RNG state *)
+      let a = Ft_faults.Kill_plan.tenant ~crash_rate ~horizon_ns ~seed tid in
+      Random.self_init ();
+      ignore (Random.bits ());
+      let b = Ft_faults.Kill_plan.tenant ~crash_rate ~horizon_ns ~seed tid in
+      a = b)
+
 let tests =
   [
     Alcotest.test_case "plans exist per type" `Quick test_plans_exist_per_type;
@@ -318,6 +360,9 @@ let tests =
     Alcotest.test_case "mem injector cold-bit flips" `Quick
       test_mem_injector_flips_only_cold_words;
     QCheck_alcotest.to_alcotest prop_injection_always_terminates;
+    Alcotest.test_case "kill plan deterministic" `Quick
+      test_kill_plan_deterministic;
+    QCheck_alcotest.to_alcotest prop_kill_plan_pure;
   ]
 
 let () = Alcotest.run "ft_faults" [ ("faults", tests) ]

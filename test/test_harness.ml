@@ -266,6 +266,85 @@ let test_table1_golden () =
     (read_golden "table1_nvi_crashes3.golden")
     actual
 
+(* --- quarantine in the fleet (ladder rung L3) ------------------------------ *)
+
+(* One tenant carries a deterministic Bohrbug (wild jump): generic
+   recovery can never get it through, so the crash-loop breaker must
+   park it — while every healthy tenant's requests are still served and
+   the oracles stay clean. *)
+let test_serve_quarantines_poisoned_tenant () =
+  let params =
+    { Ft_harness.Serve.smoke_params with
+      procs = 4;
+      requests = 400;
+      shard_size = 4;
+      crash_rate = 0.;
+      seed = 5;
+      poison = 1 }
+  in
+  let report = Ft_harness.Serve.run ~quiet:true params in
+  Alcotest.(check bool) "oracles clean" true (Ft_harness.Serve.clean report);
+  List.iter
+    (fun s ->
+      let name = s.Ft_harness.Serve.s_protocol in
+      Alcotest.(check bool) (name ^ " looper quarantined") true
+        (s.Ft_harness.Serve.s_quarantined >= 1);
+      Alcotest.(check bool) (name ^ " breaker tripped") true
+        (s.Ft_harness.Serve.s_crash_loop_events >= 1);
+      (* healthy tenants (3 of 4) keep serving: at least their share *)
+      Alcotest.(check bool) (name ^ " healthy tenants acked") true
+        (s.Ft_harness.Serve.s_acked >= 300))
+    report.Ft_harness.Serve.summaries
+
+(* --- rescue campaign ------------------------------------------------------- *)
+
+(* A micro rescue sweep: paired fault draws per ladder (the cell seed
+   excludes the ladder, so "generic" and "full" meet identical fault
+   samples), zero machinery violations, and the renderer mentions the
+   verdict. *)
+let test_rescue_tiny_campaign () =
+  let spec =
+    {
+      Ft_harness.Rescue.apps = [ Ft_harness.Rescue.Nvi ];
+      protocols = [ Ft_core.Protocols.cpvs ];
+      ladder_names = [ "generic"; "full" ];
+      fault_types =
+        [ Ft_faults.Fault_type.Stack_bit_flip; Ft_faults.Fault_type.Delete_branch ];
+      target_crashes = 2;
+      max_attempts = 20;
+      seed0 = 7000;
+    }
+  in
+  let report = Ft_harness.Rescue.run ~quiet:true spec in
+  Alcotest.(check bool) "campaign clean" true (Ft_harness.Rescue.clean report);
+  Alcotest.(check int) "all cells ran" 4
+    (List.length report.Ft_harness.Rescue.rows);
+  (* paired sampling: per fault type, both ladders saw the same trials
+     and the same crashed-run count *)
+  List.iter
+    (fun ft ->
+      let cells =
+        List.filter
+          (fun r -> r.Ft_harness.Rescue.fault_type = ft)
+          report.Ft_harness.Rescue.rows
+      in
+      match cells with
+      | [ a; b ] ->
+          Alcotest.(check int) "paired trials" a.Ft_harness.Rescue.trials
+            b.Ft_harness.Rescue.trials;
+          Alcotest.(check int) "paired crashes" a.Ft_harness.Rescue.crashes
+            b.Ft_harness.Rescue.crashes
+      | _ -> Alcotest.fail "expected one cell per ladder")
+    spec.Ft_harness.Rescue.fault_types;
+  let rendered = Ft_harness.Rescue.render report in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "render shows the verdict" true
+    (contains rendered "Consistency clean")
+
 let tests =
   [
     Alcotest.test_case "figure8 nvi shape" `Slow test_figure8_nvi_shape;
@@ -291,6 +370,9 @@ let tests =
       test_serve_parallel_equals_serial;
     Alcotest.test_case "figure8 golden rendering" `Quick test_figure8_golden;
     Alcotest.test_case "table1 golden rendering" `Quick test_table1_golden;
+    Alcotest.test_case "serve quarantines poisoned tenant" `Slow
+      test_serve_quarantines_poisoned_tenant;
+    Alcotest.test_case "rescue tiny campaign" `Slow test_rescue_tiny_campaign;
   ]
 
 let () = Alcotest.run "ft_harness" [ ("harness", tests) ]

@@ -561,6 +561,52 @@ let test_zero_dirty_commit_no_page_records () =
     true
     (delta < 64)
 
+(* Deep rollback (rung L1): the archive keeps the last [history]
+   committed generations; [rollback ~back] reinstates the one [back]
+   commits ago — heap words, the generation's out_seq cursor — and a
+   too-deep request is refused rather than clamped. *)
+let test_checkpointer_deep_rollback () =
+  let kernel = Ft_os.Kernel.create ~seed:1 ~nprocs:1 () in
+  let machine =
+    Ft_vm.Machine.create ~stack_size:64 ~heap_size:1024 ~page_size:64
+      [| Ft_vm.Instr.Halt |]
+  in
+  let ckpt =
+    Ft_runtime.Checkpointer.create ~page_size:64 ~history:4
+      ~medium:Ft_runtime.Checkpointer.Reliable_memory ~nprocs:1
+      ~heap_words:1024 ~stack_words:64 ()
+  in
+  let commit ~out_seq =
+    ignore
+      (Ft_runtime.Checkpointer.commit ~out_seq ckpt ~pid:0 ~machine
+         ~kstate:(Ft_os.Kernel.snapshot_kstate kernel 0))
+  in
+  let heap = Ft_vm.Machine.heap machine in
+  commit ~out_seq:0;
+  Ft_vm.Memory.write heap 130 77;
+  commit ~out_seq:3;
+  Ft_vm.Memory.write heap 130 99;
+  commit ~out_seq:5;
+  Alcotest.(check int) "three generations archived" 3
+    (Ft_runtime.Checkpointer.history_depth ckpt ~pid:0);
+  (* clobber live state: rollback must reinstate the archived image *)
+  Ft_vm.Memory.write heap 130 1234;
+  (match Ft_runtime.Checkpointer.rollback ckpt ~pid:0 ~machine ~back:1 with
+  | None -> Alcotest.fail "rollback 1 refused"
+  | Some (_, _, out_seq) ->
+      Alcotest.(check int) "middle generation's egress cursor" 3 out_seq;
+      Alcotest.(check int) "middle generation's heap word" 77
+        (Ft_vm.Memory.read heap 130));
+  (* the reinstated generation was re-committed as the newest: a plain
+     restore now lands on it, not on the abandoned one *)
+  Ft_vm.Memory.write heap 130 4321;
+  (match Ft_runtime.Checkpointer.restore ckpt ~pid:0 ~machine with
+  | _ ->
+      Alcotest.(check int) "restore sees the rolled-back image" 77
+        (Ft_vm.Memory.read heap 130));
+  Alcotest.(check bool) "too-deep rollback refused" true
+    (Ft_runtime.Checkpointer.rollback ckpt ~pid:0 ~machine ~back:40 = None)
+
 (* --- multi-tenant scheduler ----------------------------------------------- *)
 
 (* A scheduler hosting several tenants must hand every tenant exactly
@@ -719,6 +765,8 @@ let tests =
     Alcotest.test_case "disk commits slower" `Quick test_disk_medium_slower;
     Alcotest.test_case "zero-dirty commit appends no page records" `Quick
       test_zero_dirty_commit_no_page_records;
+    Alcotest.test_case "checkpointer deep rollback" `Quick
+      test_checkpointer_deep_rollback;
     Alcotest.test_case "pingpong" `Quick test_pingpong;
     Alcotest.test_case "pingpong server killed" `Quick
       test_pingpong_server_killed;
