@@ -16,10 +16,10 @@ type step = { pid : int; info : Protocol.event_info }
 let step ~pid info = { pid; info }
 
 (* Fresh message tags for scripted sends; receives consume the oldest
-   pending (dest, tag, src) for their destination, mirroring FIFO
-   delivery. *)
+   pending (dest, tag, src, sender-dv) for their destination, mirroring
+   FIFO delivery with dependency-vector piggybacking. *)
 type mailbox = {
-  mutable pending : (int * int * int) list;
+  mutable pending : (int * int * int * Vclock.t) list;
   mutable next_tag : int;
 }
 
@@ -27,17 +27,42 @@ type mailbox = {
    the trace exactly where the protocol asks for them. *)
 let run spec ~nprocs script =
   let proto = Protocol.instantiate spec ~nprocs in
+  let style = spec.Protocol.style in
   let trace = Trace.create ~nprocs in
   let mail = { pending = []; next_tag = 0 } in
   (* Synthetic tags for 2PC acknowledgement messages: negative so they
      never collide with application message tags. *)
   let ack_tag = ref (-1) in
   let round = ref 0 in
+  (* Dependency tracking (logging styles): live vectors, each process's
+     own component as of its last commit (the self-taint baseline), and
+     per-process confirmed-stable marks — [stable.(p).(q)] is how much
+     of q's own non-determinism p has confirmed durable through an
+     acknowledged round.  The marks are local knowledge: a dependency
+     may have committed already, but until an ack says so it must be
+     contacted, which is what puts its covering commit in the output's
+     causal past. *)
+  let dvs = Array.init nprocs (fun _ -> Vclock.create nprocs) in
+  let committed_own = Array.make nprocs 0 in
+  let stable = Array.make_matrix nprocs nprocs 0 in
+  let do_commit_one ~pid kind =
+    ignore (Trace.record trace ~pid kind);
+    committed_own.(pid) <- Vclock.get dvs.(pid) pid;
+    proto.Protocol.note_commit ~pid
+  in
+  let ack ~participant ~coordinator =
+    let tag = !ack_tag in
+    decr ack_tag;
+    ignore
+      (Trace.record trace ~pid:participant
+         (Event.Send { dest = coordinator; tag }));
+    ignore
+      (Trace.record trace ~pid:coordinator ~logged:true
+         (Event.Receive { src = participant; tag }))
+  in
   let commit_scope ~pid = function
     | None -> ()
-    | Some Protocol.Local ->
-        ignore (Trace.record trace ~pid Event.Commit);
-        proto.Protocol.note_commit ~pid
+    | Some Protocol.Local -> do_commit_one ~pid Event.Commit
     | Some Protocol.Global ->
         (* Two-phase commit: the participants commit and acknowledge
            first; the coordinator commits last, after all acks.  Every
@@ -48,18 +73,50 @@ let run spec ~nprocs script =
         incr round;
         for q = 0 to nprocs - 1 do
           if q <> pid then begin
-            ignore (Trace.record trace ~pid:q (Event.Commit_round r));
-            proto.Protocol.note_commit ~pid:q;
-            let tag = !ack_tag in
-            decr ack_tag;
-            ignore (Trace.record trace ~pid:q (Event.Send { dest = pid; tag }));
-            ignore
-              (Trace.record trace ~pid ~logged:true
-                 (Event.Receive { src = q; tag }))
+            do_commit_one ~pid:q (Event.Commit_round r);
+            ack ~participant:q ~coordinator:pid
           end
         done;
-        ignore (Trace.record trace ~pid (Event.Commit_round r));
-        proto.Protocol.note_commit ~pid
+        do_commit_one ~pid (Event.Commit_round r)
+    | Some Protocol.Dependent -> (
+        (* Commit exactly the processes the coordinator's state causally
+           depends on beyond its confirmed-stable marks (transitive
+           closure over the dependency vectors, each hop judged by the
+           depending process's own marks: a participant's snapshot may
+           carry taint the coordinator never saw directly, and its
+           sources must co-commit).  One shared round id covers
+           participant-to-participant dependencies; the coordinator
+           commits the round last, so every participant's commit
+           happens-before the output.  An untainted coordinator with no
+           unconfirmed dependencies commits nothing. *)
+        let in_set = Array.make nprocs false in
+        let rec close p =
+          for q = 0 to nprocs - 1 do
+            if
+              q <> pid && (not in_set.(q))
+              && Vclock.get dvs.(p) q > stable.(p).(q)
+            then begin
+              in_set.(q) <- true;
+              close q
+            end
+          done
+        in
+        close pid;
+        let deps = Array.exists (fun b -> b) in_set in
+        let self_tainted = Vclock.get dvs.(pid) pid > committed_own.(pid) in
+        if deps then begin
+          let r = !round in
+          incr round;
+          for q = 0 to nprocs - 1 do
+            if in_set.(q) then begin
+              do_commit_one ~pid:q (Event.Commit_round r);
+              ack ~participant:q ~coordinator:pid;
+              stable.(pid).(q) <- Vclock.get dvs.(q) q
+            end
+          done;
+          do_commit_one ~pid (Event.Commit_round r)
+        end
+        else if self_tainted then do_commit_one ~pid Event.Commit)
   in
   List.iter
     (fun { pid; info } ->
@@ -70,14 +127,19 @@ let run spec ~nprocs script =
         | Event.Send { dest; _ } ->
             let tag = mail.next_tag in
             mail.next_tag <- tag + 1;
-            mail.pending <- mail.pending @ [ (dest, tag, pid) ];
+            mail.pending <-
+              mail.pending @ [ (dest, tag, pid, Vclock.copy dvs.(pid)) ];
             Event.Send { dest; tag }
         | Event.Receive _ -> (
             match
-              List.find_opt (fun (dest, _, _) -> dest = pid) mail.pending
+              List.find_opt (fun (dest, _, _, _) -> dest = pid) mail.pending
             with
-            | Some ((_, tag, src) as m) ->
+            | Some ((_, tag, src, _) as m) ->
                 mail.pending <- List.filter (fun m' -> m' <> m) mail.pending;
+                let _, _, _, dv = m in
+                (* the receiver's state now depends on everything the
+                   sender's did at send time *)
+                Vclock.merge_into ~into:dvs.(pid) dv;
                 Event.Receive { src; tag }
             | None -> Event.Internal (* nothing to receive: skip *))
         | k -> k
@@ -89,6 +151,7 @@ let run spec ~nprocs script =
           let reaction = proto.Protocol.react ~pid info in
           commit_scope ~pid reaction.Protocol.commit_before;
           let logged = reaction.Protocol.log && info.Protocol.loggable in
+          if Protocol.taints style ~logged kind then Vclock.tick dvs.(pid) pid;
           ignore (Trace.record trace ~pid ~logged kind);
           commit_scope ~pid reaction.Protocol.commit_after)
     script;

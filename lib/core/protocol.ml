@@ -14,6 +14,18 @@
 type commit_scope =
   | Local   (* commit just this process *)
   | Global  (* two-phase commit: all processes commit *)
+  | Dependent
+      (* commit this process plus exactly the processes its state
+         causally depends on (per the dependency vectors a logging
+         protocol piggybacks on messages) — the asynchronous-logging
+         alternative to a global 2PC at output commit *)
+
+(* How a protocol treats non-determinism between commits: coordinated
+   protocols commit it away synchronously; the logging styles track it
+   with piggybacked dependency vectors and settle up only at output
+   commit (causal logging replicates determinants causally; optimistic
+   logging lets them sit in a volatile log and rolls orphans back). *)
+type style = Coordinated | Causal_log | Optimistic_log
 
 (* What the engine tells the protocol about the event about to execute. *)
 type event_info = {
@@ -46,10 +58,27 @@ type spec = {
   nd_effort : float;       (* protocol-space x coordinate, 0..1 (Fig. 3) *)
   visible_effort : float;  (* protocol-space y coordinate, 0..1 (Fig. 3) *)
   uses_2pc : bool;
+  style : style;
   instantiate : nprocs:int -> t;
 }
 
 let instantiate spec ~nprocs = spec.instantiate ~nprocs
+
+(* Does executing an event of [kind] taint the process — advance its own
+   dependency-vector component — under [style]?  Coordinated protocols
+   carry no vectors.  Under causal logging a logged determinant is
+   causally replicated and survives any single crash, so only unlogged
+   non-determinism taints.  Under optimistic logging the determinant sits
+   in a volatile log that dies with the process, so every ND event taints
+   whether logged or not — commits are the flush points. *)
+let taints style ~logged kind =
+  match style with
+  | Coordinated -> false
+  | Causal_log -> (
+      (not logged)
+      && match kind with Event.Nd _ | Event.Receive _ -> true | _ -> false)
+  | Optimistic_log -> (
+      match kind with Event.Nd _ | Event.Receive _ -> true | _ -> false)
 
 (* An event is treated as non-deterministic by protocols unless the
    protocol itself decides to log it. *)

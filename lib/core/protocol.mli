@@ -8,6 +8,15 @@
 type commit_scope =
   | Local  (** commit just this process *)
   | Global  (** two-phase commit: every process commits *)
+  | Dependent
+      (** commit this process plus the processes its state causally
+          depends on, per piggybacked dependency vectors — asynchronous
+          logging's alternative to a global 2PC at output commit *)
+
+(** How a protocol treats non-determinism between commits: coordinated
+    protocols commit it away synchronously; the logging styles track it
+    with dependency vectors and settle up at output commit. *)
+type style = Coordinated | Causal_log | Optimistic_log
 
 type event_info = {
   kind : Event.kind;
@@ -39,10 +48,18 @@ type spec = {
   nd_effort : float;  (** Figure-3 x coordinate, 0..1 *)
   visible_effort : float;  (** Figure-3 y coordinate, 0..1 *)
   uses_2pc : bool;
+  style : style;
   instantiate : nprocs:int -> t;
 }
 
 val instantiate : spec -> nprocs:int -> t
+
+val taints : style -> logged:bool -> Event.kind -> bool
+(** Does executing an event of this kind advance the process's own
+    dependency-vector component?  [Coordinated] never tracks; under
+    [Causal_log] only {e unlogged} ND taints (a logged determinant is
+    causally replicated and survives crashes); under [Optimistic_log]
+    every ND event taints — the volatile log dies with the process. *)
 
 val info_is_nd : event_info -> bool
 val info_is_visible : event_info -> bool

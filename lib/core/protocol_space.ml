@@ -15,6 +15,9 @@ type point = {
   nd_effort : float;       (* 0..1 along the horizontal axis *)
   visible_effort : float;  (* 0..1 along the vertical axis *)
   from_literature : bool;  (* protocols placed but not executed here *)
+  executable : string option;
+      (* literature points realized by an executable spec in
+         {!Protocols}: the spec's name, at the same coordinates *)
 }
 
 let of_spec (s : Protocol.spec) =
@@ -23,28 +26,33 @@ let of_spec (s : Protocol.spec) =
     nd_effort = s.Protocol.nd_effort;
     visible_effort = s.Protocol.visible_effort;
     from_literature = false;
+    executable = None;
   }
 
-(* Placements of the recovery-literature protocols discussed in §2.4. *)
+(* Placements of the recovery-literature protocols discussed in §2.4.
+   Two of them — Manetho and Optimistic logging — are no longer placed
+   only from the literature: {!Protocols.causal_log} and
+   {!Protocols.optimistic} execute them, so those points carry the
+   executable spec's name (and must sit at its coordinates). *)
 let literature =
   [
     { name = "SBL"; nd_effort = 0.55; visible_effort = 0.0;
-      from_literature = true };
+      from_literature = true; executable = None };
     { name = "FBL"; nd_effort = 0.55; visible_effort = 0.12;
-      from_literature = true };
+      from_literature = true; executable = None };
     { name = "Targon/32"; nd_effort = 0.75; visible_effort = 0.0;
-      from_literature = true };
+      from_literature = true; executable = None };
     { name = "Hypervisor"; nd_effort = 1.0; visible_effort = 0.0;
-      from_literature = true };
+      from_literature = true; executable = None };
     { name = "Optimistic"; nd_effort = 0.6; visible_effort = 0.8;
-      from_literature = true };
+      from_literature = true; executable = Some "OPTIMISTIC" };
     { name = "Manetho"; nd_effort = 0.75; visible_effort = 0.95;
-      from_literature = true };
+      from_literature = true; executable = Some "CAUSAL-LOG" };
     { name = "Coord-ckpt"; nd_effort = 0.15; visible_effort = 0.9;
-      from_literature = true };
+      from_literature = true; executable = None };
   ]
 
-let executed = List.map of_spec Protocols.figure8
+let executed = List.map of_spec Protocols.figure8_extended
 
 let all = executed @ literature
 
@@ -77,12 +85,21 @@ let nd_left_in_application p =
 let render ?(width = 64) ?(height = 18) points =
   let buf = Buffer.create 2048 in
   let grid = Array.make_matrix height width ' ' in
+  (* A literature point realized by an executable spec sits at exactly
+     its twin's coordinates: plot one combined label instead of letting
+     the two overwrite each other on the grid. *)
+  let claimed = List.filter_map (fun p -> p.executable) points in
+  let points = List.filter (fun p -> not (List.mem p.name claimed)) points in
   let place p =
     let x = int_of_float (p.nd_effort *. float_of_int (width - 12)) in
     let y = height - 2 - int_of_float (p.visible_effort
                                        *. float_of_int (height - 3)) in
     let x = max 0 (min (width - 1) x) and y = max 0 (min (height - 1) y) in
-    let label = p.name in
+    let label =
+      match p.executable with
+      | Some e -> p.name ^ "=" ^ e
+      | None -> p.name
+    in
     String.iteri
       (fun i c -> if x + i < width then grid.(y).(x + i) <- c)
       label

@@ -5,6 +5,9 @@ type point = {
   nd_effort : float;  (** effort to identify/convert non-determinism *)
   visible_effort : float;  (** effort to commit only visible events *)
   from_literature : bool;  (** placed but not executed in this repo *)
+  executable : string option;
+      (** for literature points realized by an executable spec in
+          {!Protocols} (Manetho, Optimistic logging): its name *)
 }
 
 val of_spec : Protocol.spec -> point
@@ -14,7 +17,8 @@ val literature : point list
     Manetho and Coordinated checkpointing. *)
 
 val executed : point list
-(** The Figure-8 protocols implemented by this repository. *)
+(** The protocols implemented by this repository: the Figure-8 seven
+    plus the executable message-logging pair. *)
 
 val all : point list
 

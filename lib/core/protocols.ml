@@ -27,6 +27,7 @@ let commit_all =
     nd_effort = 0.0;
     visible_effort = 0.0;
     uses_2pc = false;
+    style = Coordinated;
     instantiate =
       (fun ~nprocs:_ ->
         {
@@ -47,6 +48,7 @@ let no_commit =
     nd_effort = 0.0;
     visible_effort = 0.0;
     uses_2pc = false;
+    style = Coordinated;
     instantiate =
       (fun ~nprocs:_ ->
         {
@@ -63,6 +65,7 @@ let cand =
     nd_effort = 0.35;
     visible_effort = 0.0;
     uses_2pc = false;
+    style = Coordinated;
     instantiate =
       (fun ~nprocs:_ ->
         {
@@ -82,6 +85,7 @@ let cand_log =
     nd_effort = 0.6;
     visible_effort = 0.0;
     uses_2pc = false;
+    style = Coordinated;
     instantiate =
       (fun ~nprocs:_ ->
         {
@@ -105,6 +109,7 @@ let cpvs =
     nd_effort = 0.0;
     visible_effort = 0.5;
     uses_2pc = false;
+    style = Coordinated;
     instantiate =
       (fun ~nprocs:_ ->
         {
@@ -126,6 +131,7 @@ let make_cbndvs ~name ~nd_effort ~log_loggable =
     nd_effort;
     visible_effort = 0.5;
     uses_2pc = false;
+    style = Coordinated;
     instantiate =
       (fun ~nprocs ->
         let nd_since = Array.make nprocs false in
@@ -161,6 +167,7 @@ let cpv_2pc =
     nd_effort = 0.0;
     visible_effort = 0.85;
     uses_2pc = true;
+    style = Coordinated;
     instantiate =
       (fun ~nprocs:_ ->
         {
@@ -182,6 +189,7 @@ let cbndv_2pc =
     nd_effort = 0.35;
     visible_effort = 0.85;
     uses_2pc = true;
+    style = Coordinated;
     instantiate =
       (fun ~nprocs ->
         let nd_since = Array.make nprocs false in
@@ -218,6 +226,7 @@ let sender_based_logging =
     nd_effort = 0.55;
     visible_effort = 0.0;
     uses_2pc = false;
+    style = Coordinated;
     instantiate =
       (fun ~nprocs:_ ->
         {
@@ -242,6 +251,7 @@ let manetho =
     nd_effort = 0.75;
     visible_effort = 0.95;
     uses_2pc = true;
+    style = Coordinated;
     instantiate =
       (fun ~nprocs ->
         let nd_since = Array.make nprocs false in
@@ -263,13 +273,67 @@ let manetho =
         });
   }
 
+(* A message-logging protocol's react is style-independent: log every
+   loggable determinant asynchronously, never commit for ND, and at a
+   visible event request a {e dependent} commit — the engine (or model)
+   resolves the request against the piggybacked dependency vectors and
+   commits exactly the processes the output causally depends on (nothing
+   at all when the output is untainted). *)
+let make_logging ~name ~nd_effort ~visible_effort ~style =
+  {
+    spec_name = name;
+    nd_effort;
+    visible_effort;
+    uses_2pc = false;
+    style;
+    instantiate =
+      (fun ~nprocs:_ ->
+        {
+          name;
+          react =
+            (fun ~pid:_ info ->
+              if info_is_nd info then
+                if info.loggable then { no_reaction with log = true }
+                else no_reaction
+              else if info_is_visible info then
+                { no_reaction with commit_before = Some Dependent }
+              else no_reaction);
+          note_commit = (fun ~pid:_ -> ());
+        });
+  }
+
+(* CAUSAL-LOG: Manetho-style causal message logging (§2.4).  Determinants
+   of logged events ride the dependency vectors to every causally
+   downstream process, so they survive any single crash; only unlogged
+   non-determinism taints, and a visible event commits exactly the tainted
+   processes it depends on.  Efforts match the literature Manetho point on
+   the Figure-3 map. *)
+let causal_log =
+  make_logging ~name:"CAUSAL-LOG" ~nd_effort:0.75 ~visible_effort:0.95
+    ~style:Causal_log
+
+(* OPTIMISTIC: optimistic message logging (§2.4).  Determinants go to a
+   volatile log that dies with the process, so every ND event taints until
+   a commit flushes it; recovery rolls back orphans — survivors whose
+   state depends on the victim's lost non-determinism.  Efforts match the
+   literature Optimistic point. *)
+let optimistic =
+  make_logging ~name:"OPTIMISTIC" ~nd_effort:0.6 ~visible_effort:0.8
+    ~style:Optimistic_log
+
 (* The seven protocols measured in Figure 8. *)
 let figure8 =
   [ cand; cand_log; cpvs; cbndvs; cbndvs_log; cpv_2pc; cbndv_2pc ]
 
+(* The executable message-logging protocols added on top of Figure 8. *)
+let message_logging = [ causal_log; optimistic ]
+
+(* Figure 8 extended with the message-logging column pair (9 columns). *)
+let figure8_extended = figure8 @ message_logging
+
 let all =
   commit_all :: no_commit :: coordinated_checkpointing
-  :: sender_based_logging :: manetho :: figure8
+  :: sender_based_logging :: manetho :: figure8_extended
 
 let by_name name =
   List.find_opt

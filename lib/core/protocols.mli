@@ -43,8 +43,24 @@ val manetho : Protocol.spec
 (** Manetho-style: log all capturable ND; coordinated output commit at
     visible events only. *)
 
+val causal_log : Protocol.spec
+(** CAUSAL-LOG: executable Manetho-style causal message logging —
+    determinants piggybacked causally, dependent commit at visibles;
+    only unlogged ND taints. *)
+
+val optimistic : Protocol.spec
+(** OPTIMISTIC: executable optimistic logging — volatile determinant
+    log, every ND event taints until a commit flushes it, orphans rolled
+    back at recovery. *)
+
 val figure8 : Protocol.spec list
 (** The seven protocols measured in Figure 8. *)
+
+val message_logging : Protocol.spec list
+(** [[causal_log; optimistic]] — the executable message-logging pair. *)
+
+val figure8_extended : Protocol.spec list
+(** Figure 8 plus {!message_logging} (9 columns). *)
 
 val all : Protocol.spec list
 

@@ -14,9 +14,17 @@ let get t i = t.(i)
 (* Advance process [pid]'s own component. *)
 let tick t pid = t.(pid) <- t.(pid) + 1
 
-(* Pointwise maximum, used when a receive merges the sender's clock. *)
+exception Size_mismatch of { expected : int; got : int }
+
+(* Pointwise maximum, used when a receive merges the sender's clock.
+   Merging clocks of different widths would silently drop (or invent)
+   components — exactly the dependency-tracking bug the causal-logging
+   protocols exist to prevent — so it is a typed error instead. *)
 let merge_into ~into src =
-  for i = 0 to Array.length into - 1 do
+  let n = Array.length into in
+  if Array.length src <> n then
+    raise (Size_mismatch { expected = n; got = Array.length src });
+  for i = 0 to n - 1 do
     if src.(i) > into.(i) then into.(i) <- src.(i)
   done
 

@@ -14,8 +14,15 @@ val get : t -> int -> int
 val tick : t -> int -> unit
 (** [tick t pid] advances process [pid]'s own component. *)
 
+exception Size_mismatch of { expected : int; got : int }
+(** Raised by {!merge_into} when the two clocks track different numbers
+    of processes: a width mismatch silently truncated would drop
+    dependency components, the exact failure the causal-logging
+    protocols guard against. *)
+
 val merge_into : into:t -> t -> unit
-(** Pointwise maximum; a receive merges the sender's clock. *)
+(** Pointwise maximum; a receive merges the sender's clock.
+    @raise Size_mismatch if [size src <> size into]. *)
 
 val leq : t -> t -> bool
 (** Pointwise less-or-equal. *)

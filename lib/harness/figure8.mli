@@ -10,8 +10,10 @@ val all_apps : app list
 val workload : ?scale:float -> app -> Ft_apps.Workload.t
 (** [scale] in (0, 1] shrinks the workload for quick runs. *)
 
-val protocols_for : app -> Ft_core.Protocol.spec list
-(** The 2PC variants only appear for the distributed applications. *)
+val protocols_for : ?classic:bool -> app -> Ft_core.Protocol.spec list
+(** The 2PC variants only appear for the distributed applications,
+    joined there by the message-logging pair (CAUSAL-LOG, OPTIMISTIC).
+    [classic:true] restores the paper's original seven-protocol panel. *)
 
 type cell = {
   protocol : string;
@@ -36,11 +38,12 @@ val run_once :
 
 val overhead : baseline:int -> int -> float
 
-val jobs : ?scale:float -> ?seed:int -> app -> Ft_exp.Job.t list
+val jobs : ?classic:bool -> ?scale:float -> ?seed:int -> app -> Ft_exp.Job.t list
 (** One job per engine run: the NO-COMMIT baseline plus (protocol x
     medium) for the app's protocol space. *)
 
 val of_records :
+  ?classic:bool ->
   ?scale:float ->
   ?seed:int ->
   app ->
@@ -49,7 +52,7 @@ val of_records :
 (** Assembles the figure from stored job values (missing or failed jobs
     render as zero cells). *)
 
-val measure : ?scale:float -> ?seed:int -> app -> app_result
+val measure : ?classic:bool -> ?scale:float -> ?seed:int -> app -> app_result
 (** [jobs] evaluated inline (serially, no store) and assembled. *)
 
 val render : app_result -> string

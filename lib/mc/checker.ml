@@ -457,6 +457,8 @@ let defect_to_string = function
   | Model.Drop_log -> "drop-log"
   | Model.Publish_first -> "publish-first"
   | Model.No_retransmit -> "no-retransmit"
+  | Model.Drop_dv -> "drop-dependency-vector"
+  | Model.No_orphan_kill -> "no-orphan-kill"
 
 let jobs ?(no_prune = false) ?(lose_work = true) ?(shard_depth = 2) ~specs
     ~program () =

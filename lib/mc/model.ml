@@ -62,7 +62,14 @@ let default_program ~nprocs ~depth =
 let program_digest prog =
   Digest.to_hex (Digest.string (Marshal.to_string prog []))
 
-type defect = Honest | Skip_orphan | Drop_log | Publish_first | No_retransmit
+type defect =
+  | Honest
+  | Skip_orphan
+  | Drop_log
+  | Publish_first
+  | No_retransmit
+  | Drop_dv
+  | No_orphan_kill
 
 type crash =
   | No_crash
@@ -112,18 +119,27 @@ type snapshot = {
   s_acc : int;
   s_cursor : int array;  (* per source *)
   s_sent : int array;  (* per destination *)
+  s_dv : int array;  (* dependency vector at the commit *)
+  s_stable : int array;  (* confirmed-stable marks at the commit *)
 }
 
 type st = {
   prog : program;
   nprocs : int;
+  mutable style : Protocol.style;
   pcs : int array;
   accs : int array;
   gens : int array array;  (* executions of (pid, pc), for redraws *)
   cursor : int array array;  (* cursor.(dst).(src): consumed count *)
   sent : int array array;  (* sent.(src).(dst): sent count *)
-  mail : (int * int * int, int * int * int list) Hashtbl.t;
-      (* (src, dst, seq) -> payload, tag, send vclock *)
+  dvs : int array array;  (* dvs.(pid): live dependency vector *)
+  stable : int array array;
+      (* stable.(pid).(q): how much of q's own non-determinism pid has
+         CONFIRMED stable, via a dependent-commit round's ack — local
+         knowledge, never an omniscient read of q's commit state.  Rolls
+         back with pid (the confirming ack may be un-received). *)
+  mail : (int * int * int, int * int * int list * int list) Hashtbl.t;
+      (* (src, dst, seq) -> payload, tag, send vclock, sender dv *)
   snaps : snapshot array;
   since : string list array;  (* event descriptors since last commit *)
   draws : (int * int, int) Hashtbl.t;  (* surviving ND result at (pid, pc) *)
@@ -157,8 +173,17 @@ let snapshot st pid =
       s_acc = st.accs.(pid);
       s_cursor = Array.copy st.cursor.(pid);
       s_sent = Array.copy st.sent.(pid);
+      s_dv = Array.copy st.dvs.(pid);
+      s_stable = Array.copy st.stable.(pid);
     };
   st.since.(pid) <- []
+
+(* The process's own dependency-vector component as of its last commit —
+   the taint baseline: dv entries above this record non-determinism that
+   no durable state covers. *)
+let committed_own st q =
+  let s = st.snaps.(q) in
+  if Array.length s.s_dv > 0 then s.s_dv.(q) else 0
 
 (* ---- commits ------------------------------------------------------------ *)
 
@@ -172,10 +197,45 @@ let commit_one st proto ~pid kind =
   snapshot st pid;
   proto.Protocol.note_commit ~pid
 
+(* The processes a dependent commit at [pid] must pull in: everyone
+   whose non-determinism the coordinator's state (or a participant's)
+   transitively depends on beyond what the depending process has
+   CONFIRMED stable.  Each hop uses the depending process's own
+   [stable] marks — never an omniscient read of the dependency's commit
+   state: a dependency may well have committed already, but until an
+   acknowledged round tells this process so, it must be contacted, and
+   that exchange is what puts the covering commit in the output's
+   causal past.  The closure matters — a participant's snapshot carries
+   taint the coordinator never saw directly, and its sources must
+   commit atomically with it or the commit manufactures an orphan. *)
+let dependent_set st ~pid =
+  let in_set = Array.make st.nprocs false in
+  let rec close p =
+    for q = 0 to st.nprocs - 1 do
+      if q <> pid && (not in_set.(q)) && st.dvs.(p).(q) > st.stable.(p).(q)
+      then begin
+        in_set.(q) <- true;
+        close q
+      end
+    done
+  in
+  close pid;
+  in_set
+
+(* A dependent commit with no remote dependencies and no local taint is
+   a no-op: the logging protocols commit nothing at an output whose
+   lineage is already covered. *)
+let dependent_noop st ~pid =
+  (not (Array.exists (fun b -> b) (dependent_set st ~pid)))
+  && st.dvs.(pid).(pid) <= committed_own st pid
+
 (* Two-phase commit, mirroring Conformance: participants commit and
    acknowledge first, the coordinator commits last, all commits of the
    round atomic with each other.  [Skip_orphan] drops the participant
-   side entirely — only the coordinator's commit happens. *)
+   side entirely — only the coordinator's commit happens.  [Dependent]
+   is the logging protocols' demand-driven variant: only the dependency
+   closure commits (one shared round), or just the coordinator when the
+   taint is purely local. *)
 let commit_scope st proto ~defect ~pid = function
   | Protocol.Local -> commit_one st proto ~pid Event.Commit
   | Protocol.Global ->
@@ -192,9 +252,38 @@ let commit_scope st proto ~defect ~pid = function
         end
       done;
       commit_one st proto ~pid (Event.Commit_round r)
+  | Protocol.Dependent ->
+      let in_set = dependent_set st ~pid in
+      if Array.exists (fun b -> b) in_set then begin
+        let r = st.round in
+        st.round <- r + 1;
+        for q = 0 to st.nprocs - 1 do
+          if in_set.(q) then begin
+            commit_one st proto ~pid:q (Event.Commit_round r);
+            let tag = st.ack_tag in
+            st.ack_tag <- tag - 1;
+            ignore (record st ~pid:q (Event.Send { dest = pid; tag }));
+            ignore
+              (record st ~pid ~logged:true (Event.Receive { src = q; tag }));
+            (* the ack confirms everything of q's own ND to date is now
+               durable; the coordinator's next commit snapshots this
+               knowledge, so q is not re-contacted for old taint *)
+            st.stable.(pid).(q) <- st.dvs.(q).(q)
+          end
+        done;
+        (* the coordinator always closes the round, tainted or not: its
+           commit is what makes the round reach the output *)
+        commit_one st proto ~pid (Event.Commit_round r)
+      end
+      else if st.dvs.(pid).(pid) > committed_own st pid then
+        commit_one st proto ~pid Event.Commit
 
 let do_commit st proto ~defect ~trap ~pid = function
   | None -> ()
+  | Some Protocol.Dependent when dependent_noop st ~pid ->
+      (* nothing would land: no commit happened this step, and there is
+         no commit for a mid-commit crash to interrupt *)
+      ()
   | Some scope -> (
       st.committed_this_step <- true;
       match trap with
@@ -229,7 +318,7 @@ let receive_binding st pid pc =
         else if st.sent.(src).(pid) > st.cursor.(pid).(src) then
           let seq = st.cursor.(pid).(src) in
           match Hashtbl.find_opt st.mail (src, pid, seq) with
-          | Some (payload, tag, _) -> Some (src, seq, payload, tag)
+          | Some (payload, tag, _, _) -> Some (src, seq, payload, tag)
           | None -> scan (src + 1)
         else scan (src + 1)
       in
@@ -276,6 +365,17 @@ let exec_step st proto ~defect ~trap ?(force_skip = false) pid =
             ignore (record st ~pid ~logged (Event.Receive { src; tag }));
             st.cursor.(pid).(src) <- max st.cursor.(pid).(src) (seq + 1);
             st.accs.(pid) <- mix st.accs.(pid) payload;
+            (* piggybacked dependency vector: the receiver's state now
+               depends on everything the sender's did at send time *)
+            (match Hashtbl.find_opt st.mail (src, pid, seq) with
+            | Some (_, _, _, dv) when defect <> Drop_dv ->
+                List.iteri
+                  (fun q x ->
+                    if x > st.dvs.(pid).(q) then st.dvs.(pid).(q) <- x)
+                  dv
+            | _ -> ());
+            if Protocol.taints st.style ~logged (Event.Receive { src; tag })
+            then st.dvs.(pid).(pid) <- st.dvs.(pid).(pid) + 1;
             Hashtbl.replace st.recv_bind (pid, pc) (Some (src, seq, payload));
             if logged && defect <> Drop_log
                && not (Hashtbl.mem st.log (pid, pc))
@@ -320,6 +420,8 @@ let exec_step st proto ~defect ~trap ?(force_skip = false) pid =
               Hashtbl.replace st.draws (pid, pc) value;
               st.accs.(pid) <- mix st.accs.(pid) value;
               let logged = reaction.Protocol.log && lg in
+              if Protocol.taints st.style ~logged (Event.Nd c) then
+                st.dvs.(pid).(pid) <- st.dvs.(pid).(pid) + 1;
               ignore (record st ~pid ~logged (Event.Nd c));
               if logged && defect <> Drop_log
                  && not (Hashtbl.mem st.log (pid, pc))
@@ -335,7 +437,8 @@ let exec_step st proto ~defect ~trap ?(force_skip = false) pid =
               st.next_tag <- tag + 1;
               let e = record st ~pid (Event.Send { dest = d; tag }) in
               let vc = List.init st.nprocs (Vclock.get e.Event.vc) in
-              Hashtbl.replace st.mail (pid, d, seq) (value, tag, vc);
+              let dv = Array.to_list st.dvs.(pid) in
+              Hashtbl.replace st.mail (pid, d, seq) (value, tag, vc, dv);
               st.sent.(pid).(d) <- seq + 1;
               desc_since st pid (Printf.sprintf "s%d>%d" pc d)
           | Receive -> ()
@@ -368,6 +471,10 @@ let restore st proto pid =
   st.accs.(pid) <- s.s_acc;
   Array.blit s.s_cursor 0 st.cursor.(pid) 0 st.nprocs;
   Array.blit s.s_sent 0 st.sent.(pid) 0 st.nprocs;
+  if Array.length s.s_dv = st.nprocs then
+    Array.blit s.s_dv 0 st.dvs.(pid) 0 st.nprocs;
+  if Array.length s.s_stable = st.nprocs then
+    Array.blit s.s_stable 0 st.stable.(pid) 0 st.nprocs;
   st.since.(pid) <- [];
   (* Protocol-state restore: every protocol's per-process state is
      nd-since-commit bookkeeping, which is exactly what note_commit
@@ -375,28 +482,96 @@ let restore st proto pid =
      recoverable through the public interface. *)
   proto.Protocol.note_commit ~pid
 
-(* Roll the victim back to its last commit, then cascade: any process
-   whose consumed-message cursor now points past what a rolled-back
-   sender has sent holds an orphaned dependence; if its own last commit
-   does not cover that dependence, rolling it back resolves the orphan
-   honestly.  If its commit does cover it, recovery must leave it alone
-   — a protocol that allowed that state is caught by the oracles. *)
-let rollback st proto victim =
+(* Roll the victim back to its last commit, then cascade.
+
+   Coordinated protocols: any process whose consumed-message cursor now
+   points past what a rolled-back sender has sent holds an orphaned
+   dependence; if its own last commit does not cover that dependence,
+   rolling it back resolves the orphan honestly.  If its commit does
+   cover it, recovery must leave it alone — a protocol that allowed that
+   state is caught by the oracles.
+
+   Logging styles: recovery is orphan detection over dependency vectors
+   instead — a survivor whose vector records more of the victim's
+   non-determinism than the victim's restored state regenerates is an
+   orphan, and rolls back too (cascading).  Message content alone does
+   not orphan anyone: a logged receive replays from the log without the
+   sender re-sending.  Under [Optimistic_log] the determinant log is
+   volatile memory, so every rolled-back process additionally loses its
+   log entries past the restore point — that lost suffix is what makes
+   unkilled orphans inconsistent, and the [No_orphan_kill] defect
+   (skipping the cascade) is how the checker proves the kill is
+   load-bearing.  Either way, a surviving determinant that describes a
+   message the sender's own rollback un-sent is dead — the redone send
+   may carry a redrawn payload, and replaying the stale binding would
+   smuggle the dead lineage back in — so those entries are purged after
+   the cascade settles. *)
+let rollback st proto ~defect victim =
+  let wipe_volatile_log p =
+    if st.style = Protocol.Optimistic_log then begin
+      let s_pc = st.snaps.(p).s_pc in
+      let doomed =
+        Hashtbl.fold
+          (fun (q, pc) _ acc -> if q = p && pc >= s_pc then (q, pc) :: acc else acc)
+          st.log []
+      in
+      List.iter (Hashtbl.remove st.log) doomed
+    end
+  in
   restore st proto victim;
-  let rolled = Array.make st.nprocs false in
-  rolled.(victim) <- true;
-  let work = Queue.create () in
-  Queue.add victim work;
-  while not (Queue.is_empty work) do
-    let p = Queue.pop work in
-    for q = 0 to st.nprocs - 1 do
-      if (not rolled.(q)) && st.cursor.(q).(p) > st.sent.(p).(q) then begin
-        restore st proto q;
-        rolled.(q) <- true;
-        Queue.add q work
-      end
-    done
-  done
+  wipe_volatile_log victim;
+  match st.style with
+  | Protocol.Coordinated ->
+      let rolled = Array.make st.nprocs false in
+      rolled.(victim) <- true;
+      let work = Queue.create () in
+      Queue.add victim work;
+      while not (Queue.is_empty work) do
+        let p = Queue.pop work in
+        for q = 0 to st.nprocs - 1 do
+          if (not rolled.(q)) && st.cursor.(q).(p) > st.sent.(p).(q) then begin
+            restore st proto q;
+            rolled.(q) <- true;
+            Queue.add q work
+          end
+        done
+      done
+  | Protocol.Causal_log | Protocol.Optimistic_log ->
+      let rolled = Array.make st.nprocs false in
+      rolled.(victim) <- true;
+      if defect <> No_orphan_kill then begin
+        let work = Queue.create () in
+        Queue.add victim work;
+        while not (Queue.is_empty work) do
+          let v = Queue.pop work in
+          let v_own = st.dvs.(v).(v) in
+          for q = 0 to st.nprocs - 1 do
+            if (not rolled.(q)) && st.dvs.(q).(v) > v_own then begin
+              restore st proto q;
+              wipe_volatile_log q;
+              rolled.(q) <- true;
+              Queue.add q work
+            end
+          done
+        done
+      end;
+      (* purge determinants of un-sent messages: an Lrecv past a
+         rolled-back receiver's restore point whose sender also rolled
+         back past the send (seq at or beyond the restored send count)
+         names a message that no longer exists *)
+      let dead =
+        Hashtbl.fold
+          (fun (p, pc) entry acc ->
+            if rolled.(p) && pc >= st.snaps.(p).s_pc then
+              match entry with
+              | Lrecv { src; seq; _ }
+                when rolled.(src) && seq >= st.sent.(src).(p) ->
+                  (p, pc) :: acc
+              | _ -> acc
+            else acc)
+          st.log []
+      in
+      List.iter (Hashtbl.remove st.log) dead
 
 (* ---- state key ---------------------------------------------------------- *)
 
@@ -433,21 +608,30 @@ let state_key st =
     for dst = 0 to st.nprocs - 1 do
       for seq = st.cursor.(dst).(src) to st.sent.(src).(dst) - 1 do
         match Hashtbl.find_opt st.mail (src, dst, seq) with
-        | Some (payload, _, vc) -> pending := (src, dst, seq, payload, vc) :: !pending
+        | Some (payload, _, vc, dv) ->
+            pending := (src, dst, seq, payload, vc, dv) :: !pending
         | None -> ()
       done
     done
   done;
   let snaps =
     Array.map
-      (fun s -> (s.s_pc, s.s_acc, Array.to_list s.s_cursor, Array.to_list s.s_sent))
+      (fun s ->
+        ( s.s_pc,
+          s.s_acc,
+          Array.to_list s.s_cursor,
+          Array.to_list s.s_sent,
+          Array.to_list s.s_dv,
+          Array.to_list s.s_stable ))
       st.snaps
   in
   let repr =
-    ( Array.to_list st.pcs,
-      Array.to_list st.accs,
-      Array.to_list (Array.map (fun a -> Array.to_list a) st.cursor),
-      Array.to_list (Array.map (fun a -> Array.to_list a) st.sent),
+    ( ( Array.to_list st.pcs,
+        Array.to_list st.accs,
+        Array.to_list (Array.map (fun a -> Array.to_list a) st.cursor),
+        Array.to_list (Array.map (fun a -> Array.to_list a) st.sent),
+        Array.to_list (Array.map (fun a -> Array.to_list a) st.dvs),
+        Array.to_list (Array.map (fun a -> Array.to_list a) st.stable) ),
       List.sort compare !pending,
       Array.to_list snaps,
       Array.to_list st.since,
@@ -518,14 +702,25 @@ let init ~program =
   {
     prog = program;
     nprocs;
+    style = Protocol.Coordinated;
     pcs = Array.make nprocs 0;
     accs = Array.init nprocs acc0;
     gens = Array.init nprocs (fun p -> Array.make (Array.length program.(p)) 0);
     cursor = Array.make_matrix nprocs nprocs 0;
     sent = Array.make_matrix nprocs nprocs 0;
+    dvs = Array.make_matrix nprocs nprocs 0;
+    stable = Array.make_matrix nprocs nprocs 0;
     mail = Hashtbl.create 64;
     snaps =
-      Array.make nprocs { s_pc = 0; s_acc = 0; s_cursor = [||]; s_sent = [||] };
+      Array.make nprocs
+        {
+          s_pc = 0;
+          s_acc = 0;
+          s_cursor = [||];
+          s_sent = [||];
+          s_dv = [||];
+          s_stable = [||];
+        };
     since = Array.make nprocs [];
     draws = Hashtbl.create 64;
     log = Hashtbl.create 64;
@@ -547,6 +742,7 @@ let run ~spec ~defect ~program ~prefix ~crash =
   let nprocs = Array.length program in
   let proto = Protocol.instantiate spec ~nprocs in
   let st = init ~program in
+  st.style <- spec.Protocol.style;
   (* the initial state of every process is committed (paper §2.3) *)
   for p = 0 to nprocs - 1 do
     snapshot st p
@@ -640,7 +836,7 @@ let run ~spec ~defect ~program ~prefix ~crash =
     | Some v ->
         let at = (v, st.pcs.(v)) in
         ignore (record st ~pid:v Event.Crash);
-        rollback st proto v;
+        rollback st proto ~defect v;
         Some at
   in
   (* canonical completion: round-robin to the end of every script (the

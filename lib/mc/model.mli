@@ -46,6 +46,14 @@ type defect =
   | No_retransmit
       (** the network stack never retransmits: a {!Lose} fault is never
           repaired, the link falls permanently silent past the hole *)
+  | Drop_dv
+      (** piggybacked dependency vectors are never merged at receives:
+          the logging protocols' commit and orphan machinery runs blind
+          to cross-process causality *)
+  | No_orphan_kill
+      (** recovery restores only the crashed process and never rolls
+          back orphans — survivors whose state depends on the victim's
+          lost non-determinism keep running on a dead lineage *)
 
 (** The single injected fault. *)
 type crash =

@@ -135,6 +135,33 @@ let never_retransmit =
     spec = base "CAND";
   }
 
+(* CAUSAL-LOG over a runtime that never merges the piggybacked
+   dependency vectors: dependent commits see no remote taint, so a
+   visible is published over another process's uncommitted, unlogged
+   non-determinism — the Save-work oracle convicts it on the crash-free
+   prefix. *)
+let drop_dependency_vector =
+  {
+    mutant_name = "drop-dependency-vector";
+    based_on = "CAUSAL-LOG";
+    defect = Model.Drop_dv;
+    expected = "blind dependent commits leave remote ND uncovered at a visible";
+    spec = base "CAUSAL-LOG";
+  }
+
+(* OPTIMISTIC whose recovery restores only the crashed process: a
+   survivor whose state depends on the victim's wiped volatile log keeps
+   running on the dead lineage, and its next published value diverges
+   from the surviving lineage's reference run. *)
+let commit_without_orphan_kill =
+  {
+    mutant_name = "commit-without-orphan-kill";
+    based_on = "OPTIMISTIC";
+    defect = Model.No_orphan_kill;
+    expected = "unkilled orphan publishes a value from the rolled-back lineage";
+    spec = base "OPTIMISTIC";
+  }
+
 let all =
   [
     commit_after_visible;
@@ -143,6 +170,8 @@ let all =
     drop_log_entry;
     publish_before_log;
     never_retransmit;
+    drop_dependency_vector;
+    commit_without_orphan_kill;
   ]
 
 let by_name n = List.find_opt (fun m -> m.mutant_name = n) all

@@ -40,6 +40,9 @@ type stats = {
   cut : int;            (* frames swallowed by a partition *)
   acks : int;           (* acks sent (some of which the wire loses) *)
   gave_up : int;        (* frames abandoned after the retry budget *)
+  payload_bytes : int;  (* measured size of distinct payloads accepted *)
+  wire_bytes : int;     (* measured size crossing the wire, retransmits
+                           included — the piggyback-overhead numerator *)
 }
 
 let zero_stats =
@@ -53,6 +56,8 @@ let zero_stats =
     cut = 0;
     acks = 0;
     gave_up = 0;
+    payload_bytes = 0;
+    wire_bytes = 0;
   }
 
 type 'a frame = { payload : 'a; mutable attempts : int }
@@ -95,6 +100,7 @@ type 'a t = {
   backoff : float;
   max_retries : int;
   deliver : at:int -> src:int -> dst:int -> 'a -> unit;
+  measure : 'a -> int;  (* payload size in bytes, for overhead stats *)
   links : (int * int, 'a link) Hashtbl.t;
   mutable queue : 'a event Q.t;
   mutable next_id : int;
@@ -108,11 +114,13 @@ type 'a t = {
   mutable s_cut : int;
   mutable s_acks : int;
   mutable s_gave_up : int;
+  mutable s_payload_bytes : int;
+  mutable s_wire_bytes : int;
 }
 
 let create ?(policy = fun _ _ -> Policy.reliable) ?rto_ns
-    ?(rto_max_ns = 50_000_000) ?(backoff = 2.0) ?(max_retries = 16) ~seed
-    ~nprocs ~latency_ns ~jitter_ns ~deliver () =
+    ?(rto_max_ns = 50_000_000) ?(backoff = 2.0) ?(max_retries = 16)
+    ?(measure = fun _ -> 0) ~seed ~nprocs ~latency_ns ~jitter_ns ~deliver () =
   let rto_ns =
     match rto_ns with
     | Some r -> max 1 r
@@ -129,6 +137,7 @@ let create ?(policy = fun _ _ -> Policy.reliable) ?rto_ns
     backoff = (if backoff < 1.0 then 1.0 else backoff);
     max_retries = max 0 max_retries;
     deliver;
+    measure;
     links = Hashtbl.create 16;
     queue = Q.empty;
     next_id = 0;
@@ -142,6 +151,8 @@ let create ?(policy = fun _ _ -> Policy.reliable) ?rto_ns
     s_cut = 0;
     s_acks = 0;
     s_gave_up = 0;
+    s_payload_bytes = 0;
+    s_wire_bytes = 0;
   }
 
 let stats t =
@@ -155,6 +166,8 @@ let stats t =
     cut = t.s_cut;
     acks = t.s_acks;
     gave_up = t.s_gave_up;
+    payload_bytes = t.s_payload_bytes;
+    wire_bytes = t.s_wire_bytes;
   }
 
 let link t ~src ~dst =
@@ -199,6 +212,7 @@ let rto_after t attempts =
    duplicate it; survivors become [Data] arrival events. *)
 let transmit t ~now ~(l : _ link) ~seq payload =
   t.s_transmissions <- t.s_transmissions + 1;
+  t.s_wire_bytes <- t.s_wire_bytes + t.measure payload;
   let pol = t.policy l.l_src l.l_dst in
   if Policy.partitioned pol ~src:l.l_src ~dst:l.l_dst ~now then
     t.s_cut <- t.s_cut + 1
@@ -230,6 +244,7 @@ let send t ~now ~src ~dst payload =
   let seq = l.next_seq in
   l.next_seq <- seq + 1;
   t.s_sends <- t.s_sends + 1;
+  t.s_payload_bytes <- t.s_payload_bytes + t.measure payload;
   Hashtbl.replace l.outstanding seq { payload; attempts = 0 };
   transmit t ~now ~l ~seq payload;
   schedule t ~at:(now + rto_after t 0) (Retry { e_src = src; e_dst = dst; seq })

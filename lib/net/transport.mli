@@ -22,6 +22,11 @@ type stats = {
   cut : int;  (** frames swallowed by a partition *)
   acks : int;  (** acks sent (some of which the wire loses) *)
   gave_up : int;  (** frames abandoned after the retry budget *)
+  payload_bytes : int;
+      (** measured size of distinct payloads accepted (see [measure]) *)
+  wire_bytes : int;
+      (** measured size crossing the wire, retransmits included — the
+          numerator for piggyback-overhead accounting *)
 }
 
 val zero_stats : stats
@@ -34,6 +39,7 @@ val create :
   ?rto_max_ns:int ->
   ?backoff:float ->
   ?max_retries:int ->
+  ?measure:('a -> int) ->
   seed:int ->
   nprocs:int ->
   latency_ns:int ->
@@ -47,7 +53,10 @@ val create :
     floor 1µs); successive retries back off by [backoff] (default 2.0)
     up to [rto_max_ns] (default 50ms), with 25% jitter.  After
     [max_retries] (default 16) attempts a frame is abandoned and its
-    link latched failed. *)
+    link latched failed.  [measure] sizes a payload in bytes for the
+    [payload_bytes]/[wire_bytes] stats (default: everything is 0 bytes),
+    letting callers quantify what dependency-vector piggybacking adds to
+    each frame. *)
 
 val send : 'a t -> now:int -> src:int -> dst:int -> 'a -> unit
 (** Accept a payload for transmission at simulated time [now]. *)

@@ -66,10 +66,25 @@ type message = {
   msg_seq : int;          (* per-sender sequence, for duplicate filtering *)
   msg_tag : int;          (* stable trace tag: src * tag_stride + seq *)
   msg_deliver_at : int;
+  msg_dv : Ft_core.Vclock.t;
+      (* the sender's dependency vector, piggybacked at send time when
+         a message-logging protocol enabled tracking; the width-0 clock
+         otherwise (one shared value, so the legacy path allocates
+         nothing).  Rides inside the payload record, so it survives
+         transport loss/dup/reorder/retransmission unchanged. *)
+  msg_inc : int;
+      (* the sender's incarnation number at send time: bumped on each
+         sender rollback under a logging protocol, so stale messages
+         from a rolled-back past can be told apart from their redone
+         replacements *)
 }
 
 let tag_stride = 1_000_000
 let tag ~src ~seq = (src * tag_stride) + seq
+
+(* Shared by every message sent while dependency tracking is off: the
+   legacy protocols stay allocation- and byte-identical. *)
+let no_dv = Ft_core.Vclock.create 0
 
 type file = { mutable contents : int array; mutable len : int }
 
@@ -129,6 +144,19 @@ type t = {
   input_abs : bool array;
       (* per pid: input script entries are absolute arrival times
          (open-loop load) rather than think-time gaps (closed loop) *)
+  (* --- dependency tracking (message-logging protocols) ---------------
+     None of this belongs to [proc_kstate]: vectors are restored by the
+     engine from its committed snapshots, and incarnations/barriers must
+     SURVIVE restores — they describe which in-flight messages are stale,
+     which is precisely the knowledge a rollback must not lose. *)
+  mutable dv_enabled : bool;
+  dvs : Ft_core.Vclock.t array;            (* per pid, live vector *)
+  incarnations : int array;                (* per pid, bumped on rollback *)
+  mutable barriers : (int * int) list array;
+      (* per src: (incarnation after a rollback, restored send_seq).
+         A message from [src] is dead iff some barrier [(b_inc, b_seq)]
+         has [msg_inc < b_inc && msg_seq >= b_seq]: it was sent before
+         the rollback, covering sends the rollback undid. *)
 }
 
 let create ?(costs = default_costs) ?(seed = 42) ?(fs_capacity = 1 lsl 20)
@@ -163,6 +191,10 @@ let create ?(costs = default_costs) ?(seed = 42) ?(fs_capacity = 1 lsl 20)
     net = None;
     net_base = 0;
     input_abs = Array.make nprocs false;
+    dv_enabled = false;
+    dvs = Array.init nprocs (fun _ -> Ft_core.Vclock.create nprocs);
+    incarnations = Array.make nprocs 0;
+    barriers = Array.make nprocs [];
   }
 
 let costs t = t.costs
@@ -351,12 +383,46 @@ let kstate_of_words w =
 (* The receiver committed: its consumed messages need never be redelivered. *)
 let note_commit t pid = t.uncommitted_recv.(pid) := []
 
+(* --- dependency tracking (message-logging protocols) -------------------- *)
+
+let enable_dependency_tracking t = t.dv_enabled <- true
+let dependency_tracking t = t.dv_enabled
+
+(* The live vector: callers may read it and [Vclock.copy] it into
+   snapshots, but must mutate it only through {!dv_tick}/{!restore_dv}. *)
+let dv t pid = t.dvs.(pid)
+let dv_tick t pid = Ft_core.Vclock.tick t.dvs.(pid) pid
+let restore_dv t pid c = t.dvs.(pid) <- Ft_core.Vclock.copy c
+let incarnation t pid = t.incarnations.(pid)
+
+(* A message is stale iff some rollback of its sender undid the send. *)
+let message_dead t (m : message) =
+  match t.barriers.(m.msg_src) with
+  | [] -> false
+  | bs ->
+      List.exists
+        (fun (b_inc, b_seq) -> m.msg_inc < b_inc && m.msg_seq >= b_seq)
+        bs
+
+(* The engine rolled [pid] back past some of its sends (logging styles
+   only).  Called after [restore_kstate], so [send_seq] is the restored
+   value: in-flight messages from the previous incarnation at or above
+   it will be redone — possibly with different redrawn payloads — and
+   the originals must never be consumed. *)
+let note_sender_rollback t pid =
+  t.incarnations.(pid) <- t.incarnations.(pid) + 1;
+  t.barriers.(pid) <-
+    (t.incarnations.(pid), t.kstates.(pid).send_seq) :: t.barriers.(pid)
+
 (* The receiver rolled back: requeue the messages it consumed since its
-   last commit, in original order, ahead of anything else pending. *)
+   last commit, in original order, ahead of anything else pending —
+   minus any that a sender rollback killed in the meantime. *)
 let requeue_uncommitted t pid =
   let pending = Queue.create () in
   Queue.transfer t.mailboxes.(pid) pending;
-  List.iter (fun m -> Queue.add m t.mailboxes.(pid)) !(t.uncommitted_recv.(pid));
+  List.iter
+    (fun m -> if not (message_dead t m) then Queue.add m t.mailboxes.(pid))
+    !(t.uncommitted_recv.(pid));
   Queue.transfer pending t.mailboxes.(pid);
   t.uncommitted_recv.(pid) := []
 
@@ -506,6 +572,12 @@ let service t ~pid ~now ~a0 ~a1 s =
       let dest = a0 land max_int mod max 1 t.nprocs in
       let seq = k.send_seq in
       k.send_seq <- seq + 1;
+      (* Piggyback the sender's current dependency vector (a snapshot:
+         later ticks must not retroactively taint this message). *)
+      let msg_dv =
+        if t.dv_enabled then Ft_core.Vclock.copy t.dvs.(pid) else no_dv
+      in
+      let msg_inc = t.incarnations.(pid) in
       match t.net with
       | None ->
           let jitter =
@@ -520,6 +592,8 @@ let service t ~pid ~now ~a0 ~a1 s =
               msg_seq = seq;
               msg_tag = tag ~src:pid ~seq;
               msg_deliver_at = now + t.costs.network_latency_ns + jitter;
+              msg_dv;
+              msg_inc;
             }
           in
           Queue.add m t.mailboxes.(dest);
@@ -538,6 +612,8 @@ let service t ~pid ~now ~a0 ~a1 s =
               msg_seq = seq;
               msg_tag = tag ~src:pid ~seq;
               msg_deliver_at = now;
+              msg_dv;
+              msg_inc;
             }
           in
           Ft_net.Transport.send net ~now ~src:(t.net_base + pid)
@@ -551,12 +627,17 @@ let service t ~pid ~now ~a0 ~a1 s =
         if Queue.is_empty t.mailboxes.(pid) then None
         else
           let m = Queue.pop t.mailboxes.(pid) in
-          let seen =
-            match List.assoc_opt m.msg_src k.last_seen with
-            | Some s -> s
-            | None -> -1
-          in
-          if m.msg_seq <= seen then next () else Some m
+          (* A message a sender rollback killed must neither be consumed
+             nor advance the duplicate filter: its redone replacement —
+             same [msg_seq], new incarnation — is the live one. *)
+          if message_dead t m then next ()
+          else
+            let seen =
+              match List.assoc_opt m.msg_src k.last_seen with
+              | Some s -> s
+              | None -> -1
+            in
+            if m.msg_seq <= seen then next () else Some m
       in
       match next () with
       | None ->
@@ -569,6 +650,11 @@ let service t ~pid ~now ~a0 ~a1 s =
             :: List.remove_assoc m.msg_src k.last_seen;
           t.uncommitted_recv.(pid) :=
             !(t.uncommitted_recv.(pid)) @ [ m ];
+          (* Merge the piggybacked dependency vector: the receiver's
+             state now causally depends on everything the sender's state
+             depended on at send time. *)
+          if t.dv_enabled && Ft_core.Vclock.size m.msg_dv > 0 then
+            Ft_core.Vclock.merge_into ~into:t.dvs.(pid) m.msg_dv;
           let new_time =
             if m.msg_deliver_at > now then Some m.msg_deliver_at else None
           in

@@ -42,7 +42,11 @@ type result =
 (** A message in flight.  [msg_seq] is the per-sender sequence number
     the receive-side duplicate filter keys on; [msg_tag] is the stable
     trace tag; [msg_deliver_at] the arrival time (stamped by the
-    transport when one is attached). *)
+    transport when one is attached).  [msg_dv] is the sender's
+    dependency vector piggybacked at send time under a message-logging
+    protocol (the width-0 clock otherwise) and [msg_inc] its incarnation
+    number, which tells stale pre-rollback messages apart from their
+    redone replacements. *)
 type message = {
   msg_src : int;
   msg_dest : int;
@@ -50,6 +54,8 @@ type message = {
   msg_seq : int;
   msg_tag : int;
   msg_deliver_at : int;
+  msg_dv : Ft_core.Vclock.t;
+  msg_inc : int;
 }
 
 (** An injected OS fault (configured by {!Ft_faults.Os_injector}). *)
@@ -138,6 +144,42 @@ val requeue_uncommitted : t -> int -> unit
     its last commit, in order (the §2.1 recovery buffer). *)
 
 val mailbox_nonempty : t -> int -> bool
+
+(** {2 Dependency tracking (message-logging protocols)}
+
+    Enabled by the engine when the protocol's style is [Causal_log] or
+    [Optimistic_log]: sends piggyback the sender's dependency vector,
+    receives merge it into the receiver's.  Vectors, incarnations and
+    rollback barriers live {e outside} the snapshottable kernel state —
+    the engine restores vectors from its own committed snapshots, and
+    barriers must survive restores to keep filtering stale messages. *)
+
+val enable_dependency_tracking : t -> unit
+val dependency_tracking : t -> bool
+
+val dv : t -> int -> Ft_core.Vclock.t
+(** [dv t pid] — the live dependency vector.  Read and [Vclock.copy]
+    freely; mutate only through {!dv_tick} and {!restore_dv}. *)
+
+val dv_tick : t -> int -> unit
+(** The process executed a tainting ND event: advance its own
+    component. *)
+
+val restore_dv : t -> int -> Ft_core.Vclock.t -> unit
+(** Roll the vector back to a committed snapshot (copied in). *)
+
+val incarnation : t -> int -> int
+
+val note_sender_rollback : t -> int -> unit
+(** The engine rolled [pid] back past some of its sends.  Call {e after}
+    [restore_kstate]: bumps the incarnation and installs a barrier at the
+    restored send sequence, so in-flight messages from the previous
+    incarnation at or above it are dead — their redone replacements
+    (possibly carrying different redrawn payloads) are the live ones. *)
+
+val message_dead : t -> message -> bool
+(** Did a sender rollback kill this message?  The receive path drops
+    dead messages without advancing the duplicate filter. *)
 
 val perturb : t -> salt:int -> unit
 (** Environment perturbation for an escalated (rung L2) replay:

@@ -33,10 +33,14 @@ let note_crash t ~salt ~icount =
   | _ -> ());
   t.last <- Some (salt, icount)
 
+(* [rescue_rung] is the HIGHEST rung whose replay went on to make
+   progress, not the first: a run that limps through L0 once but only
+   completes after a perturbed L2 replay was rescued by the
+   perturbation, and the verdict must say so. *)
 let note_progress t ~rung =
-  if t.crashes > 0 && not t.rescued then begin
+  if t.crashes > 0 then begin
     t.rescued <- true;
-    t.rescue_rung <- rung
+    if rung > t.rescue_rung then t.rescue_rung <- rung
   end
 
 let crashes t = t.crashes

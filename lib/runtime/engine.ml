@@ -62,6 +62,7 @@ type result = Scheduler.result = {
   commit_after_activation : bool;
   memory_pokes : int;
   aborted_rounds : int;
+  orphan_rollbacks : int;
   visible_times : (int * int * int) list;
   crash_times : (int * int) list;
   deep_rollbacks : int;

@@ -90,7 +90,11 @@ type result = Scheduler.result = {
           the Table-1 Lose-work violation criterion *)
   memory_pokes : int;  (** kernel-fault memory corruptions applied *)
   aborted_rounds : int;
-      (** 2PC rounds presumed aborted on a prepare/commit timeout *)
+      (** 2PC (and dependent-commit) rounds presumed aborted on a
+          prepare/commit timeout *)
+  orphan_rollbacks : int;
+      (** message-logging protocols: survivors rolled back at recovery
+          because their state depended on lost non-determinism *)
   visible_times : (int * int * int) list;
       (** (pid, value, local time ns) of each visible output, in order *)
   crash_times : (int * int) list;

@@ -157,6 +157,9 @@ type result = {
   memory_pokes : int;                  (* kernel-fault memory corruptions *)
   aborted_rounds : int;                (* 2PC rounds presumed aborted on a
                                           prepare/commit timeout *)
+  orphan_rollbacks : int;              (* logging styles: survivors rolled
+                                          back because their state depended
+                                          on a victim's lost ND *)
   visible_times : (int * int * int) list;
       (* (pid, value, local time) of each visible output, in order —
          the serve harness turns these into per-request latencies *)
@@ -212,6 +215,23 @@ type tenant = {
   mutable ack_tag : int;  (* synthetic (negative) tags for 2PC acks *)
   mutable round : int;    (* coordinated-commit round counter *)
   mutable aborted_rounds : int;
+  committed_dvs : Ft_core.Vclock.t array;
+      (* logging styles: per process, the dependency vector as of its
+         newest commit — what {!finish_restore} rolls the live vector
+         back to, and the baseline orphan detection compares against *)
+  stable_marks : int array array;
+      (* stable_marks.(p).(q): how much of q's own non-determinism p has
+         CONFIRMED durable through an acknowledged dependent-commit
+         round.  Local knowledge only — never an omniscient read of q's
+         commit state: an already-committed dependency is still
+         contacted once, and that ack is the happens-before edge that
+         puts its covering commit in the output's causal past. *)
+  committed_stables : int array array;
+      (* stable_marks as of each process's newest commit; restored with
+         the process (the confirming ack may be un-received) *)
+  mutable orphan_rollbacks : int;
+      (* logging styles: survivors rolled back because their state
+         causally depended on a crashed process's lost non-determinism *)
   mutable result : result option;  (* set once the tenant finishes *)
 }
 
@@ -308,9 +328,18 @@ let make_tenant tid (cfg, kernel, programs) =
       ack_tag = -1;
       round = 0;
       aborted_rounds = 0;
+      committed_dvs =
+        Array.init nprocs (fun _ -> Ft_core.Vclock.create nprocs);
+      stable_marks = Array.make_matrix nprocs nprocs 0;
+      committed_stables = Array.make_matrix nprocs nprocs 0;
+      orphan_rollbacks = 0;
       result = None;
     }
   in
+  (* Message-logging protocols track causality: turn on dependency-vector
+     piggybacking (the zero vectors above match checkpoint zero). *)
+  if cfg.protocol.Ft_core.Protocol.style <> Ft_core.Protocol.Coordinated then
+    Ft_os.Kernel.enable_dependency_tracking kernel;
   (* "The initial state of any application is always committed" (§4):
      take checkpoint zero for every process, outside protocol counts. *)
   Array.iter
@@ -396,6 +425,16 @@ let restore_with_retry tn (p : proc) =
 
 let finish_restore tn (p : proc) (kstate, cost) =
   Ft_os.Kernel.restore_kstate tn.kernel p.pid kstate;
+  (* Logging styles: roll the dependency vector back to the restored
+     commit and fence off in-flight messages the rollback un-sent (the
+     barrier reads the just-restored send_seq, so order matters: after
+     [restore_kstate], before the requeue's dead-message filter). *)
+  if Ft_os.Kernel.dependency_tracking tn.kernel then begin
+    Ft_os.Kernel.restore_dv tn.kernel p.pid tn.committed_dvs.(p.pid);
+    Array.blit tn.committed_stables.(p.pid) 0 tn.stable_marks.(p.pid) 0
+      (Array.length tn.stable_marks.(p.pid));
+    Ft_os.Kernel.note_sender_rollback tn.kernel p.pid
+  end;
   Ft_os.Kernel.requeue_uncommitted tn.kernel p.pid;
   (* [+ 1]: a commit-before checkpoint counts its (rewound, not yet
      serviced) Sys instruction in icount, so the replay re-reaches
@@ -483,6 +522,42 @@ let recover tn (p : proc) =
   | None -> recover_generic tn p
   | Some pol -> recover_policy tn pol p
 
+(* Orphan detection and re-rollback (message-logging protocols).  After
+   a victim is restored to its last commit, a survivor [s] is an orphan
+   iff its dependency vector records more of the victim's
+   non-determinism than the restored state retains —
+   [dv_s(v) > dv_v(v)]: [s]'s state depends on ND the rollback lost
+   (and, under optimistic logging, on determinants that died with the
+   volatile log).  Orphans are rolled back to their own last commits,
+   and the check cascades from each newly rolled-back process.  It
+   terminates after at most one rollback per process: every commit
+   co-commits (closure over the vectors) the processes it depends on,
+   so no committed state depends on another process's uncommitted ND. *)
+let orphan_cascade tn (victim : proc) =
+  let worklist = Queue.create () in
+  Queue.add victim worklist;
+  while not (Queue.is_empty worklist) do
+    let v = Queue.pop worklist in
+    let v_own = Ft_core.Vclock.get (Ft_os.Kernel.dv tn.kernel v.pid) v.pid in
+    Array.iter
+      (fun s ->
+        if s.pid <> v.pid && not s.failed then
+          let s_dv = Ft_os.Kernel.dv tn.kernel s.pid in
+          if Ft_core.Vclock.get s_dv v.pid > v_own then begin
+            tn.orphan_rollbacks <- tn.orphan_rollbacks + 1;
+            (match restore_with_retry tn s with
+            | None -> give_up tn s
+            | Some restored -> finish_restore tn s restored);
+            if not s.failed then Queue.add s worklist
+          end)
+      tn.procs
+  done
+
+let recover_and_cascade tn (p : proc) =
+  recover tn p;
+  if (not p.failed) && Ft_os.Kernel.dependency_tracking tn.kernel then
+    orphan_cascade tn p
+
 let crash_proc tn (p : proc) =
   record_crash tn p;
   if tn.cfg.policy <> None then
@@ -510,7 +585,7 @@ let crash_proc tn (p : proc) =
            whole tenant until the probe deadline — it stops burning
            scheduler steps and co-tenants' tail latency survives. *)
         p.recoveries <- 0;
-        recover tn p;
+        recover_and_cascade tn p;
         if not p.failed then
           Array.iter
             (fun q ->
@@ -519,7 +594,9 @@ let crash_proc tn (p : proc) =
             tn.procs
       end
       else p.failed <- true
-  | `Ok -> if tn.cfg.auto_recover then recover tn p else p.failed <- true
+  | `Ok ->
+      if tn.cfg.auto_recover then recover_and_cascade tn p
+      else p.failed <- true
 
 (* --- commits ------------------------------------------------------------ *)
 
@@ -543,6 +620,15 @@ let do_local_commit ?round tn (p : proc) =
       p.time <- p.time + cost;
       p.commit_count <- p.commit_count + 1;
       p.committed_out_seq <- p.out_seq;
+      (* Logging styles: the commit flushes the volatile determinant log
+         and stabilizes the process's non-determinism up to here — the
+         live vector becomes the new rollback/orphan baseline. *)
+      if Ft_os.Kernel.dependency_tracking tn.kernel then begin
+        tn.committed_dvs.(p.pid) <-
+          Ft_core.Vclock.copy (Ft_os.Kernel.dv tn.kernel p.pid);
+        Array.blit tn.stable_marks.(p.pid) 0 tn.committed_stables.(p.pid) 0
+          (Array.length tn.stable_marks.(p.pid))
+      end;
       (* A commit strictly past the last restore point is real progress:
          the failure was transient, so the next crash starts a fresh
          recovery budget.  (A commit AT the restore point is just the
@@ -662,11 +748,136 @@ let do_global_commit tn (coordinator : proc) =
   in
   attempt 0
 
+(* Dependent commit: the asynchronous-logging alternative to a global
+   2PC at output commit.  The coordinator is about to execute a visible
+   event; instead of committing everybody, it commits exactly the
+   processes the output causally depends on, read off the piggybacked
+   dependency vectors:
+
+     S0 = { q <> p | dv_p(q) > stable_p(q) }
+
+   where stable_p(q) is p's own confirmed-stable mark — how much of q's
+   non-determinism p has verified durable through an earlier
+   acknowledged round.  The mark, not q's actual commit state, decides:
+   an already-committed dependency is still contacted once, and that
+   ack is the happens-before edge that puts its covering commit in the
+   output's causal past (which is what the Save-work oracle checks).
+   The set is closed transitively using each member's own marks — if
+   q's vector shows taint of r beyond q's mark for r, r must co-commit
+   too, else a participant's snapshot would capture a dependence on
+   unconfirmed ND and a later crash of r would orphan *committed*
+   state.  All of S commits under one shared
+   round id (participant snapshots may depend on each other in ways no
+   ack ordering can serialize; atomic-with covers them), each
+   acknowledging to the coordinator; the coordinator commits the same
+   round last, so every participant commit happens-before the visible.
+   An untainted coordinator with no dependencies commits nothing at
+   all — that asynchrony is the entire point of logging protocols.
+
+   Unreachable dependencies are handled exactly like an unreachable 2PC
+   participant: presumed abort, doubling timeout, degrade to
+   [Net_unreachable] when the retry budget runs out. *)
+let do_dependent_commit tn (coordinator : proc) =
+  let latency =
+    (Ft_os.Kernel.costs tn.kernel).Ft_os.Kernel.network_latency_ns
+  in
+  let nprocs = Array.length tn.procs in
+  let committed_own q = Ft_core.Vclock.get tn.committed_dvs.(q) q in
+  let dependencies () =
+    let in_set = Array.make nprocs false in
+    let rec close pid =
+      let dv = Ft_os.Kernel.dv tn.kernel pid in
+      for q = 0 to nprocs - 1 do
+        if
+          q <> coordinator.pid
+          && (not in_set.(q))
+          && (not tn.procs.(q).halted)
+          && (not tn.procs.(q).failed)
+          && Ft_core.Vclock.get dv q > tn.stable_marks.(pid).(q)
+        then begin
+          in_set.(q) <- true;
+          close q
+        end
+      done
+    in
+    close coordinator.pid;
+    Array.to_list tn.procs |> List.filter (fun q -> in_set.(q.pid))
+  in
+  let self_tainted () =
+    Ft_core.Vclock.get
+      (Ft_os.Kernel.dv tn.kernel coordinator.pid)
+      coordinator.pid
+    > committed_own coordinator.pid
+  in
+  let base = Ft_os.Kernel.net_base tn.kernel in
+  let reachable (q : proc) =
+    match Ft_os.Kernel.net tn.kernel with
+    | None -> true
+    | Some net ->
+        let now = coordinator.time in
+        Ft_net.Transport.reachable net ~src:(base + coordinator.pid)
+          ~dst:(base + q.pid) ~now
+        && Ft_net.Transport.reachable net ~src:(base + q.pid)
+             ~dst:(base + coordinator.pid) ~now
+  in
+  let commit_round deps =
+    let start = coordinator.time in
+    let finish = ref start in
+    let round = tn.round in
+    tn.round <- round + 1;
+    List.iter
+      (fun (q : proc) ->
+        q.time <- max q.time (start + latency);
+        if do_local_commit ~round tn q then begin
+          let tag = tn.ack_tag in
+          tn.ack_tag <- tag - 1;
+          ignore
+            (Ft_core.Trace.record tn.trace ~pid:q.pid
+               (Ft_core.Event.Send { dest = coordinator.pid; tag }));
+          ignore
+            (Ft_core.Trace.record tn.trace ~pid:coordinator.pid ~logged:true
+               (Ft_core.Event.Receive { src = q.pid; tag }));
+          (* the ack confirms everything of q's own ND to date is now
+             durable; the coordinator's next commit snapshots this
+             knowledge, so q is not re-contacted for old taint *)
+          tn.stable_marks.(coordinator.pid).(q.pid) <-
+            Ft_core.Vclock.get (Ft_os.Kernel.dv tn.kernel q.pid) q.pid;
+          if q.time > !finish then finish := q.time
+        end)
+      deps;
+    coordinator.time <- max coordinator.time (!finish + latency);
+    do_local_commit ~round tn coordinator
+  in
+  let rec attempt retries =
+    match dependencies () with
+    | [] ->
+        (* No remote dependencies: a tainted coordinator makes a plain
+           local commit; an untainted one owes nothing before output. *)
+        if self_tainted () then do_local_commit tn coordinator else true
+    | deps ->
+        if List.for_all reachable deps then commit_round deps
+        else begin
+          tn.aborted_rounds <- tn.aborted_rounds + 1;
+          if retries >= tn.cfg.twopc_max_retries then begin
+            coordinator.failed <- true;
+            if tn.outcome = None then tn.outcome <- Some Net_unreachable;
+            false
+          end
+          else begin
+            coordinator.time <-
+              coordinator.time + (tn.cfg.twopc_timeout_ns * (1 lsl retries));
+            attempt (retries + 1)
+          end
+        end
+  in
+  attempt 0
+
 (* Like [do_local_commit], [false] means the committing process crashed
    mid-commit and was restored: abandon the surrounding control flow. *)
 let do_commit tn p = function
   | Ft_core.Protocol.Local -> do_local_commit tn p
   | Ft_core.Protocol.Global -> do_global_commit tn p
+  | Ft_core.Protocol.Dependent -> do_dependent_commit tn p
 
 (* A kernel panic stops the whole (shared) machine — all of {e this
    tenant's} processes; co-tenants run their own kernels and survive.
@@ -739,6 +950,10 @@ let maybe_deliver_signal tn (p : proc) =
        delivery belongs to the replay, not to this (dead) control flow. *)
     if survived && Ft_vm.Machine.deliver_signal p.machine then begin
       p.nd_count <- p.nd_count + 1;
+      (* An unlogged transient ND event: taints under both logging
+         styles. *)
+      if Ft_os.Kernel.dependency_tracking tn.kernel then
+        Ft_os.Kernel.dv_tick tn.kernel p.pid;
       ignore
         (Ft_core.Trace.record tn.trace ~pid:p.pid
            (Ft_core.Event.Nd Ft_core.Event.Transient));
@@ -849,7 +1064,17 @@ let handle_syscall tn (p : proc) (sys : Ft_vm.Syscall.t) =
               (match kind with
               | Ft_core.Event.Nd _ | Ft_core.Event.Receive _ ->
                   p.nd_count <- p.nd_count + 1;
-                  if logged then p.logged_count <- p.logged_count + 1
+                  if logged then p.logged_count <- p.logged_count + 1;
+                  (* Logging styles: tainting ND advances the process's
+                     own dependency-vector component (causal logging
+                     exempts logged determinants — they are causally
+                     replicated; optimistic logging taints regardless —
+                     the volatile log dies with the process). *)
+                  if
+                    Ft_os.Kernel.dependency_tracking tn.kernel
+                    && Ft_core.Protocol.taints
+                         tn.cfg.protocol.Ft_core.Protocol.style ~logged kind
+                  then Ft_os.Kernel.dv_tick tn.kernel p.pid
               | Ft_core.Event.Visible v ->
                   (* Sequenced egress (policy runs): a replayed output
                      below the released cursor is absorbed by the
@@ -966,7 +1191,20 @@ let slice tn (p : proc) =
   p.time <- p.time + (executed * instr_ns tn);
   match Ft_vm.Machine.status m with
   | Ft_vm.Machine.Running -> ()
-  | Ft_vm.Machine.Halted -> p.halted <- true
+  | Ft_vm.Machine.Halted ->
+      (* Completion is progress too.  A fault planted after the last
+         commit leaves no commit past the crash bar to witness the
+         escape, yet reaching Halt means the rescue was real — record
+         it, or the classifier mistakes a perturbed-replay
+         squeak-through for a Bohrbug.  No crash-bar check here: the
+         bar exists so replay commits underneath a recurring crash
+         cannot refill the recovery budget, but a Halt is terminal —
+         there is no budget left to refill, and even a Halt below the
+         bar (the replay took a different exit) is an escape. *)
+      if p.recoveries > 0 && Ft_vm.Machine.icount m > p.recovered_at_icount
+      then
+        Ft_recovery.Classifier.note_progress p.classifier ~rung:p.last_rung;
+      p.halted <- true
   | Ft_vm.Machine.Crashed _ -> crash_proc tn p
   | Ft_vm.Machine.Need_syscall sys -> handle_syscall tn p sys
 
@@ -994,6 +1232,7 @@ let result_of tn outcome =
     commit_after_activation = tn.commit_after_activation;
     memory_pokes = tn.memory_pokes;
     aborted_rounds = tn.aborted_rounds;
+    orphan_rollbacks = tn.orphan_rollbacks;
     visible_times;
     crash_times = List.rev tn.crash_rev;
     deep_rollbacks = tn.deep_rollbacks;

@@ -103,7 +103,12 @@ type result = {
           the Table-1 Lose-work violation criterion *)
   memory_pokes : int;  (** kernel-fault memory corruptions applied *)
   aborted_rounds : int;
-      (** 2PC rounds presumed aborted on a prepare/commit timeout *)
+      (** 2PC (and dependent-commit) rounds presumed aborted on a
+          prepare/commit timeout *)
+  orphan_rollbacks : int;
+      (** message-logging protocols: survivors rolled back at recovery
+          because their dependency vector dominated a crashed process's
+          restored one — their state depended on lost non-determinism *)
   visible_times : (int * int * int) list;
       (** (pid, value, local time ns) of each visible output, in order —
           the serve harness turns these into per-request latencies *)

@@ -17,6 +17,22 @@ let test_vclock_basics () =
   Vclock.merge_into ~into:b a;
   Alcotest.(check bool) "after merge a <= b" true (Vclock.leq a b)
 
+let test_vclock_size_mismatch () =
+  let a = Vclock.create 3 and b = Vclock.create 2 in
+  (match Vclock.merge_into ~into:a b with
+  | () -> Alcotest.fail "narrow merge must not succeed"
+  | exception Vclock.Size_mismatch { expected; got } ->
+      Alcotest.(check int) "expected width" 3 expected;
+      Alcotest.(check int) "got width" 2 got);
+  (match Vclock.merge_into ~into:b a with
+  | () -> Alcotest.fail "wide merge must not succeed"
+  | exception Vclock.Size_mismatch { expected; got } ->
+      Alcotest.(check int) "expected width" 2 expected;
+      Alcotest.(check int) "got width" 3 got);
+  (* same width still merges, and the error left [a] untouched *)
+  Vclock.merge_into ~into:a (Vclock.create 3);
+  Alcotest.(check bool) "a unchanged" true (Vclock.equal a (Vclock.create 3))
+
 let test_happens_before_chain () =
   let t = Trace.create ~nprocs:2 in
   let e1 = Trace.record t ~pid:0 (Event.Nd Event.Transient) in
@@ -365,6 +381,90 @@ let test_protocol_space_axis_rule () =
       Alcotest.(check bool) (name ^ " off axis") false
         (Protocol_space.prevents_propagation_recovery p))
     [ "CPVS"; "CBNDVS"; "CPV-2PC"; "Manetho"; "Coord-ckpt" ]
+
+let test_protocol_space_executable_links () =
+  (* Manetho and Optimistic logging are no longer literature-only: their
+     points carry the name of the executable spec, which must exist and
+     sit at the same coordinates (same declared effort on both axes). *)
+  let linked =
+    List.filter
+      (fun p -> p.Protocol_space.executable <> None)
+      Protocol_space.literature
+  in
+  Alcotest.(check (list string))
+    "exactly the message-logging pair is linked"
+    [ "OPTIMISTIC"; "CAUSAL-LOG" ]
+    (List.filter_map (fun p -> p.Protocol_space.executable) linked);
+  List.iter
+    (fun p ->
+      match p.Protocol_space.executable with
+      | None -> ()
+      | Some name -> (
+          match Protocols.by_name name with
+          | None -> Alcotest.failf "%s links to unknown spec %s"
+                      p.Protocol_space.name name
+          | Some spec ->
+              Alcotest.(check (float 1e-9))
+                (p.Protocol_space.name ^ " nd effort agrees")
+                p.Protocol_space.nd_effort spec.Protocol.nd_effort;
+              Alcotest.(check (float 1e-9))
+                (p.Protocol_space.name ^ " visible effort agrees")
+                p.Protocol_space.visible_effort spec.Protocol.visible_effort))
+    Protocol_space.literature;
+  (* and both linked specs are part of the executed extended panel *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " executed") true
+        (List.exists
+           (fun p -> p.Protocol_space.name = name)
+           Protocol_space.executed))
+    [ "CAUSAL-LOG"; "OPTIMISTIC" ]
+
+(* Hand-built message-logging traces: the exact commit shapes the
+   dependent-commit protocol emits, judged by the Save-work oracle. *)
+
+let test_orphan_trace_dependent_round_upholds () =
+  (* p0 draws unlogged ND and sends; p1's state is tainted by p0's draw.
+     Before p1's visible, a dependent-commit round covers both: p0
+     commits the round and acks (Send/Receive edge), then p1 commits the
+     same round.  Save-work holds. *)
+  let t = Trace.create ~nprocs:2 in
+  ignore (Trace.record t ~pid:0 (Event.Nd Event.Transient));
+  ignore (Trace.record t ~pid:0 (Event.Send { dest = 1; tag = 0 }));
+  ignore (Trace.record t ~pid:1 ~logged:true (Event.Receive { src = 0; tag = 0 }));
+  ignore (Trace.record t ~pid:0 (Event.Commit_round 0));
+  ignore (Trace.record t ~pid:0 (Event.Send { dest = 1; tag = -1 }));
+  ignore (Trace.record t ~pid:1 ~logged:true (Event.Receive { src = 0; tag = -1 }));
+  ignore (Trace.record t ~pid:1 (Event.Commit_round 0));
+  ignore (Trace.record t ~pid:1 (Event.Visible 7));
+  Alcotest.(check bool) "dependent round covers the taint" true
+    (Save_work.holds t)
+
+let test_orphan_trace_blind_commit_violates () =
+  (* Same taint, but p1 commits alone — exactly what an orphan looks
+     like: its commit does not cover p0's unlogged draw, so a crash of
+     p0 after the visible loses non-determinism the output depends on. *)
+  let t = Trace.create ~nprocs:2 in
+  ignore (Trace.record t ~pid:0 (Event.Nd Event.Transient));
+  ignore (Trace.record t ~pid:0 (Event.Send { dest = 1; tag = 0 }));
+  ignore (Trace.record t ~pid:1 ~logged:true (Event.Receive { src = 0; tag = 0 }));
+  ignore (Trace.record t ~pid:1 Event.Commit);
+  ignore (Trace.record t ~pid:1 (Event.Visible 7));
+  Alcotest.(check bool) "blind local commit leaves an orphan" false
+    (Save_work.holds t);
+  Alcotest.(check bool) "at least one visible violation" true
+    (Save_work.visible_violations t <> [])
+
+let test_orphan_trace_logged_determinant_exempt () =
+  (* Causal logging's other half: if the determinant is logged at the
+     receive and the ND itself is logged, no commit is needed at all. *)
+  let t = Trace.create ~nprocs:2 in
+  ignore (Trace.record t ~pid:0 ~logged:true (Event.Nd Event.Fixed));
+  ignore (Trace.record t ~pid:0 (Event.Send { dest = 1; tag = 0 }));
+  ignore (Trace.record t ~pid:1 ~logged:true (Event.Receive { src = 0; tag = 0 }));
+  ignore (Trace.record t ~pid:1 (Event.Visible 7));
+  Alcotest.(check bool) "logged determinants need no commit" true
+    (Save_work.holds t)
 
 let test_state_graph_dot () =
   let g =
@@ -720,6 +820,8 @@ let qcheck_tests =
 let tests =
   [
     Alcotest.test_case "vclock basics" `Quick test_vclock_basics;
+    Alcotest.test_case "vclock size mismatch" `Quick
+      test_vclock_size_mismatch;
     Alcotest.test_case "happens-before chain" `Quick
       test_happens_before_chain;
     Alcotest.test_case "concurrent events" `Quick test_concurrent_events;
@@ -758,6 +860,14 @@ let tests =
     Alcotest.test_case "protocol space axis rule" `Quick
       test_protocol_space_axis_rule;
     Alcotest.test_case "protocols by name" `Quick test_protocols_by_name;
+    Alcotest.test_case "protocol space executable links" `Quick
+      test_protocol_space_executable_links;
+    Alcotest.test_case "orphan trace: dependent round upholds" `Quick
+      test_orphan_trace_dependent_round_upholds;
+    Alcotest.test_case "orphan trace: blind commit violates" `Quick
+      test_orphan_trace_blind_commit_violates;
+    Alcotest.test_case "orphan trace: logged determinant exempt" `Quick
+      test_orphan_trace_logged_determinant_exempt;
     Alcotest.test_case "state graph dot export" `Quick test_state_graph_dot;
     Alcotest.test_case "coloring: transient inner branch" `Quick
       test_coloring_transient_inner;

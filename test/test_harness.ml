@@ -256,6 +256,24 @@ let test_figure8_golden () =
     (read_golden "figure8_scale025.golden")
     actual
 
+let test_figure8_classic_golden () =
+  (* The original 7-protocol panels must stay byte-identical even though
+     the default protocol space now includes the message-logging pair:
+     [~classic:true] reproduces exactly the pre-extension bytes. *)
+  let actual =
+    String.concat ""
+      (List.map
+         (fun app ->
+           Ft_harness.Figure8.render
+             (Ft_harness.Figure8.measure ~classic:true ~scale:0.25 ~seed:42
+                app))
+         Ft_harness.Figure8.all_apps)
+  in
+  Alcotest.(check string)
+    "classic 7-protocol rendering is byte-identical (scale 0.25, seed 42)"
+    (read_golden "figure8_scale025_classic.golden")
+    actual
+
 let test_table1_golden () =
   let actual =
     Ft_harness.Table1.render ~app:Ft_harness.Table1.Nvi
@@ -369,6 +387,8 @@ let tests =
     Alcotest.test_case "serve parallel == serial" `Slow
       test_serve_parallel_equals_serial;
     Alcotest.test_case "figure8 golden rendering" `Quick test_figure8_golden;
+    Alcotest.test_case "figure8 classic golden rendering" `Quick
+      test_figure8_classic_golden;
     Alcotest.test_case "table1 golden rendering" `Quick test_table1_golden;
     Alcotest.test_case "serve quarantines poisoned tenant" `Slow
       test_serve_quarantines_poisoned_tenant;

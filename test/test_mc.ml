@@ -25,7 +25,7 @@ let test_honest_clean () =
         (spec.Protocol.spec_name ^ " explored something")
         true
         (s.Ft_mc.Checker.nodes > 10 && s.Ft_mc.Checker.runs > 30))
-    Protocols.figure8
+    Protocols.figure8_extended
 
 let test_honest_default_bound () =
   (* the issue's default bound: 2 procs x 6 events, all crash points *)
@@ -38,6 +38,27 @@ let test_honest_default_bound () =
     (List.length s.Ft_mc.Checker.violations);
   Alcotest.(check bool) "memoization pruned" true
     (s.Ft_mc.Checker.memo_hits > 0)
+
+let test_logging_default_bound () =
+  (* the acceptance bound for the message-logging pair: 2 procs x 6
+     events, every schedule x crash point, all three oracles clean *)
+  let program = program ~depth:6 in
+  List.iter
+    (fun spec ->
+      let s =
+        Ft_mc.Checker.check ~spec ~defect:Ft_mc.Model.Honest ~program ()
+      in
+      Alcotest.(check (list string))
+        (spec.Protocol.spec_name ^ " clean at 2x6")
+        []
+        (List.map
+           (fun (v : Ft_mc.Checker.violation) -> v.Ft_mc.Checker.v_detail)
+           s.Ft_mc.Checker.violations);
+      Alcotest.(check bool)
+        (spec.Protocol.spec_name ^ " explored the bound")
+        true
+        (s.Ft_mc.Checker.nodes > 50 && s.Ft_mc.Checker.runs > 150))
+    Protocols.message_logging
 
 let test_model_deterministic () =
   let program = program ~depth:5 in
@@ -91,6 +112,17 @@ let test_mutants_killed () =
                  x.Ft_mc.Checker.v_oracle = r.Ft_mc.Shrink.s_oracle)
                still))
     Ft_mc.Mutants.all
+
+let test_mutant_suite_shape () =
+  (* the suite auto-extends: both logging-defect mutants are registered
+     and target the executable message-logging specs *)
+  Alcotest.(check int) "eight mutants" 8 (List.length Ft_mc.Mutants.all);
+  let m = Option.get (Ft_mc.Mutants.by_name "drop-dependency-vector") in
+  Alcotest.(check string) "dv mutant hosts CAUSAL-LOG" "CAUSAL-LOG"
+    m.Ft_mc.Mutants.spec.Protocol.spec_name;
+  let m = Option.get (Ft_mc.Mutants.by_name "commit-without-orphan-kill") in
+  Alcotest.(check string) "orphan mutant hosts OPTIMISTIC" "OPTIMISTIC"
+    m.Ft_mc.Mutants.spec.Protocol.spec_name
 
 let test_shrunk_script_replayable () =
   let program = program ~depth:6 in
@@ -329,7 +361,102 @@ let test_engine_xcheck () =
         s.Ft_mc.Engine_xcheck.x_failures;
       Alcotest.(check bool) (name ^ " injected kills") true
         (s.Ft_mc.Engine_xcheck.x_kills > 0))
-    [ "CPVS"; "CAND-LOG"; "CPV-2PC" ]
+    [ "CPVS"; "CAND-LOG"; "CPV-2PC"; "CAUSAL-LOG"; "OPTIMISTIC" ]
+
+let test_engine_orphan_rollback () =
+  (* The orphan cascade on the real runtime: the client's transient draw
+     taints the server through a message round-trip; killing the client
+     between its dependent commit and the next one leaves the server
+     holding uncommitted remote non-determinism — recovery must roll the
+     survivor back too, and the run still completes with legal output. *)
+  let open Ft_vm.Asm in
+  let iters = 5 in
+  let client =
+    program
+      [
+        func "main" []
+          [
+            Let ("i", Int 0);
+            Let ("r", Int 0);
+            Let ("v", Int 0);
+            Let ("s", Int 0);
+            While
+              ( Var "i" <: Int iters,
+                [
+                  Set ("r", Rand %: Int 100);
+                  Send_msg (Int 1, Var "r");
+                  Recv_msg ("v", "s");
+                  Output ((Var "v" *: Int 8) +: Var "i");
+                  Set ("i", Var "i" +: Int 1);
+                ] );
+          ];
+      ]
+  in
+  let server =
+    program
+      [
+        func "main" []
+          [
+            Let ("i", Int 0);
+            Let ("v", Int 0);
+            Let ("s", Int 0);
+            While
+              ( Var "i" <: Int iters,
+                [
+                  Recv_msg ("v", "s");
+                  Send_msg (Var "s", (Var "v" *: Int 3) +: Int 1);
+                  Set ("i", Var "i" +: Int 1);
+                ] );
+          ];
+      ]
+  in
+  List.iter
+    (fun (spec, kill_ms) ->
+      let kernel = Ft_os.Kernel.create ~seed:9 ~nprocs:2 () in
+      let cfg =
+        { Ft_runtime.Engine.default_config with
+          protocol = spec;
+          kills = [ (kill_ms * 1_000_000, 0) ] }
+      in
+      let _, r =
+        Ft_runtime.Engine.execute ~cfg ~kernel
+          ~programs:[| compile client; compile server |] ()
+      in
+      Alcotest.(check bool) (spec.Protocol.spec_name ^ " completed") true
+        (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+      Alcotest.(check bool)
+        (spec.Protocol.spec_name ^ " rolled the surviving server back")
+        true
+        (r.Ft_runtime.Engine.orphan_rollbacks >= 1);
+      (* legal output: one fresh value per iteration in order, each a
+         server reply, duplicates only re-emissions *)
+      let seen = Hashtbl.create 8 in
+      let fresh =
+        List.filter
+          (fun v ->
+            if Hashtbl.mem seen v then false
+            else begin
+              Hashtbl.add seen v ();
+              true
+            end)
+          r.Ft_runtime.Engine.visible
+      in
+      Alcotest.(check int) (spec.Protocol.spec_name ^ " fresh outputs")
+        iters (List.length fresh);
+      List.iteri
+        (fun idx f ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s output %d iteration tag"
+               spec.Protocol.spec_name idx)
+            idx (f mod 8);
+          Alcotest.(check int)
+            (Printf.sprintf "%s output %d reply shape"
+               spec.Protocol.spec_name idx)
+            1
+            (f / 8 mod 3))
+        fresh)
+    (* each protocol orphans the server at a different crash point *)
+    [ (Protocols.causal_log, 1); (Protocols.optimistic, 2) ]
 
 let test_engine_pick_override () =
   (* the override drives scheduling: forcing p1 first changes nothing
@@ -381,6 +508,8 @@ let () =
             test_honest_clean;
           Alcotest.test_case "default bound 2x6" `Quick
             test_honest_default_bound;
+          Alcotest.test_case "message logging clean at default bound" `Quick
+            test_logging_default_bound;
           Alcotest.test_case "model runs deterministic" `Quick
             test_model_deterministic;
           Alcotest.test_case "lose-work oracle on honest crash" `Quick
@@ -396,6 +525,8 @@ let () =
         [
           Alcotest.test_case "every mutant killed, repro shrunk" `Quick
             test_mutants_killed;
+          Alcotest.test_case "mutant suite shape" `Quick
+            test_mutant_suite_shape;
           Alcotest.test_case "shrunk script replays" `Quick
             test_shrunk_script_replayable;
         ] );
@@ -414,6 +545,8 @@ let () =
         [
           Alcotest.test_case "cross-check on the real runtime" `Quick
             test_engine_xcheck;
+          Alcotest.test_case "orphan rollback on the real runtime" `Quick
+            test_engine_orphan_rollback;
           Alcotest.test_case "pick override honored" `Quick
             test_engine_pick_override;
         ] );

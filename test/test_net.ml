@@ -133,6 +133,60 @@ let test_asymmetric_ack_loss () =
   Alcotest.(check bool) "sender gave up without an ack" true
     (s.Transport.gave_up > 0)
 
+(* --- dependency vectors over a stormy wire ------------------------------- *)
+
+(* The message-logging protocols piggyback a dependency vector on every
+   application message.  The vector rides the same unreliable wire as
+   the value it annotates, so the transport must hand both to the
+   receiver exactly once, in order, with the vector intact — and the
+   [measure] hook must account for the piggyback bytes on every wire
+   attempt, retransmissions included. *)
+let dv_piggyback_roundtrip_prop =
+  QCheck.Test.make ~name:"dv piggyback survives loss, duplication, reorder"
+    ~count:40
+    QCheck.(triple (1 -- 30) (0 -- 1000) (0 -- 2))
+    (fun (n, seed, storm_ix) ->
+      let nprocs = 4 in
+      let src = 0 and dst = 1 in
+      let policy _ _ =
+        match storm_ix with
+        | 0 -> Policy.reliable
+        | 1 -> Policy.make ~drop:0.3 ~duplicate:0.2 ()
+        | _ ->
+            Policy.make ~drop:0.2 ~duplicate:0.1 ~reorder:0.5
+              ~reorder_ns:400_000 ()
+      in
+      (* 8 bytes of value + 8 per vector component, like a real frame *)
+      let measure (_, dv) = 8 + (8 * Ft_core.Vclock.size dv) in
+      let delivered = ref [] in
+      let deliver ~at:_ ~src:_ ~dst:_ pair = delivered := pair :: !delivered in
+      let t =
+        Transport.create ~policy ~measure ~seed ~nprocs ~latency_ns:latency
+          ~jitter_ns:jitter ~deliver ()
+      in
+      let vc = Ft_core.Vclock.create nprocs in
+      for i = 0 to n - 1 do
+        Ft_core.Vclock.tick vc src;
+        Transport.send t ~now:(i * 1_000) ~src ~dst
+          (i, Ft_core.Vclock.copy vc)
+      done;
+      drain t;
+      let got = List.rev !delivered in
+      let receiver = Ft_core.Vclock.create nprocs in
+      List.iter (fun (_, dv) -> Ft_core.Vclock.merge_into ~into:receiver dv)
+        got;
+      let s = Transport.stats t in
+      let per_msg = 8 + (8 * nprocs) in
+      List.map fst got = List.init n Fun.id
+      && List.for_all
+           (fun (i, dv) -> Ft_core.Vclock.get dv src = i + 1)
+           got
+      && Ft_core.Vclock.get receiver src = n
+      && s.Transport.payload_bytes = n * per_msg
+      && s.Transport.wire_bytes >= s.Transport.payload_bytes
+      && (s.Transport.retransmits = 0
+          || s.Transport.wire_bytes > s.Transport.payload_bytes))
+
 (* --- engine integration -------------------------------------------------- *)
 
 let pingpong_programs ~rounds =
@@ -215,7 +269,7 @@ let test_storm_all_protocols () =
       Alcotest.(check (list int))
         (spec.Ft_core.Protocol.spec_name ^ " output")
         (pingpong_reference 5) r.Ft_runtime.Engine.visible)
-    Ft_core.Protocols.figure8
+    Ft_core.Protocols.figure8_extended
 
 let test_storm_with_kill_consistent () =
   (* Loss and a stop failure together: rollback redelivery duplicates
@@ -388,6 +442,7 @@ let () =
             test_permanent_partition_exhausts_budget;
           Alcotest.test_case "asymmetric ack loss" `Quick
             test_asymmetric_ack_loss;
+          QCheck_alcotest.to_alcotest dv_piggyback_roundtrip_prop;
         ] );
       ( "engine",
         [
