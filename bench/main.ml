@@ -451,6 +451,25 @@ let micro_net_transport loss =
     (Staged.stage (fun () ->
          Sys.opaque_identity (net_burst ~loss ~n:256)))
 
+(* The bounded determinant store's full lifecycle at fleet width:
+   append round-robin across owners, then commit and retire every
+   owner's log — the per-commit GC work the logging protocols add on
+   top of the checkpoint itself.  Live count returns to zero each run,
+   so samples are independent. *)
+let micro_determinant_gc_bench =
+  let nprocs = 8 in
+  let kernel = Ft_os.Kernel.create ~nprocs () in
+  Test.make ~name:"micro_determinant_gc"
+    (Staged.stage (fun () ->
+         for i = 0 to 255 do
+           ignore (Ft_os.Kernel.det_append kernel (i mod nprocs) : bool)
+         done;
+         for pid = 0 to nprocs - 1 do
+           Ft_os.Kernel.det_note_commit kernel pid;
+           Ft_os.Kernel.det_retire kernel pid
+         done;
+         Sys.opaque_identity (Ft_os.Kernel.det_live kernel)))
+
 (* The per-message data path dependency-vector piggybacking adds to a
    send/receive pair under CAUSAL-LOG/OPTIMISTIC: the sender ticks and
    snapshots its vector, the receiver merges it — 256 messages around a
@@ -596,6 +615,37 @@ let quarantine_stats () =
     kv;
   kv
 
+(* MTTR when the recovery path itself crashes: the smoke fleet with
+   Poisson nested-failure injection and the determinant cap armed — the
+   `ft serve --recovery-crash-rate` units, tracked across PRs in
+   BENCH_RESULTS.json. *)
+let nested_stats () =
+  print_string
+    (Ft_harness.Report.section
+       "Nested failures (ft serve recovery-crash units)");
+  let report =
+    Ft_harness.Serve.run ~quiet:true
+      ~protocols:(Ft_core.Protocols.cpvs :: Ft_core.Protocols.message_logging)
+      { Ft_harness.Serve.smoke_params with
+        seed = 11; recovery_crash_rate = 2.0 }
+  in
+  let kv =
+    List.filter
+      (fun (k, _) ->
+        let suffix s =
+          String.length k >= String.length s
+          && String.sub k (String.length k - String.length s)
+               (String.length s) = s
+        in
+        k = "serve_mttr_nested_ns" || suffix "nested_crashes"
+        || suffix "det_high_water" || suffix "det_forced_flushes")
+      (Ft_harness.Serve.bench_kv report)
+  in
+  List.iter
+    (fun (k, v) -> Printf.printf "%-36s %s\n" k (Ft_exp.Jstore.to_string v))
+    kv;
+  kv
+
 (* Asynchronous dependent commits vs 2PC: the same distributed workload
    under the global-round protocol (CPVS commits every process at every
    visible) and the message-logging pair (piggybacked dependency
@@ -669,7 +719,7 @@ let tests =
      if dw > 1 then [ micro_pool_dispatch dw ] else [])
   @ [
       micro_jstore_roundtrip; micro_net_transport 0.0; micro_net_transport 0.2;
-      micro_vclock_piggyback;
+      micro_vclock_piggyback; micro_determinant_gc_bench;
     ]
 
 let run_benchmarks ~quota_s () =
@@ -706,7 +756,7 @@ let run_benchmarks ~quota_s () =
    from the existing file: the CI schema gate requires the key set only
    ever to grow. *)
 let write_json ~path ~quick ~fig8 ~mc ~goodput ~commit_panel ~serve ~rescue
-    ~quarantine ~bechamel =
+    ~quarantine ~nested ~bechamel =
   let open Ft_exp.Jstore in
   let fresh =
     ([ ("schema", String "ft-bench/1"); ("quick", Bool quick) ]
@@ -729,7 +779,7 @@ let write_json ~path ~quick ~fig8 ~mc ~goodput ~commit_panel ~serve ~rescue
            ("serve_sched_steps_per_s", Float steps_per_s);
            ("serve_p999_ns", Int p999);
          ])
-      @ rescue @ quarantine
+      @ rescue @ quarantine @ nested
       @ [
           ( "mc_states_per_s",
             Obj (List.map (fun (name, r) -> (name, Float r)) mc) );
@@ -814,10 +864,11 @@ let () =
   let serve = serve_stats ~quick () in
   let rescue = rescue_stats () in
   let quarantine = quarantine_stats () in
+  let nested = nested_stats () in
   let bechamel = run_benchmarks ~quota_s:(if quick then 0.05 else 0.5) () in
   (match !json_path with
   | Some path ->
       write_json ~path ~quick ~fig8 ~mc ~goodput ~commit_panel ~serve ~rescue
-        ~quarantine ~bechamel
+        ~quarantine ~nested ~bechamel
   | None -> ());
   print_endline "\nbench: done."

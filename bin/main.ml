@@ -198,8 +198,9 @@ let run_netstorm loss dup reorder partition apps scale seed opts =
    multi-tenant scheduler, open-loop load, Poisson kills, SLO-grade
    reporting.  Exits non-zero on any oracle violation, zero goodput, or
    missing shard, so CI can gate on it. *)
-let run_serve procs requests proto_names crash_rate storm_name shard_size
-    interval_ns poison smoke bench_out seed opts =
+let run_serve procs requests proto_names crash_rate recovery_crash_rate
+    det_cap storm_name shard_size interval_ns poison smoke bench_out seed
+    opts =
   let bad = ref [] in
   let protocols =
     match proto_names with
@@ -233,13 +234,21 @@ let run_serve procs requests proto_names crash_rate storm_name shard_size
   | [], Ok storm ->
       let p =
         if smoke then
-          { Ft_harness.Serve.smoke_params with seed; storm; poison }
+          {
+            Ft_harness.Serve.smoke_params with
+            seed;
+            storm;
+            poison;
+            recovery_crash_rate;
+          }
         else
           {
             Ft_harness.Serve.default_params with
             procs;
             requests;
             crash_rate;
+            recovery_crash_rate;
+            det_cap;
             storm;
             seed;
             shard_size;
@@ -354,15 +363,20 @@ let run_mc nprocs depth proto_names mutants no_prune engine_xcheck opts =
         ~specs:(List.map (fun s -> (s, Ft_mc.Model.Honest)) specs)
         ~program ()
     in
+    (* a mutant may bring its own program: some kills need a shape the
+       default menus cannot express (the 3-process causal chain) *)
+    let mutant_program m =
+      match m.Ft_mc.Mutants.program with Some p -> p | None -> program
+    in
     let mutant_jobs =
       if not mutants then []
       else
-        Ft_mc.Checker.jobs ~no_prune ~lose_work:false
-          ~specs:
-            (List.map
-               (fun m -> (m.Ft_mc.Mutants.spec, m.Ft_mc.Mutants.defect))
-               Ft_mc.Mutants.all)
-          ~program ()
+        List.concat_map
+          (fun m ->
+            Ft_mc.Checker.jobs ~no_prune ~lose_work:false
+              ~specs:[ (m.Ft_mc.Mutants.spec, m.Ft_mc.Mutants.defect) ]
+              ~program:(mutant_program m) ())
+          Ft_mc.Mutants.all
     in
     let xcheck_jobs =
       if engine_xcheck then Ft_mc.Engine_xcheck.jobs ~specs () else []
@@ -419,6 +433,7 @@ let run_mc nprocs depth proto_names mutants no_prune engine_xcheck opts =
       print_endline "Mutant suite (every mutant must be killed):";
       List.iter
         (fun m ->
+          let program = mutant_program m in
           let jobs =
             Ft_mc.Checker.jobs ~no_prune ~lose_work:false
               ~specs:[ (m.Ft_mc.Mutants.spec, m.Ft_mc.Mutants.defect) ]
@@ -708,12 +723,27 @@ let serve_cmd =
     Arg.(value & opt_all string []
          & info [ "protocol" ]
              ~doc:"Protocol (repeatable; $(b,all) for the Figure 8 seven; \
-                   default CPVS).")
+                   the message-logging pair $(b,causal-log) and \
+                   $(b,optimistic) resolve by name; default CPVS).")
   in
   let crash_arg =
     Arg.(value & opt float 0.5
          & info [ "crash-rate" ] ~docv:"R"
              ~doc:"Expected kills per tenant per simulated second.")
+  in
+  let recovery_crash_arg =
+    Arg.(value & opt float 0.
+         & info [ "recovery-crash-rate" ] ~docv:"R"
+             ~doc:"Expected nested failures per tenant per campaign: \
+                   crashes injected into the recovery path itself \
+                   (mid-restore, mid-cascade, mid-commit-round).")
+  in
+  let det_cap_arg =
+    Arg.(value & opt int 256
+         & info [ "det-cap" ] ~docv:"N"
+             ~doc:"Hard cap on live determinants per tenant (0 = \
+                   uncapped): past it the kernel forces a flush instead \
+                   of growing the log.  Ignored under $(b,--smoke).")
   in
   let storm_arg =
     Arg.(value & opt (some string) None
@@ -757,8 +787,9 @@ let serve_cmd =
              goodput and MTTR.")
     Term.(ret
             (const run_serve $ procs_arg $ requests_arg $ proto_arg
-            $ crash_arg $ storm_arg $ shard_arg $ interval_arg $ poison_arg
-            $ smoke_arg $ bench_out_arg $ seed_arg $ sweep_opts_term))
+            $ crash_arg $ recovery_crash_arg $ det_cap_arg $ storm_arg
+            $ shard_arg $ interval_arg $ poison_arg $ smoke_arg
+            $ bench_out_arg $ seed_arg $ sweep_opts_term))
 
 let rescue_cmd =
   let apps_arg =

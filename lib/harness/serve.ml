@@ -53,6 +53,16 @@ type params = {
          generic recovery cannot escape.  Arms the per-tenant quarantine
          breaker fleet-wide; the demo is that the breaker parks the
          loopers while healthy tenants' tail latency stays bounded *)
+  recovery_crash_rate : float;
+      (* expected nested failures per tenant per campaign: crashes
+         injected into the recovery path itself (mid-restore,
+         mid-cascade, mid-commit-round), occurrence-indexed via
+         {!Ft_faults.Recovery_plan} — recovery must be idempotent to
+         survive them *)
+  det_cap : int;
+      (* hard cap on live determinants per tenant (0 = uncapped): past
+         it the kernel forces a commit-equivalent flush instead of
+         growing the log — the graceful-degradation bound *)
 }
 
 let default_params =
@@ -67,6 +77,8 @@ let default_params =
     keyspace = 120;
     check_every = 16;
     poison = 0;
+    recovery_crash_rate = 0.;
+    det_cap = 256;
   }
 
 (* Small, fast, still multi-shard: the CI gate. *)
@@ -82,6 +94,8 @@ let smoke_params =
     keyspace = 60;
     check_every = 16;
     poison = 0;
+    recovery_crash_rate = 0.;
+    det_cap = 64;
   }
 
 let queries_per_tenant p = max 1 (p.requests / max 1 p.procs)
@@ -141,12 +155,15 @@ let quarantine_params =
     max_trips = 4;
   }
 
-let tenant_config ?quarantine ~protocol ~kills (w : Ft_apps.Workload.t) =
+let tenant_config ?quarantine ?(recovery_kills = []) ?(det_cap = 0) ~protocol
+    ~kills (w : Ft_apps.Workload.t) =
   Ft_apps.Workload.engine_config w
     {
       Engine.default_config with
       protocol;
       kills;
+      recovery_kills;
+      det_cap;
       (* Random kills can land during replay before any new commit;
          give the budget room so only a genuinely wedged tenant fails. *)
       max_recovery_attempts = 10;
@@ -197,10 +214,15 @@ let shard_scheduler p ~protocol ~crash_rate ~lo ~hi () =
         let kills =
           tenant_kills ~crash_rate ~horizon_ns ~seed:p.seed tid
         in
+        let recovery_kills =
+          Ft_faults.Recovery_plan.tenant ~rate:p.recovery_crash_rate
+            ~seed:p.seed tid
+        in
         let quarantine =
           if p.poison > 0 then Some quarantine_params else None
         in
-        ( tenant_config ?quarantine ~protocol ~kills ws.(i),
+        ( tenant_config ?quarantine ~recovery_kills ~det_cap:p.det_cap
+            ~protocol ~kills ws.(i),
           kernels.(i),
           ws.(i).Ft_apps.Workload.programs ))
   in
@@ -269,9 +291,9 @@ let storm_tag p =
 
 let job_key p ~label ~shard =
   Printf.sprintf
-    "serve/%s/%s/procs=%d/req=%d/crash=%g/poison=%d/shard=%d/size=%d/seed=%d"
-    label (storm_tag p) p.procs p.requests p.crash_rate p.poison
-    shard p.shard_size p.seed
+    "serve/%s/%s/procs=%d/req=%d/crash=%g/rcrash=%g/dcap=%d/poison=%d/shard=%d/size=%d/seed=%d"
+    label (storm_tag p) p.procs p.requests p.crash_rate
+    p.recovery_crash_rate p.det_cap p.poison shard p.shard_size p.seed
 
 let shard_bounds p shard =
   let lo = shard * p.shard_size in
@@ -306,11 +328,13 @@ let job p ~protocol shard =
                  ~programs:w.Ft_apps.Workload.programs ()))
       in
       let lat_hist = Hashtbl.create 256 in
-      let mttr_all = ref [] in
+      let mttr_all = ref [] and mttr_nested = ref [] in
       let acked = ref 0 and crashes = ref 0 and recoveries = ref 0 in
       let failed = ref 0 and instr = ref 0 and ref_instr = ref 0 in
       let sim_ns = ref 0 in
       let quarantined = ref 0 and crash_loops = ref 0 in
+      let nested = ref 0 and resumes = ref 0 in
+      let det_hw = ref 0 and det_flushes = ref 0 in
       let bad = ref [] in
       Array.iteri
         (fun i (r : Scheduler.result) ->
@@ -323,7 +347,16 @@ let job p ~protocol shard =
               Hashtbl.replace lat_hist cell
                 (1 + Option.value ~default:0 (Hashtbl.find_opt lat_hist cell)))
             lats;
-          mttr_all := List.rev_append (mttrs r times) !mttr_all;
+          let tenant_mttrs = mttrs r times in
+          mttr_all := List.rev_append tenant_mttrs !mttr_all;
+          (* MTTR through a crashed recovery: the repair interval of a
+             tenant whose recovery path itself died at least once *)
+          if r.Scheduler.nested_crashes > 0 then
+            mttr_nested := List.rev_append tenant_mttrs !mttr_nested;
+          nested := !nested + r.Scheduler.nested_crashes;
+          resumes := !resumes + r.Scheduler.cascade_resumes;
+          det_hw := max !det_hw r.Scheduler.det_high_water;
+          det_flushes := !det_flushes + r.Scheduler.det_forced_flushes;
           crashes := !crashes + r.Scheduler.crashes;
           recoveries := !recoveries + r.Scheduler.recoveries;
           instr := !instr + r.Scheduler.wall_instructions;
@@ -385,6 +418,12 @@ let job p ~protocol shard =
           ("sched_steps", Jstore.Int (Scheduler.steps sched));
           ("quarantined_tenants", Jstore.Int !quarantined);
           ("crash_loop_events", Jstore.Int !crash_loops);
+          ("nested_crashes", Jstore.Int !nested);
+          ("cascade_resumes", Jstore.Int !resumes);
+          ("det_high_water", Jstore.Int !det_hw);
+          ("det_forced_flushes", Jstore.Int !det_flushes);
+          ( "mttr_nested_ns",
+            Jstore.List (List.rev_map (fun t -> Jstore.Int t) !mttr_nested) );
           ("bad", Jstore.List (List.rev_map (fun s -> Jstore.String s) !bad));
           ( "lat_us",
             Jstore.List
@@ -424,6 +463,13 @@ type proto_summary = {
   s_overhead : float;        (* instructions vs the fault-free reference *)
   s_quarantined : int;       (* tenants the circuit breaker parked *)
   s_crash_loop_events : int; (* breaker trips across the fleet *)
+  s_nested_crashes : int;    (* crashes that landed inside recovery *)
+  s_cascade_resumes : int;   (* rollback cascades resumed, not restarted *)
+  s_det_high_water : int;    (* peak live determinants, any tenant *)
+  s_det_forced_flushes : int; (* cap-triggered flushes across the fleet *)
+  s_mttr_nested_count : int;
+  s_mttr_nested_mean_ns : int;
+      (* repair time of tenants whose recovery path itself crashed *)
   s_bad : string list;
 }
 
@@ -463,14 +509,16 @@ let summarize ~label shard_values =
     if Array.length cells = 0 then 0
     else Ft_exp.Metrics.percentile_counts cells q * 1000
   in
-  let mttrs =
+  let int_list field =
     List.concat_map
       (fun v ->
-        match Jstore.member "mttr_ns" v with
+        match Jstore.member field v with
         | Some (Jstore.List l) -> List.filter_map Jstore.to_int l
         | _ -> [])
       shard_values
   in
+  let mttrs = int_list "mttr_ns" in
+  let mttrs_nested = int_list "mttr_nested_ns" in
   let bad =
     List.concat_map
       (fun v ->
@@ -480,6 +528,7 @@ let summarize ~label shard_values =
       shard_values
   in
   let nm = List.length mttrs in
+  let nmn = List.length mttrs_nested in
   {
     s_protocol = label;
     s_tenants = tenants;
@@ -510,6 +559,19 @@ let summarize ~label shard_values =
     s_quarantined = sum (fun v -> Jstore.get_int ~default:0 "quarantined_tenants" v);
     s_crash_loop_events =
       sum (fun v -> Jstore.get_int ~default:0 "crash_loop_events" v);
+    s_nested_crashes =
+      sum (fun v -> Jstore.get_int ~default:0 "nested_crashes" v);
+    s_cascade_resumes =
+      sum (fun v -> Jstore.get_int ~default:0 "cascade_resumes" v);
+    s_det_high_water =
+      List.fold_left
+        (fun a v -> max a (Jstore.get_int ~default:0 "det_high_water" v))
+        0 shard_values;
+    s_det_forced_flushes =
+      sum (fun v -> Jstore.get_int ~default:0 "det_forced_flushes" v);
+    s_mttr_nested_count = nmn;
+    s_mttr_nested_mean_ns =
+      (if nmn = 0 then 0 else List.fold_left ( + ) 0 mttrs_nested / nmn);
     s_bad = bad;
   }
 
@@ -556,13 +618,15 @@ let render r =
   Buffer.add_string b
     (Report.section
        (Printf.sprintf
-          "Serve: %d tenants, %d requests, crash-rate %g/s, storm %s"
-          p.procs p.requests p.crash_rate (storm_tag p)));
+          "Serve: %d tenants, %d requests, crash-rate %g/s, \
+           recovery-crash %g, det-cap %d, storm %s"
+          p.procs p.requests p.crash_rate p.recovery_crash_rate p.det_cap
+          (storm_tag p)));
   Buffer.add_string b
     (Report.table
        ~headers:
          [ "protocol"; "acked"; "goodput"; "p50"; "p99"; "p999"; "mttr";
-           "crashes"; "quar"; "work/Mi"; "overhead" ]
+           "crashes"; "nested"; "det"; "quar"; "work/Mi"; "overhead" ]
        ~rows:
          (List.map
             (fun s ->
@@ -578,6 +642,17 @@ let render r =
                    Printf.sprintf "%s (max %s, n=%d)" (ms s.s_mttr_mean_ns)
                      (ms s.s_mttr_max_ns) s.s_mttr_count);
                 string_of_int s.s_crashes;
+                (* crashes that landed inside recovery, and how many
+                   rollback cascades were resumed rather than restarted *)
+                (if s.s_nested_crashes = 0 then "-"
+                 else
+                   Printf.sprintf "%d (%d res)" s.s_nested_crashes
+                     s.s_cascade_resumes);
+                (* determinant-log high-water / cap-forced flushes *)
+                (if s.s_det_high_water = 0 then "-"
+                 else
+                   Printf.sprintf "hw %d/%d fl" s.s_det_high_water
+                     s.s_det_forced_flushes);
                 (if s.s_quarantined = 0 then "-"
                  else
                    Printf.sprintf "%d (%d trips)" s.s_quarantined
@@ -615,20 +690,35 @@ let render r =
 (* --- BENCH_RESULTS.json ----------------------------------------------------- *)
 
 let bench_kv r =
-  List.concat_map
-    (fun s ->
-      let k suffix = Printf.sprintf "serve_%s_%s" s.s_protocol suffix in
-      [
-        (k "p50_ns", Jstore.Int s.s_p50_ns);
-        (k "p99_ns", Jstore.Int s.s_p99_ns);
-        (k "p999_ns", Jstore.Int s.s_p999_ns);
-        (k "goodput", Jstore.Float s.s_goodput);
-        (k "mttr_ns", Jstore.Int s.s_mttr_mean_ns);
-        (k "work_per_minstr", Jstore.Float s.s_work_per_minstr);
-        (k "quarantined_tenants", Jstore.Int s.s_quarantined);
-        (k "crash_loop_events", Jstore.Int s.s_crash_loop_events);
-      ])
-    r.summaries
+  let per_proto =
+    List.concat_map
+      (fun s ->
+        let k suffix = Printf.sprintf "serve_%s_%s" s.s_protocol suffix in
+        [
+          (k "p50_ns", Jstore.Int s.s_p50_ns);
+          (k "p99_ns", Jstore.Int s.s_p99_ns);
+          (k "p999_ns", Jstore.Int s.s_p999_ns);
+          (k "goodput", Jstore.Float s.s_goodput);
+          (k "mttr_ns", Jstore.Int s.s_mttr_mean_ns);
+          (k "work_per_minstr", Jstore.Float s.s_work_per_minstr);
+          (k "quarantined_tenants", Jstore.Int s.s_quarantined);
+          (k "crash_loop_events", Jstore.Int s.s_crash_loop_events);
+          (k "nested_crashes", Jstore.Int s.s_nested_crashes);
+          (k "det_high_water", Jstore.Int s.s_det_high_water);
+          (k "det_forced_flushes", Jstore.Int s.s_det_forced_flushes);
+        ])
+      r.summaries
+  in
+  (* Fleet-level nested-recovery MTTR: repair time pooled over every
+     tenant (any protocol) whose recovery path itself crashed. *)
+  let n = List.fold_left (fun a s -> a + s.s_mttr_nested_count) 0 r.summaries in
+  let tot =
+    List.fold_left
+      (fun a s -> a + (s.s_mttr_nested_count * s.s_mttr_nested_mean_ns))
+      0 r.summaries
+  in
+  ("serve_mttr_nested_ns", Jstore.Int (if n = 0 then 0 else tot / n))
+  :: per_proto
 
 (* Merge the serve keys into an existing flat BENCH_RESULTS.json (or
    start one) without disturbing the bench harness's keys: the CI schema

@@ -27,6 +27,13 @@ type params = {
           generic replay re-executes, and the per-tenant quarantine
           circuit breaker is armed fleet-wide — the breaker parks the
           loopers while healthy tenants' tail latency stays bounded *)
+  recovery_crash_rate : float;
+      (** expected nested failures per tenant per campaign: crashes
+          injected into the recovery path itself (mid-restore,
+          mid-cascade, mid-commit-round) via {!Ft_faults.Recovery_plan} *)
+  det_cap : int;
+      (** hard cap on live determinants per tenant (0 = uncapped);
+          past it the kernel forces a flush instead of growing the log *)
 }
 
 val default_params : params
@@ -77,6 +84,15 @@ type proto_summary = {
   s_overhead : float;  (** instructions vs the fault-free reference *)
   s_quarantined : int;  (** tenants the circuit breaker parked *)
   s_crash_loop_events : int;  (** breaker trips across the fleet *)
+  s_nested_crashes : int;  (** crashes that landed inside recovery *)
+  s_cascade_resumes : int;
+      (** rollback cascades resumed from persisted progress rather than
+          restarted after a nested crash *)
+  s_det_high_water : int;  (** peak live determinants, any tenant *)
+  s_det_forced_flushes : int;  (** cap-triggered flushes, fleet-wide *)
+  s_mttr_nested_count : int;
+  s_mttr_nested_mean_ns : int;
+      (** repair time of tenants whose recovery path itself crashed *)
   s_bad : string list;  (** oracle violations *)
 }
 
@@ -110,7 +126,10 @@ val render : report -> string
 
 val bench_kv : report -> (string * Ft_exp.Jstore.value) list
 (** [serve_<protocol>_{p50_ns,p99_ns,p999_ns,goodput,mttr_ns,
-    work_per_minstr,quarantined_tenants,crash_loop_events}] pairs. *)
+    work_per_minstr,quarantined_tenants,crash_loop_events,
+    nested_crashes,det_high_water,det_forced_flushes}] pairs, plus the
+    fleet-level [serve_mttr_nested_ns] (mean repair time pooled over
+    tenants whose recovery path itself crashed). *)
 
 val merge_bench : path:string -> report -> unit
 (** Merge {!bench_kv} into a flat BENCH_RESULTS.json, preserving every

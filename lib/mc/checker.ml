@@ -46,6 +46,10 @@ let crash_to_string = function
   | Model.Mid_commit { landed = true } -> "mid:landed"
   | Model.Mid_commit { landed = false } -> "mid:lost"
   | Model.Lose { src; dst; seq } -> Printf.sprintf "lose:%d.%d.%d" src dst seq
+  | Model.Nested { victim; stage = Model.NRestore } ->
+      Printf.sprintf "nested:%d:restore" victim
+  | Model.Nested { victim; stage = Model.NCascade } ->
+      Printf.sprintf "nested:%d:cascade" victim
 
 let crash_of_string = function
   | "none" -> Ok Model.No_crash
@@ -64,6 +68,13 @@ let crash_of_string = function
           | [ Some src; Some dst; Some seq ] ->
               Ok (Model.Lose { src; dst; seq })
           | _ -> Error ("bad lost message: " ^ s))
+      | [ "nested"; v; stage ] -> (
+          match (int_of_string_opt v, stage) with
+          | Some victim, "restore" ->
+              Ok (Model.Nested { victim; stage = Model.NRestore })
+          | Some victim, "cascade" ->
+              Ok (Model.Nested { victim; stage = Model.NCascade })
+          | _ -> Error ("bad nested crash: " ^ s))
       | _ -> Error ("bad crash: " ^ s))
 
 let prefix_to_string prefix =
@@ -349,6 +360,16 @@ let check ?(no_prune = false) ?(lose_work = true) ?(root = []) ?stop_depth
         for v = 0 to nprocs - 1 do
           crash_variant prefix (Model.Stop v)
         done;
+        (* nested failures: the recovery path itself crashes — the
+           victim dies again mid-restore or mid-cascade.  (The third
+           stage, a crash while coordinating the commit round, is the
+           [Mid_commit] enumeration below: the round is Vista-atomic.) *)
+        for v = 0 to nprocs - 1 do
+          crash_variant prefix
+            (Model.Nested { victim = v; stage = Model.NRestore });
+          crash_variant prefix
+            (Model.Nested { victim = v; stage = Model.NCascade })
+        done;
         if nc.Model.last_step_committed then begin
           crash_variant prefix (Model.Mid_commit { landed = true });
           crash_variant prefix (Model.Mid_commit { landed = false })
@@ -459,6 +480,8 @@ let defect_to_string = function
   | Model.No_retransmit -> "no-retransmit"
   | Model.Drop_dv -> "drop-dependency-vector"
   | Model.No_orphan_kill -> "no-orphan-kill"
+  | Model.Resume_from_scratch -> "resume-from-scratch"
+  | Model.Gc_live_determinant -> "gc-live-determinant"
 
 let jobs ?(no_prune = false) ?(lose_work = true) ?(shard_depth = 2) ~specs
     ~program () =

@@ -74,7 +74,7 @@ let schedules ~nprocs ~depth =
   in
   go depth
 
-let run_one ~spec ~programs ~sched ~kill =
+let run_one ?(recovery_kills = []) ~spec ~programs ~sched ~kill () =
   let kernel = Ft_os.Kernel.create ~seed:42 ~nprocs:2 () in
   let sched = Array.of_list sched in
   let decision = ref 0 in
@@ -85,6 +85,7 @@ let run_one ~spec ~programs ~sched ~kill =
       heap_words = 1_024;
       stack_words = 256;
       kill_at_decision = (match kill with None -> [] | Some k -> [ k ]);
+      recovery_kills;
       pick_override =
         Some
           (fun candidates ->
@@ -112,9 +113,15 @@ let check ?(rounds = 2) ?(sched_depth = 4) ?(kill_decisions = 10) ~spec () =
         k what
       :: !failures
   in
+  let stages =
+    [|
+      Ft_runtime.Scheduler.Mid_restore; Ft_runtime.Scheduler.Mid_cascade;
+      Ft_runtime.Scheduler.Mid_round;
+    |]
+  in
   List.iter
     (fun sched ->
-      let reference = run_one ~spec ~programs ~sched ~kill:None in
+      let reference = run_one ~spec ~programs ~sched ~kill:None () in
       incr runs;
       if reference.Ft_runtime.Engine.outcome <> Ft_runtime.Engine.Completed
       then fail sched None "kill-free run did not complete"
@@ -125,20 +132,32 @@ let check ?(rounds = 2) ?(sched_depth = 4) ?(kill_decisions = 10) ~spec () =
         for d = 0 to kill_decisions - 1 do
           for victim = 0 to 1 do
             let kill = Some (d, victim) in
-            let r = run_one ~spec ~programs ~sched ~kill in
-            incr runs;
-            if r.Ft_runtime.Engine.crashes > 0 then incr kills;
-            if r.Ft_runtime.Engine.outcome <> Ft_runtime.Engine.Completed then
-              fail sched kill "did not complete after recovery"
-            else begin
-              if not (Save_work.holds r.Ft_runtime.Engine.trace) then
-                fail sched kill "save-work violated";
-              if
-                not
-                  (Consistency.is_consistent ~reference:ref_visible
-                     ~observed:r.Ft_runtime.Engine.visible)
-              then fail sched kill "visible output inconsistent with reference"
-            end
+            let judge tag (r : Ft_runtime.Engine.result) =
+              incr runs;
+              if r.Ft_runtime.Engine.crashes > 0 then incr kills;
+              if r.Ft_runtime.Engine.outcome <> Ft_runtime.Engine.Completed
+              then fail sched kill (tag ^ "did not complete after recovery")
+              else begin
+                if not (Save_work.holds r.Ft_runtime.Engine.trace) then
+                  fail sched kill (tag ^ "save-work violated");
+                if
+                  not
+                    (Consistency.is_consistent ~reference:ref_visible
+                       ~observed:r.Ft_runtime.Engine.visible)
+                then
+                  fail sched kill
+                    (tag ^ "visible output inconsistent with reference")
+              end
+            in
+            judge "" (run_one ~spec ~programs ~sched ~kill ());
+            (* nested failure on the real engine: the same kill, plus a
+               crash injected into the first entry of a recovery stage
+               (cycled so the space covers all three stages).  Recovery
+               must still converge to the same visible output. *)
+            let stage = stages.((d + victim) mod Array.length stages) in
+            judge "nested: "
+              (run_one ~recovery_kills:[ (stage, 1) ] ~spec ~programs ~sched
+                 ~kill ())
           done
         done
       end)
@@ -181,7 +200,8 @@ let jobs ?(rounds = 2) ?(sched_depth = 4) ?(kill_decisions = 10) ~specs () =
   List.map
     (fun spec ->
       let key =
-        Printf.sprintf "mcx/%s/r%ds%dk%d" spec.Protocol.spec_name rounds
+        (* mcx2: the nested-injection variants doubled the run set *)
+        Printf.sprintf "mcx2/%s/r%ds%dk%d" spec.Protocol.spec_name rounds
           sched_depth kill_decisions
       in
       Job.make ~key ~seed:0 (fun () ->

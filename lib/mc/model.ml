@@ -70,12 +70,17 @@ type defect =
   | No_retransmit
   | Drop_dv
   | No_orphan_kill
+  | Resume_from_scratch
+  | Gc_live_determinant
+
+type nstage = NRestore | NCascade
 
 type crash =
   | No_crash
   | Stop of int
   | Mid_commit of { landed : bool }
   | Lose of { src : int; dst : int; seq : int }
+  | Nested of { victim : int; stage : nstage }
 
 type run = {
   trace : Trace.t;
@@ -236,7 +241,22 @@ let dependent_noop st ~pid =
    is the logging protocols' demand-driven variant: only the dependency
    closure commits (one shared round), or just the coordinator when the
    taint is purely local. *)
-let commit_scope st proto ~defect ~pid = function
+(* [Gc_live_determinant]: the broken determinant GC treats "executed"
+   as "retired" — any commit anywhere drops every log entry below its
+   owner's *current* pc, including entries the owner's committed
+   snapshot does not cover yet.  The honest engine retires an entry only
+   once the owner's commit watermark has passed it (and its dependents
+   have committed), so a replay can never miss one. *)
+let gc_live st =
+  let doomed =
+    Hashtbl.fold
+      (fun (q, pc) _ acc -> if pc < st.pcs.(q) then (q, pc) :: acc else acc)
+      st.log []
+  in
+  List.iter (Hashtbl.remove st.log) doomed
+
+let commit_scope st proto ~defect ~pid scope =
+  (match scope with
   | Protocol.Local -> commit_one st proto ~pid Event.Commit
   | Protocol.Global ->
       let r = st.round in
@@ -276,7 +296,8 @@ let commit_scope st proto ~defect ~pid = function
         commit_one st proto ~pid (Event.Commit_round r)
       end
       else if st.dvs.(pid).(pid) > committed_own st pid then
-        commit_one st proto ~pid Event.Commit
+        commit_one st proto ~pid Event.Commit);
+  if defect = Gc_live_determinant then gc_live st
 
 let do_commit st proto ~defect ~trap ~pid = function
   | None -> ()
@@ -506,7 +527,7 @@ let restore st proto pid =
    may carry a redrawn payload, and replaying the stale binding would
    smuggle the dead lineage back in — so those entries are purged after
    the cascade settles. *)
-let rollback st proto ~defect victim =
+let rollback ?nested st proto ~defect victim =
   let wipe_volatile_log p =
     if st.style = Protocol.Optimistic_log then begin
       let s_pc = st.snaps.(p).s_pc in
@@ -518,43 +539,85 @@ let rollback st proto ~defect victim =
       List.iter (Hashtbl.remove st.log) doomed
     end
   in
+  let rerestore p =
+    restore st proto p;
+    wipe_volatile_log p
+  in
   restore st proto victim;
   wipe_volatile_log victim;
+  (match nested with
+  | Some NRestore ->
+      (* nested failure mid-restore: the victim dies again while its own
+         restore replays.  Restore is idempotent — recovery just redoes
+         it from the same snapshot. *)
+      rerestore victim
+  | _ -> ());
+  (* The cascade as an explicit worklist with persisted progress,
+     mirroring the engine's re-enterable orphan cascade.  A nested
+     mid-cascade crash fires after the first worklist entry has been
+     fully processed: the victim is re-restored (idempotent) and honest
+     recovery RESUMES from the persisted worklist and rolled set, while
+     the [Resume_from_scratch] defect re-enters from the victim alone —
+     losing orphans reachable only through intermediates already rolled
+     back, whose restored state no longer advertises the taint. *)
+  let cascade restore_orphans_of =
+    let rolled = Array.make st.nprocs false in
+    rolled.(victim) <- true;
+    let work = Queue.create () in
+    Queue.add victim work;
+    let until_recrash =
+      ref (match nested with Some NCascade -> 1 | _ -> -1)
+    in
+    while not (Queue.is_empty work) do
+      let v = Queue.pop work in
+      restore_orphans_of rolled work v;
+      if !until_recrash > 0 then begin
+        decr until_recrash;
+        if !until_recrash = 0 then begin
+          rerestore victim;
+          if defect = Resume_from_scratch then begin
+            Queue.clear work;
+            Queue.add victim work;
+            Array.fill rolled 0 st.nprocs false;
+            rolled.(victim) <- true
+          end
+        end
+      end
+    done;
+    rolled
+  in
   match st.style with
   | Protocol.Coordinated ->
-      let rolled = Array.make st.nprocs false in
-      rolled.(victim) <- true;
-      let work = Queue.create () in
-      Queue.add victim work;
-      while not (Queue.is_empty work) do
-        let p = Queue.pop work in
-        for q = 0 to st.nprocs - 1 do
-          if (not rolled.(q)) && st.cursor.(q).(p) > st.sent.(p).(q) then begin
-            restore st proto q;
-            rolled.(q) <- true;
-            Queue.add q work
-          end
-        done
-      done
+      ignore
+        (cascade (fun rolled work p ->
+             for q = 0 to st.nprocs - 1 do
+               if (not rolled.(q)) && st.cursor.(q).(p) > st.sent.(p).(q)
+               then begin
+                 restore st proto q;
+                 rolled.(q) <- true;
+                 Queue.add q work
+               end
+             done)
+          : bool array)
   | Protocol.Causal_log | Protocol.Optimistic_log ->
-      let rolled = Array.make st.nprocs false in
-      rolled.(victim) <- true;
-      if defect <> No_orphan_kill then begin
-        let work = Queue.create () in
-        Queue.add victim work;
-        while not (Queue.is_empty work) do
-          let v = Queue.pop work in
-          let v_own = st.dvs.(v).(v) in
-          for q = 0 to st.nprocs - 1 do
-            if (not rolled.(q)) && st.dvs.(q).(v) > v_own then begin
-              restore st proto q;
-              wipe_volatile_log q;
-              rolled.(q) <- true;
-              Queue.add q work
-            end
-          done
-        done
-      end;
+      let rolled =
+        if defect <> No_orphan_kill then
+          cascade (fun rolled work v ->
+              let v_own = st.dvs.(v).(v) in
+              for q = 0 to st.nprocs - 1 do
+                if (not rolled.(q)) && st.dvs.(q).(v) > v_own then begin
+                  restore st proto q;
+                  wipe_volatile_log q;
+                  rolled.(q) <- true;
+                  Queue.add q work
+                end
+              done)
+        else begin
+          let rolled = Array.make st.nprocs false in
+          rolled.(victim) <- true;
+          rolled
+        end
+      in
       (* purge determinants of un-sent messages: an Lrecv past a
          rolled-back receiver's restore point whose sender also rolled
          back past the send (seq at or beyond the restored send count)
@@ -825,6 +888,7 @@ let run ~spec ~defect ~program ~prefix ~crash =
     | No_crash, _ | Lose _, _ -> None
     | _, Some v -> Some v
     | Stop v, None -> Some v
+    | Nested { victim = v; _ }, None -> Some v
     | Mid_commit _, None -> (
         (* the step had no commit to crash inside: degenerate to a stop
            failure of the last scheduled process *)
@@ -836,7 +900,10 @@ let run ~spec ~defect ~program ~prefix ~crash =
     | Some v ->
         let at = (v, st.pcs.(v)) in
         ignore (record st ~pid:v Event.Crash);
-        rollback st proto ~defect v;
+        let nested =
+          match crash with Nested { stage; _ } -> Some stage | _ -> None
+        in
+        rollback ?nested st proto ~defect v;
         Some at
   in
   (* canonical completion: round-robin to the end of every script (the

@@ -54,6 +54,25 @@ type defect =
       (** recovery restores only the crashed process and never rolls
           back orphans — survivors whose state depends on the victim's
           lost non-determinism keep running on a dead lineage *)
+  | Resume_from_scratch
+      (** a recovery re-entered after a nested mid-cascade crash
+          restarts the orphan scan from the victim alone instead of
+          resuming the persisted worklist — orphans reachable only
+          through intermediates already rolled back (whose restored
+          state no longer advertises the taint) survive *)
+  | Gc_live_determinant
+      (** the determinant GC retires any log entry its owner has
+          {e executed} past instead of any its owner has {e committed}
+          past: a bystander's commit drops an entry a future replay
+          still needs, and the replay redraws *)
+
+(** The stage of the recovery path a nested failure lands in.  (The
+    third stage, a crash while coordinating a dependent-commit round,
+    is the existing {!Mid_commit} enumeration: the round is Vista-atomic
+    and either all lands or none does.) *)
+type nstage =
+  | NRestore  (** during the victim's own restore/replay *)
+  | NCascade  (** after the first orphan-cascade step has been processed *)
 
 (** The single injected fault. *)
 type crash =
@@ -68,6 +87,12 @@ type crash =
           honest runtime's retransmission repairs it (the run is
           identical to [No_crash]); under {!No_retransmit} the payload
           is gone for good and the receiver eventually skips *)
+  | Nested of { victim : int; stage : nstage }
+      (** the victim crashes after the prefix and then crashes {e
+          again} while its own recovery is mid-flight.  Honest recovery
+          is idempotent and re-enterable: a re-crashed restore redoes
+          itself from the same snapshot, and a re-crashed cascade
+          resumes from its persisted worklist — never restarts *)
 
 type run = {
   trace : Ft_core.Trace.t;  (** everything executed, crash included *)

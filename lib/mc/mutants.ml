@@ -11,6 +11,7 @@ type t = {
   defect : Model.defect;
   based_on : string;
   expected : string;
+  program : Model.program option;
 }
 
 let base name =
@@ -25,6 +26,7 @@ let commit_after_visible =
   let cpvs = base "CPVS" in
   {
     mutant_name = "commit-after-visible";
+    program = None;
     based_on = "CPVS";
     defect = Model.Honest;
     expected = "Save-work violation on the crash-free prefix";
@@ -55,6 +57,7 @@ let budget_never_reset =
   let cand = base "CAND" in
   {
     mutant_name = "budget-never-reset";
+    program = None;
     based_on = "CAND";
     defect = Model.Honest;
     expected = "commits stop after the budget; later visibles violate Save-work";
@@ -91,6 +94,7 @@ let budget_never_reset =
 let skip_orphan_commit =
   {
     mutant_name = "skip-orphan-commit";
+    program = None;
     based_on = "CPV-2PC";
     defect = Model.Skip_orphan;
     expected = "participant crash redraws ND the published output used";
@@ -103,6 +107,7 @@ let skip_orphan_commit =
 let drop_log_entry =
   {
     mutant_name = "drop-log-entry";
+    program = None;
     based_on = "CAND-LOG";
     defect = Model.Drop_log;
     expected = "replay redraws a 'logged' result; outputs diverge across the crash";
@@ -115,6 +120,7 @@ let drop_log_entry =
 let publish_before_log =
   {
     mutant_name = "publish-before-log";
+    program = None;
     based_on = "CBNDVS-LOG";
     defect = Model.Publish_first;
     expected = "mid-commit crash republishes a different value for shown output";
@@ -129,6 +135,7 @@ let publish_before_log =
 let never_retransmit =
   {
     mutant_name = "never-retransmit";
+    program = None;
     based_on = "CAND";
     defect = Model.No_retransmit;
     expected = "a lost frame is never repaired; output diverges from the no-loss run";
@@ -143,6 +150,7 @@ let never_retransmit =
 let drop_dependency_vector =
   {
     mutant_name = "drop-dependency-vector";
+    program = None;
     based_on = "CAUSAL-LOG";
     defect = Model.Drop_dv;
     expected = "blind dependent commits leave remote ND uncovered at a visible";
@@ -156,10 +164,65 @@ let drop_dependency_vector =
 let commit_without_orphan_kill =
   {
     mutant_name = "commit-without-orphan-kill";
+    program = None;
     based_on = "OPTIMISTIC";
     defect = Model.No_orphan_kill;
     expected = "unkilled orphan publishes a value from the rolled-back lineage";
     spec = base "OPTIMISTIC";
+  }
+
+(* OPTIMISTIC whose re-entered recovery restarts the orphan cascade from
+   the victim alone instead of resuming the persisted worklist.  Needs
+   three processes and a hand-built chain: A's crash orphans B (B
+   received A's uncommitted taint), while C depends only on B's earlier
+   non-determinism — so once B has been rolled back, a from-scratch
+   rescan from A finds nothing (B's restored vector no longer advertises
+   the taint) and C survives as an orphan on B's dead lineage.  The
+   default program cannot express this: its receive-first menus give C a
+   direct dependence on A, which even the buggy rescan catches. *)
+let resume_cascade_from_scratch =
+  let chain3 : Model.program =
+    [|
+      [| Model.Nd (Event.Transient, false); Model.Send 1; Model.Visible |];
+      [| Model.Nd (Event.Transient, false); Model.Send 2; Model.Receive |];
+      [| Model.Receive; Model.Visible |];
+    |]
+  in
+  {
+    mutant_name = "resume-cascade-from-scratch";
+    program = Some chain3;
+    based_on = "OPTIMISTIC";
+    defect = Model.Resume_from_scratch;
+    expected =
+      "a victim re-crashed mid-cascade restarts the scan from scratch; the \
+       transitive orphan survives and publishes a dead lineage";
+    spec = base "OPTIMISTIC";
+  }
+
+(* CAUSAL-LOG under a determinant GC that retires any entry its owner
+   has *executed* past instead of any its owner has *committed* past: a
+   bystander's commit drops the logged transient draw backing an
+   already-published visible, and the owner's replay after a crash
+   redraws it — the published output belongs to no failure-free run. *)
+let gc_live_determinant =
+  let prog : Model.program =
+    [|
+      [|
+        Model.Nd (Event.Transient, false); Model.Visible;
+        Model.Nd (Event.Transient, true); Model.Visible;
+      |];
+      [| Model.Nd (Event.Transient, false); Model.Visible |];
+    |]
+  in
+  {
+    mutant_name = "gc-live-determinant";
+    program = Some prog;
+    based_on = "CAUSAL-LOG";
+    defect = Model.Gc_live_determinant;
+    expected =
+      "a bystander's commit retires a live determinant; the owner's replay \
+       redraws it and diverges from the published output";
+    spec = base "CAUSAL-LOG";
   }
 
 let all =
@@ -172,6 +235,8 @@ let all =
     never_retransmit;
     drop_dependency_vector;
     commit_without_orphan_kill;
+    resume_cascade_from_scratch;
+    gc_live_determinant;
   ]
 
 let by_name n = List.find_opt (fun m -> m.mutant_name = n) all

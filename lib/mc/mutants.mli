@@ -9,11 +9,17 @@ type t = {
   defect : Model.defect;  (** possibly a runtime-level defect *)
   based_on : string;  (** the honest protocol this mutates *)
   expected : string;  (** one line: why and how it should die *)
+  program : Model.program option;
+      (** a hand-built program when the kill needs a shape the default
+          menus cannot express (e.g. the 3-process causal chain of
+          resume-cascade-from-scratch); [None] = the default program at
+          the caller's bound *)
 }
 
 val all : t list
 (** At least six: skip-orphan-commit, commit-after-visible,
     drop-log-entry, publish-before-log, budget-never-reset,
-    never-retransmit. *)
+    never-retransmit — plus the nested-failure pair
+    resume-cascade-from-scratch and gc-live-determinant. *)
 
 val by_name : string -> t option

@@ -59,6 +59,10 @@ let minimize ?(lose_work = true) ~spec ~defect ~program
             Model.No_crash
             :: List.init (Array.length !prog) (fun i -> Model.Stop i)
         | Model.Lose _ -> [ Model.No_crash ]
+        | Model.Nested { victim = v; _ } ->
+            (* a plain stop of the same victim beats a nested crash *)
+            Model.No_crash :: Model.Stop v
+            :: List.init v (fun i -> Model.Stop i)
       in
       (match
          List.find_opt (fun c -> refails !prefix c !prog) crash_candidates
@@ -144,6 +148,12 @@ let to_script ~spec (r : result) =
         Printf.sprintf
           "# fault: network drops message %d->%d seq %d after the last step"
           src dst seq
+    | Model.Nested { victim; stage } ->
+        Printf.sprintf
+          "# crash: stop p%d after the last step, then again %s" victim
+          (match stage with
+          | Model.NRestore -> "mid-restore"
+          | Model.NCascade -> "mid-cascade")
   in
   String.concat "\n"
     [

@@ -157,6 +157,29 @@ type t = {
          A message from [src] is dead iff some barrier [(b_inc, b_seq)]
          has [msg_inc < b_inc && msg_seq >= b_seq]: it was sent before
          the rollback, covering sends the rollback undid. *)
+  (* --- bounded determinant log ---------------------------------------
+     Pure accounting of the logging protocols' determinant store, kept
+     as three per-owner counters (determinants are retired in stamp
+     order, so each process's live log is an interval):
+
+       det_mark <= det_committed <= det_hi
+
+     [det_hi] advances as determinants are recorded; [det_committed]
+     snapshots it at the owner's commit (the checkpoint now covers the
+     owner's replay of those events); [det_mark] is the GC watermark —
+     determinants at or below it have been retired.  Like incarnations,
+     none of this is snapshottable kstate: the watermark is derived from
+     committed state only and must SURVIVE restores (monotonicity is
+     the crash-safety invariant — re-running the GC after any nested
+     crash re-derives the same or a later watermark, never an earlier
+     one). *)
+  det_hi : int array;
+  det_committed : int array;
+  det_mark : int array;
+  mutable det_live : int;            (* cached: sum of hi - mark *)
+  mutable det_high_water : int;      (* running max of det_live *)
+  mutable det_cap : int;             (* hard cap on det_live; 0 = none *)
+  mutable det_forced_flushes : int;  (* cap hits that forced a commit *)
 }
 
 let create ?(costs = default_costs) ?(seed = 42) ?(fs_capacity = 1 lsl 20)
@@ -195,6 +218,13 @@ let create ?(costs = default_costs) ?(seed = 42) ?(fs_capacity = 1 lsl 20)
     dvs = Array.init nprocs (fun _ -> Ft_core.Vclock.create nprocs);
     incarnations = Array.make nprocs 0;
     barriers = Array.make nprocs [];
+    det_hi = Array.make nprocs 0;
+    det_committed = Array.make nprocs 0;
+    det_mark = Array.make nprocs 0;
+    det_live = 0;
+    det_high_water = 0;
+    det_cap = 0;
+    det_forced_flushes = 0;
   }
 
 let costs t = t.costs
@@ -427,6 +457,52 @@ let requeue_uncommitted t pid =
   t.uncommitted_recv.(pid) := []
 
 let mailbox_nonempty t pid = not (Queue.is_empty t.mailboxes.(pid))
+
+(* --- bounded determinant log -------------------------------------------- *)
+
+let set_det_cap t cap = t.det_cap <- cap
+let det_cap t = t.det_cap
+let det_live t = t.det_live
+let det_live_of t pid = t.det_hi.(pid) - t.det_mark.(pid)
+let det_high_water t = t.det_high_water
+let det_forced_flushes t = t.det_forced_flushes
+let note_forced_flush t = t.det_forced_flushes <- t.det_forced_flushes + 1
+
+(* A determinant was recorded for [pid]'s latest nondeterministic event.
+   Returns [true] when the store is over its hard cap — the caller must
+   degrade gracefully (force a flush-to-checkpoint of some process)
+   rather than let the log grow without bound. *)
+let det_append t pid =
+  t.det_hi.(pid) <- t.det_hi.(pid) + 1;
+  t.det_live <- t.det_live + 1;
+  if t.det_live > t.det_high_water then t.det_high_water <- t.det_live;
+  t.det_cap > 0 && t.det_live > t.det_cap
+
+(* [pid] committed: its checkpoint now covers the replay of every
+   determinant recorded so far, making them retirable (once no live
+   process still depends on them — the scheduler's GC decides that). *)
+let det_note_commit t pid = t.det_committed.(pid) <- t.det_hi.(pid)
+
+(* [pid] rolled back: determinants recorded since its last commit
+   belonged to the dead lineage (the optimistic volatile log dies with
+   the process) and replay will record fresh ones. *)
+let det_drop_uncommitted t pid =
+  let dropped = t.det_hi.(pid) - t.det_committed.(pid) in
+  if dropped > 0 then begin
+    t.det_live <- t.det_live - dropped;
+    t.det_hi.(pid) <- t.det_committed.(pid)
+  end
+
+(* Retire [pid]'s committed determinants.  The watermark only ever
+   advances ([det_mark] is monotone and survives restores): that is the
+   crash-safety invariant — a GC pass re-entered after a nested crash
+   re-derives the same or a later watermark, never an earlier one. *)
+let det_retire t pid =
+  let w = t.det_committed.(pid) in
+  if w > t.det_mark.(pid) then begin
+    t.det_live <- t.det_live - (w - t.det_mark.(pid));
+    t.det_mark.(pid) <- w
+  end
 
 (* --- environment perturbation (escalation rung L2) ---------------------- *)
 

@@ -181,6 +181,46 @@ val message_dead : t -> message -> bool
 (** Did a sender rollback kill this message?  The receive path drops
     dead messages without advancing the duplicate filter. *)
 
+(** {2 Bounded determinant log}
+
+    Accounting for the logging protocols' determinant store, kept as
+    per-owner counters [det_mark <= det_committed <= det_hi]
+    (determinants retire in stamp order, so each live log is an
+    interval).  Like incarnations, the counters live outside
+    snapshottable kstate; the retirement watermark is derived from
+    committed state only and survives restores — its monotonicity is
+    the GC's crash-safety (re-entrancy) invariant. *)
+
+val det_append : t -> int -> bool
+(** A determinant was recorded for [pid]'s latest ND event.  Returns
+    [true] when the store exceeds its hard cap — the caller must force
+    a flush-to-checkpoint rather than let the log grow unbounded. *)
+
+val det_note_commit : t -> int -> unit
+(** [pid] committed: its determinants so far become retirable (pending
+    the scheduler's dependents-committed check). *)
+
+val det_drop_uncommitted : t -> int -> unit
+(** [pid] rolled back: determinants since its last commit belonged to
+    the dead lineage and are discarded (replay records fresh ones). *)
+
+val det_retire : t -> int -> unit
+(** Retire [pid]'s committed determinants, advancing the (monotone)
+    watermark.  Call only once every live process's dependence on [pid]
+    is itself committed. *)
+
+val set_det_cap : t -> int -> unit
+(** Hard cap on the total live determinant count; [0] disables. *)
+
+val det_cap : t -> int
+val det_live : t -> int
+val det_live_of : t -> int -> int
+val det_high_water : t -> int
+val det_forced_flushes : t -> int
+
+val note_forced_flush : t -> unit
+(** Record that a cap hit forced a flush (reported by the engine). *)
+
 val perturb : t -> salt:int -> unit
 (** Environment perturbation for an escalated (rung L2) replay:
     reseed the kernel RNG stream (Random syscall results, jitter

@@ -20,6 +20,7 @@ type config = Scheduler.config = {
   suppress_faults_on_recovery : bool;
   max_recovery_attempts : int;
   reboot_delay_ns : int;
+  recovery_retry_delay_ns : int;
   kills : (int * int) list;
   kill_at_decision : (int * int) list;
   pick_override : (int list -> int option) option;
@@ -32,6 +33,8 @@ type config = Scheduler.config = {
   excluded_pages : int -> bool;
   policy : Ft_recovery.Policy.t option;
   quarantine : Ft_recovery.Quarantine.params option;
+  recovery_kills : (Scheduler.recovery_stage * int) list;
+  det_cap : int;
 }
 
 let default_config = Scheduler.default_config
@@ -71,6 +74,10 @@ type result = Scheduler.result = {
   fault_classes : Ft_recovery.Classifier.verdict array;
   quarantine_trips : int;
   replay_mismatches : int;
+  nested_crashes : int;
+  cascade_resumes : int;
+  det_high_water : int;
+  det_forced_flushes : int;
 }
 
 type t = Scheduler.t

@@ -22,6 +22,9 @@ type config = Scheduler.config = {
           silence the injector when recovering *)
   max_recovery_attempts : int;
   reboot_delay_ns : int;  (** after a kernel panic *)
+  recovery_retry_delay_ns : int;
+      (** pacing between attempts when recovery itself crashes: a
+          process restart, not a machine reboot *)
   kills : (int * int) list;  (** (time_ns, pid) stop failures to inject *)
   kill_at_decision : (int * int) list;
       (** (decision_index, pid) stop failures, applied just before the
@@ -53,6 +56,12 @@ type config = Scheduler.config = {
           generic-replay path *)
   quarantine : Ft_recovery.Quarantine.params option;
       (** crash-loop circuit breaker; [None] = off *)
+  recovery_kills : (Scheduler.recovery_stage * int) list;
+      (** injected nested failures: [(stage, n)] crashes the recovering
+          process again at the [n]th entry into that recovery stage *)
+  det_cap : int;
+      (** hard cap on the live determinant count; past it the store
+          degrades to a forced flush-to-checkpoint.  [0] = uncapped *)
 }
 
 val default_config : config
@@ -108,6 +117,14 @@ type result = Scheduler.result = {
   replay_mismatches : int;
       (** replayed visible outputs that disagreed with the value already
           released at that sequence position; must be 0 at every rung *)
+  nested_crashes : int;
+      (** injected crashes that landed during a recovery stage *)
+  cascade_resumes : int;
+      (** orphan cascades resumed from persisted progress after the
+          victim re-crashed mid-cascade *)
+  det_high_water : int;  (** peak live determinant count *)
+  det_forced_flushes : int;
+      (** determinant-cap hits that forced a flush-to-checkpoint *)
 }
 
 type t

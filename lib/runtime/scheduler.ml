@@ -63,6 +63,13 @@ type proc = {
   mutable last_visible_at : int;
 }
 
+(* The stateful stages of the recovery path itself, as injection sites
+   for nested failures: a process may crash again while its own restore
+   replays ([Mid_restore]), while the orphan-rollback cascade it
+   triggered is mid-flight ([Mid_cascade]), or while coordinating a
+   dependent-commit round ([Mid_round]). *)
+type recovery_stage = Mid_restore | Mid_cascade | Mid_round
+
 type config = {
   protocol : Ft_core.Protocol.spec;
   medium : Checkpointer.medium;
@@ -74,6 +81,9 @@ type config = {
   suppress_faults_on_recovery : bool;
   max_recovery_attempts : int;
   reboot_delay_ns : int;        (* after a kernel panic *)
+  recovery_retry_delay_ns : int;
+      (* pacing between attempts when recovery itself crashes: a
+         process restart, not a machine reboot *)
   kills : (int * int) list;     (* (time_ns, pid) stop failures to inject *)
   kill_at_decision : (int * int) list;
       (* (decision_index, pid) stop failures: applied just before the
@@ -101,6 +111,15 @@ type config = {
          generic-replay path, byte-identical to the old engine *)
   quarantine : Ft_recovery.Quarantine.params option;
       (* per-tenant crash-loop circuit breaker; [None] = off *)
+  recovery_kills : (recovery_stage * int) list;
+      (* injected nested failures: (stage, n) crashes the recovering
+         (or coordinating) process again at the tenant's nth entry into
+         that recovery stage *)
+  det_cap : int;
+      (* hard cap on the live determinant count (logging styles): past
+         it the store degrades gracefully to a forced flush-to-checkpoint
+         of the appending process instead of growing unbounded.
+         0 = uncapped *)
 }
 
 let default_config =
@@ -115,6 +134,7 @@ let default_config =
     suppress_faults_on_recovery = false;
     max_recovery_attempts = 3;
     reboot_delay_ns = 30_000_000_000;
+    recovery_retry_delay_ns = 10_000_000;
     kills = [];
     kill_at_decision = [];
     pick_override = None;
@@ -127,6 +147,8 @@ let default_config =
     excluded_pages = (fun _ -> false);
     policy = None;
     quarantine = None;
+    recovery_kills = [];
+    det_cap = 0;
   }
 
 type outcome =
@@ -175,6 +197,14 @@ type result = {
   replay_mismatches : int;             (* replayed outputs that disagreed
                                           with already-released values:
                                           must be 0 at every rung *)
+  nested_crashes : int;                (* injected crashes that landed
+                                          during a recovery stage *)
+  cascade_resumes : int;               (* orphan cascades resumed from
+                                          persisted progress after the
+                                          victim re-crashed mid-cascade *)
+  det_high_water : int;                (* peak live determinant count *)
+  det_forced_flushes : int;            (* determinant-cap hits that forced
+                                          a flush-to-checkpoint *)
 }
 
 (* One application instance: the state the legacy engine called [t]. *)
@@ -232,6 +262,15 @@ type tenant = {
   mutable orphan_rollbacks : int;
       (* logging styles: survivors rolled back because their state
          causally depended on a crashed process's lost non-determinism *)
+  mutable recovery_kills_pending : (recovery_stage * int) list;
+  stage_counts : int array;       (* entries into each recovery stage *)
+  mutable nested_crashes : int;   (* injected recovery-stage crashes *)
+  mutable cascade_resumes : int;
+  mutable cascade_progress : (int * int list) option;
+      (* persisted rollback progress: (original victim, worklist of pids
+         whose orphan fallout is not yet propagated).  Survives the
+         victim's re-crash so a re-entered cascade RESUMES — it never
+         restarts from scratch. *)
   mutable result : result option;  (* set once the tenant finishes *)
 }
 
@@ -333,6 +372,11 @@ let make_tenant tid (cfg, kernel, programs) =
       stable_marks = Array.make_matrix nprocs nprocs 0;
       committed_stables = Array.make_matrix nprocs nprocs 0;
       orphan_rollbacks = 0;
+      recovery_kills_pending = cfg.recovery_kills;
+      stage_counts = Array.make 3 0;
+      nested_crashes = 0;
+      cascade_resumes = 0;
+      cascade_progress = None;
       result = None;
     }
   in
@@ -340,6 +384,7 @@ let make_tenant tid (cfg, kernel, programs) =
      piggybacking (the zero vectors above match checkpoint zero). *)
   if cfg.protocol.Ft_core.Protocol.style <> Ft_core.Protocol.Coordinated then
     Ft_os.Kernel.enable_dependency_tracking kernel;
+  Ft_os.Kernel.set_det_cap kernel cfg.det_cap;
   (* "The initial state of any application is always committed" (§4):
      take checkpoint zero for every process, outside protocol counts. *)
   Array.iter
@@ -391,6 +436,46 @@ let give_up tn (p : proc) =
   p.failed <- true;
   if tn.outcome = None then tn.outcome <- Some Recovery_failed
 
+let stage_index = function Mid_restore -> 0 | Mid_cascade -> 1 | Mid_round -> 2
+
+(* Count one entry into [stage] and report whether an injected nested
+   failure is due at this occurrence. *)
+let recovery_crash_due tn stage =
+  let i = stage_index stage in
+  tn.stage_counts.(i) <- tn.stage_counts.(i) + 1;
+  let n = tn.stage_counts.(i) in
+  match
+    List.partition
+      (fun (s, occ) -> s = stage && occ = n)
+      tn.recovery_kills_pending
+  with
+  | [], _ -> false
+  | _, keep ->
+      tn.recovery_kills_pending <- keep;
+      true
+
+(* A crash that lands during recovery itself is still a crash: count it,
+   feed the crash-loop breaker's sliding window (recovery-time crashes
+   trip the quarantine just like primary-execution ones), and pace the
+   retry like a reboot.  [`Abandon] means the breaker latched. *)
+let note_recovery_crash tn (p : proc) ~injected ~attempt =
+  tn.recovery_crashes <- tn.recovery_crashes + 1;
+  if injected then tn.nested_crashes <- tn.nested_crashes + 1;
+  p.time <- p.time + (attempt * tn.cfg.recovery_retry_delay_ns);
+  match tn.breaker with
+  | None -> `Retry
+  | Some b -> (
+      ignore (Ft_recovery.Quarantine.probe b ~now_ns:p.time : bool);
+      match Ft_recovery.Quarantine.note_crash b ~now_ns:p.time with
+      | `Latched ->
+          tn.quarantine_trips <- tn.quarantine_trips + 1;
+          `Abandon
+      | `Park_until until_ns ->
+          tn.quarantine_trips <- tn.quarantine_trips + 1;
+          p.time <- max p.time until_ns;
+          `Retry
+      | `Ok -> `Retry)
+
 (* Prepare the process for a replay attempt: the paper's fault
    suppression and §2.6 resource expansion, shared by every rung. *)
 let pre_replay tn (p : proc) =
@@ -413,13 +498,21 @@ let pre_replay tn (p : proc) =
    of looping forever. *)
 let restore_with_retry tn (p : proc) =
   let rec go attempt =
-    match Checkpointer.restore tn.ckpt ~pid:p.pid ~machine:p.machine with
-    | restored -> Some restored
-    | exception Ft_stablemem.Rio.Crash_point _ ->
-        tn.recovery_crashes <- tn.recovery_crashes + 1;
-        p.time <- p.time + (attempt * tn.cfg.reboot_delay_ns);
-        if attempt >= tn.cfg.max_recovery_attempts then None
-        else go (attempt + 1)
+    let crashed ~injected =
+      match note_recovery_crash tn p ~injected ~attempt with
+      | `Abandon -> None
+      | `Retry ->
+          if attempt >= tn.cfg.max_recovery_attempts then None
+          else go (attempt + 1)
+    in
+    (* Injected nested failure: the machine dies again before this
+       restore attempt completes.  Vista recovery is idempotent, so the
+       next attempt redoes it from the same checkpoint. *)
+    if recovery_crash_due tn Mid_restore then crashed ~injected:true
+    else
+      match Checkpointer.restore tn.ckpt ~pid:p.pid ~machine:p.machine with
+      | restored -> Some restored
+      | exception Ft_stablemem.Rio.Crash_point _ -> crashed ~injected:false
   in
   go 1
 
@@ -433,7 +526,10 @@ let finish_restore tn (p : proc) (kstate, cost) =
     Ft_os.Kernel.restore_dv tn.kernel p.pid tn.committed_dvs.(p.pid);
     Array.blit tn.committed_stables.(p.pid) 0 tn.stable_marks.(p.pid) 0
       (Array.length tn.stable_marks.(p.pid));
-    Ft_os.Kernel.note_sender_rollback tn.kernel p.pid
+    Ft_os.Kernel.note_sender_rollback tn.kernel p.pid;
+    (* Determinants recorded since the last commit belonged to the dead
+       lineage (the optimistic volatile log dies with the process). *)
+    Ft_os.Kernel.det_drop_uncommitted tn.kernel p.pid
   end;
   Ft_os.Kernel.requeue_uncommitted tn.kernel p.pid;
   (* [+ 1]: a commit-before checkpoint counts its (rewound, not yet
@@ -497,10 +593,10 @@ let recover_policy tn pol (p : proc) =
                 (* Not enough archived generations yet: a plain replay
                    is the deepest rollback available. *)
                 restore_with_retry tn p
-            | exception Ft_stablemem.Rio.Crash_point _ ->
-                tn.recovery_crashes <- tn.recovery_crashes + 1;
-                p.time <- p.time + tn.cfg.reboot_delay_ns;
-                restore_with_retry tn p)
+            | exception Ft_stablemem.Rio.Crash_point _ -> (
+                match note_recovery_crash tn p ~injected:false ~attempt:1 with
+                | `Abandon -> None
+                | `Retry -> restore_with_retry tn p))
         | _ -> restore_with_retry tn p
       in
       (match restored with
@@ -533,11 +629,29 @@ let recover tn (p : proc) =
    terminates after at most one rollback per process: every commit
    co-commits (closure over the vectors) the processes it depends on,
    so no committed state depends on another process's uncommitted ND. *)
-let orphan_cascade tn (victim : proc) =
+(* The cascade's progress is persisted tenant-side ([cascade_progress]:
+   the pids whose orphan fallout is not yet propagated), so a victim
+   re-crashed mid-cascade RESUMES the cascade rather than restarting it
+   — orphans discovered through already-rolled-back intermediates are
+   never lost.  Re-entrancy invariant: a pid leaves the persisted
+   worklist only after every orphan its rollback exposed has itself been
+   rolled back and enqueued, so at any crash point the worklist still
+   covers all unpropagated rollbacks. *)
+let rec orphan_cascade tn (victim : proc) =
   let worklist = Queue.create () in
-  Queue.add victim worklist;
-  while not (Queue.is_empty worklist) do
-    let v = Queue.pop worklist in
+  (match tn.cascade_progress with
+  | Some (v0, pids) when v0 = victim.pid ->
+      tn.cascade_resumes <- tn.cascade_resumes + 1;
+      List.iter (fun pid -> Queue.add pid worklist) pids
+  | _ -> Queue.add victim.pid worklist);
+  let persist () =
+    tn.cascade_progress <-
+      Some (victim.pid, List.of_seq (Queue.to_seq worklist))
+  in
+  persist ();
+  let superseded = ref false in
+  while (not !superseded) && not (Queue.is_empty worklist) do
+    let v = tn.procs.(Queue.peek worklist) in
     let v_own = Ft_core.Vclock.get (Ft_os.Kernel.dv tn.kernel v.pid) v.pid in
     Array.iter
       (fun s ->
@@ -548,17 +662,30 @@ let orphan_cascade tn (victim : proc) =
             (match restore_with_retry tn s with
             | None -> give_up tn s
             | Some restored -> finish_restore tn s restored);
-            if not s.failed then Queue.add s worklist
+            if not s.failed then Queue.add s.pid worklist
           end)
-      tn.procs
-  done
+      tn.procs;
+    ignore (Queue.pop worklist : int);
+    persist ();
+    (* Injected nested failure: the victim dies again between cascade
+       steps.  It goes through the ordinary crash path, whose recovery
+       re-enters this cascade and resumes from the persisted worklist —
+       this call is superseded by the re-entrant one. *)
+    if recovery_crash_due tn Mid_cascade && not victim.failed then begin
+      tn.nested_crashes <- tn.nested_crashes + 1;
+      Ft_vm.Machine.kill victim.machine;
+      crash_proc tn victim;
+      superseded := true
+    end
+  done;
+  if not !superseded then tn.cascade_progress <- None
 
-let recover_and_cascade tn (p : proc) =
+and recover_and_cascade tn (p : proc) =
   recover tn p;
   if (not p.failed) && Ft_os.Kernel.dependency_tracking tn.kernel then
     orphan_cascade tn p
 
-let crash_proc tn (p : proc) =
+and crash_proc tn (p : proc) =
   record_crash tn p;
   if tn.cfg.policy <> None then
     p.crash_bar <- max p.crash_bar (Ft_vm.Machine.icount p.machine);
@@ -600,6 +727,32 @@ let crash_proc tn (p : proc) =
 
 (* --- commits ------------------------------------------------------------ *)
 
+(* Determinant-log GC (logging styles): retire a process's committed
+   determinants once every live process's dependence on it is itself
+   committed, read off the piggybacked commit watermarks
+   ([committed_dvs] — each process's vector as of its newest commit).
+   The inputs are committed state only and the kernel watermark is
+   monotone, so a pass re-run after any nested crash re-derives the same
+   or a later watermark, never an earlier one: crash-safe by
+   construction.  Halted and failed processes are past publishing
+   uncommitted state and do not pin logs. *)
+let det_gc tn =
+  let nprocs = Array.length tn.procs in
+  for q = 0 to nprocs - 1 do
+    let blocked = ref false in
+    for i = 0 to nprocs - 1 do
+      let s = tn.procs.(i) in
+      if
+        i <> q
+        && (not s.failed)
+        && (not s.halted)
+        && Ft_core.Vclock.get (Ft_os.Kernel.dv tn.kernel i) q
+           > Ft_core.Vclock.get tn.committed_dvs.(i) q
+      then blocked := true
+    done;
+    if not !blocked then Ft_os.Kernel.det_retire tn.kernel q
+  done
+
 (* Returns [false] when the process crashed partway through the commit
    (and was restored to its last checkpoint): the caller must abandon
    whatever the commit was protecting — the restored machine will replay
@@ -627,7 +780,9 @@ let do_local_commit ?round tn (p : proc) =
         tn.committed_dvs.(p.pid) <-
           Ft_core.Vclock.copy (Ft_os.Kernel.dv tn.kernel p.pid);
         Array.blit tn.stable_marks.(p.pid) 0 tn.committed_stables.(p.pid) 0
-          (Array.length tn.stable_marks.(p.pid))
+          (Array.length tn.stable_marks.(p.pid));
+        Ft_os.Kernel.det_note_commit tn.kernel p.pid;
+        det_gc tn
       end;
       (* A commit strictly past the last restore point is real progress:
          the failure was transient, so the next crash starts a fresh
@@ -777,6 +932,8 @@ let do_global_commit tn (coordinator : proc) =
    Unreachable dependencies are handled exactly like an unreachable 2PC
    participant: presumed abort, doubling timeout, degrade to
    [Net_unreachable] when the retry budget runs out. *)
+exception Round_superseded
+
 let do_dependent_commit tn (coordinator : proc) =
   let latency =
     (Ft_os.Kernel.costs tn.kernel).Ft_os.Kernel.network_latency_ns
@@ -843,10 +1000,29 @@ let do_dependent_commit tn (coordinator : proc) =
           tn.stable_marks.(coordinator.pid).(q.pid) <-
             Ft_core.Vclock.get (Ft_os.Kernel.dv tn.kernel q.pid) q.pid;
           if q.time > !finish then finish := q.time
-        end)
+        end;
+        (* Injected nested failure: the coordinator dies between
+           participants, mid-round. *)
+        if recovery_crash_due tn Mid_round then raise Round_superseded)
       deps;
     coordinator.time <- max coordinator.time (!finish + latency);
     do_local_commit ~round tn coordinator
+  in
+  let commit_round deps =
+    match commit_round deps with
+    | committed -> committed
+    | exception Round_superseded ->
+        (* The coordinator crashed mid-round.  Participants' commits and
+           the acks already recorded STAND — commits are never undone, so
+           no participant is stranded waiting on an outcome.  The
+           coordinator's own stable-mark updates for the dead round were
+           not yet committed and revert with its restore; its replay
+           re-derives a (smaller) dependency set and runs a fresh round
+           that supersedes this one. *)
+        tn.nested_crashes <- tn.nested_crashes + 1;
+        Ft_vm.Machine.kill coordinator.machine;
+        crash_proc tn coordinator;
+        false
   in
   let rec attempt retries =
     match dependencies () with
@@ -951,9 +1127,11 @@ let maybe_deliver_signal tn (p : proc) =
     if survived && Ft_vm.Machine.deliver_signal p.machine then begin
       p.nd_count <- p.nd_count + 1;
       (* An unlogged transient ND event: taints under both logging
-         styles. *)
-      if Ft_os.Kernel.dependency_tracking tn.kernel then
-        Ft_os.Kernel.dv_tick tn.kernel p.pid;
+         styles, and records a determinant. *)
+      if Ft_os.Kernel.dependency_tracking tn.kernel then begin
+        ignore (Ft_os.Kernel.det_append tn.kernel p.pid : bool);
+        Ft_os.Kernel.dv_tick tn.kernel p.pid
+      end;
       ignore
         (Ft_core.Trace.record tn.trace ~pid:p.pid
            (Ft_core.Event.Nd Ft_core.Event.Transient));
@@ -1058,6 +1236,7 @@ let handle_syscall tn (p : proc) (sys : Ft_vm.Syscall.t) =
           | Ft_os.Kernel.Ev_nd _ when logged ->
               p.time <- p.time + Checkpointer.log_cost tn.ckpt ~words:4
           | _ -> ());
+          let force_flush = ref false in
           (match event_kind_of_served served with
           | Some kind ->
               ignore (Ft_core.Trace.record tn.trace ~pid:p.pid ~logged kind);
@@ -1065,16 +1244,21 @@ let handle_syscall tn (p : proc) (sys : Ft_vm.Syscall.t) =
               | Ft_core.Event.Nd _ | Ft_core.Event.Receive _ ->
                   p.nd_count <- p.nd_count + 1;
                   if logged then p.logged_count <- p.logged_count + 1;
-                  (* Logging styles: tainting ND advances the process's
-                     own dependency-vector component (causal logging
-                     exempts logged determinants — they are causally
-                     replicated; optimistic logging taints regardless —
-                     the volatile log dies with the process). *)
-                  if
-                    Ft_os.Kernel.dependency_tracking tn.kernel
-                    && Ft_core.Protocol.taints
-                         tn.cfg.protocol.Ft_core.Protocol.style ~logged kind
-                  then Ft_os.Kernel.dv_tick tn.kernel p.pid
+                  (* Logging styles: every ND event records a determinant
+                     (bounded store, GC'd at commits); tainting ND
+                     additionally advances the process's own
+                     dependency-vector component (causal logging exempts
+                     logged determinants — they are causally replicated;
+                     optimistic logging taints regardless — the volatile
+                     log dies with the process). *)
+                  if Ft_os.Kernel.dependency_tracking tn.kernel then begin
+                    if Ft_os.Kernel.det_append tn.kernel p.pid then
+                      force_flush := true;
+                    if
+                      Ft_core.Protocol.taints
+                        tn.cfg.protocol.Ft_core.Protocol.style ~logged kind
+                    then Ft_os.Kernel.dv_tick tn.kernel p.pid
+                  end
               | Ft_core.Event.Visible v ->
                   (* Sequenced egress (policy runs): a replayed output
                      below the released cursor is absorbed by the
@@ -1114,7 +1298,17 @@ let handle_syscall tn (p : proc) (sys : Ft_vm.Syscall.t) =
              post-event commit just restores and replays from there. *)
           (match reaction.Ft_core.Protocol.commit_after with
           | Some scope -> ignore (do_commit tn p scope : bool)
-          | None -> ()))
+          | None -> ());
+          (* Determinant-log hard cap: degrade gracefully by forcing a
+             flush-to-checkpoint of the appending process — its commit
+             retires its own uncommitted log and unblocks the GC for
+             logs its taint was pinning — instead of growing unbounded.
+             The machine is past the syscall, so a crash inside the
+             forced commit replays from there. *)
+          if !force_flush && (not p.halted) && not p.failed then begin
+            Ft_os.Kernel.note_forced_flush tn.kernel;
+            ignore (do_local_commit tn p : bool)
+          end)
 
 (* --- scheduling ---------------------------------------------------------- *)
 
@@ -1241,6 +1435,10 @@ let result_of tn outcome =
     fault_classes = arr (fun p -> Ft_recovery.Classifier.classify p.classifier);
     quarantine_trips = tn.quarantine_trips;
     replay_mismatches = tn.replay_mismatches;
+    nested_crashes = tn.nested_crashes;
+    cascade_resumes = tn.cascade_resumes;
+    det_high_water = Ft_os.Kernel.det_high_water tn.kernel;
+    det_forced_flushes = Ft_os.Kernel.det_forced_flushes tn.kernel;
   }
 
 (* Fire transport events up to this tenant's most advanced live local

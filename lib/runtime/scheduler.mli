@@ -18,6 +18,19 @@
     links) come from the transport's range queries and match what a
     private transport would say. *)
 
+type recovery_stage =
+  | Mid_restore  (** the victim's own restore/replay of its checkpoint *)
+  | Mid_cascade  (** the orphan-rollback cascade the crash triggered *)
+  | Mid_round  (** coordinating a dependent-commit round *)
+      (** The stateful stages of the recovery path itself, as injection
+          sites for nested failures: a process may crash again while any
+          of them is mid-flight.  Recovery is idempotent and re-enterable
+          at every stage — restores retry from the same checkpoint,
+          incarnation numbers and rollback progress persist so a
+          re-crashed victim resumes (not restarts) the cascade, and a
+          coordinator that dies mid-round is superseded without
+          stranding participants. *)
+
 type config = {
   protocol : Ft_core.Protocol.spec;
   medium : Checkpointer.medium;
@@ -31,6 +44,9 @@ type config = {
           silence the injector when recovering *)
   max_recovery_attempts : int;
   reboot_delay_ns : int;  (** after a kernel panic *)
+  recovery_retry_delay_ns : int;
+      (** pacing between attempts when recovery itself crashes: a
+          process restart, not a machine reboot *)
   kills : (int * int) list;  (** (time_ns, pid) stop failures to inject *)
   kill_at_decision : (int * int) list;
       (** (decision_index, pid) stop failures, applied just before the
@@ -66,6 +82,17 @@ type config = {
           within [window_ns] park the whole tenant until a half-open
           probe (exponential backoff); latching open gives it up as
           [Recovery_failed].  [None] = off *)
+  recovery_kills : (recovery_stage * int) list;
+      (** injected nested failures: [(stage, n)] crashes the recovering
+          (or coordinating) process again at the tenant's [n]th entry
+          into that recovery stage.  Crashes during recovery count
+          toward the quarantine breaker's sliding window like any
+          other crash *)
+  det_cap : int;
+      (** hard cap on the live determinant count (logging styles): past
+          it the store degrades gracefully to a forced
+          flush-to-checkpoint of the appending process instead of
+          growing unbounded.  [0] = uncapped *)
 }
 
 val default_config : config
@@ -132,6 +159,17 @@ type result = {
       (** sequenced-egress oracle: replayed visible outputs that
           disagreed with the value already released at that position —
           any nonzero count means recovery broke exactly-once output *)
+  nested_crashes : int;
+      (** injected crashes that landed during a recovery stage
+          ([recovery_kills] entries that fired) *)
+  cascade_resumes : int;
+      (** orphan cascades resumed from persisted rollback progress after
+          the victim re-crashed mid-cascade (resumed, never restarted) *)
+  det_high_water : int;
+      (** peak live determinant count across the run — the bounded-log
+          claim's witness *)
+  det_forced_flushes : int;
+      (** determinant-cap hits that forced a flush-to-checkpoint *)
 }
 
 type t

@@ -78,9 +78,14 @@ let test_model_deterministic () =
 (* --- the mutant suite ----------------------------------------------------- *)
 
 let test_mutants_killed () =
-  let program = program ~depth:6 in
+  let default = program ~depth:6 in
   List.iter
     (fun m ->
+      (* a mutant may bring its own program: some kills need a shape the
+         default menus cannot express (the 3-process causal chain) *)
+      let program =
+        Option.value m.Ft_mc.Mutants.program ~default
+      in
       let s =
         Ft_mc.Checker.check ~lose_work:false ~spec:m.Ft_mc.Mutants.spec
           ~defect:m.Ft_mc.Mutants.defect ~program ()
@@ -115,14 +120,25 @@ let test_mutants_killed () =
 
 let test_mutant_suite_shape () =
   (* the suite auto-extends: both logging-defect mutants are registered
-     and target the executable message-logging specs *)
-  Alcotest.(check int) "eight mutants" 8 (List.length Ft_mc.Mutants.all);
+     and target the executable message-logging specs, and the
+     nested-failure pair rides with its own programs *)
+  Alcotest.(check int) "ten mutants" 10 (List.length Ft_mc.Mutants.all);
   let m = Option.get (Ft_mc.Mutants.by_name "drop-dependency-vector") in
   Alcotest.(check string) "dv mutant hosts CAUSAL-LOG" "CAUSAL-LOG"
     m.Ft_mc.Mutants.spec.Protocol.spec_name;
   let m = Option.get (Ft_mc.Mutants.by_name "commit-without-orphan-kill") in
   Alcotest.(check string) "orphan mutant hosts OPTIMISTIC" "OPTIMISTIC"
-    m.Ft_mc.Mutants.spec.Protocol.spec_name
+    m.Ft_mc.Mutants.spec.Protocol.spec_name;
+  let m = Option.get (Ft_mc.Mutants.by_name "resume-cascade-from-scratch") in
+  Alcotest.(check string) "resume mutant hosts OPTIMISTIC" "OPTIMISTIC"
+    m.Ft_mc.Mutants.spec.Protocol.spec_name;
+  Alcotest.(check int) "resume mutant brings the 3-proc chain" 3
+    (Array.length (Option.get m.Ft_mc.Mutants.program));
+  let m = Option.get (Ft_mc.Mutants.by_name "gc-live-determinant") in
+  Alcotest.(check string) "gc mutant hosts CAUSAL-LOG" "CAUSAL-LOG"
+    m.Ft_mc.Mutants.spec.Protocol.spec_name;
+  Alcotest.(check bool) "gc mutant brings its own program" true
+    (m.Ft_mc.Mutants.program <> None)
 
 let test_shrunk_script_replayable () =
   let program = program ~depth:6 in
@@ -197,6 +213,46 @@ let test_never_retransmit_dies_only_on_lose () =
             (Ft_mc.Checker.crash_to_string c))
     s.Ft_mc.Checker.violations
 
+(* --- nested failures: the recovery path itself crashes -------------------- *)
+
+(* A taints B, B taints C, and C's visible rides on B's uncommitted
+   lineage: the shape whose transitive orphan only an honestly *resumed*
+   cascade can catch.  Exhaustive at this reduced bound (3 procs, 8
+   events): every interleaving, every crash — including both nested
+   stages for every victim — stays clean under the honest logging
+   pair. *)
+let causal_chain3 : Ft_mc.Model.program =
+  [|
+    [| Ft_mc.Model.Nd (Event.Transient, false); Ft_mc.Model.Send 1;
+       Ft_mc.Model.Visible |];
+    [| Ft_mc.Model.Nd (Event.Transient, false); Ft_mc.Model.Send 2;
+       Ft_mc.Model.Receive |];
+    [| Ft_mc.Model.Receive; Ft_mc.Model.Visible |];
+  |]
+
+let test_causal_chain3_exhaustive () =
+  List.iter
+    (fun spec ->
+      let s =
+        Ft_mc.Checker.check ~spec ~defect:Ft_mc.Model.Honest
+          ~program:causal_chain3 ()
+      in
+      Alcotest.(check (list string))
+        (spec.Protocol.spec_name ^ " chain3 clean")
+        []
+        (List.map
+           (fun (v : Ft_mc.Checker.violation) -> v.Ft_mc.Checker.v_detail)
+           s.Ft_mc.Checker.violations);
+      (* the nested enumeration really ran: each explored node spawns
+         Stop, Nested/restore and Nested/cascade per victim, so the run
+         count must dominate the node count by more than the Stop
+         variants alone could *)
+      Alcotest.(check bool)
+        (spec.Protocol.spec_name ^ " nested variants enumerated")
+        true
+        (s.Ft_mc.Checker.runs > 6 * s.Ft_mc.Checker.nodes))
+    Protocols.message_logging
+
 (* --- memoization soundness ------------------------------------------------ *)
 
 let test_prune_matches_no_prune () =
@@ -254,6 +310,8 @@ let test_crash_roundtrip () =
       Ft_mc.Model.Mid_commit { landed = true };
       Ft_mc.Model.Mid_commit { landed = false };
       Ft_mc.Model.Lose { src = 1; dst = 0; seq = 3 };
+      Ft_mc.Model.Nested { victim = 0; stage = Ft_mc.Model.NRestore };
+      Ft_mc.Model.Nested { victim = 2; stage = Ft_mc.Model.NCascade };
     ];
   match Ft_mc.Checker.prefix_of_string "010221" with
   | Ok p -> Alcotest.(check (list int)) "prefix" [ 0; 1; 0; 2; 2; 1 ] p
@@ -363,100 +421,149 @@ let test_engine_xcheck () =
         (s.Ft_mc.Engine_xcheck.x_kills > 0))
     [ "CPVS"; "CAND-LOG"; "CPV-2PC"; "CAUSAL-LOG"; "OPTIMISTIC" ]
 
+(* Client/server round-trips whose output encodes its own lineage: the
+   client's transient draw taints the server, the server's reply shape
+   ([3v+1]) and the iteration tag make any dead-lineage survivor visible
+   in the published values. *)
+let chain_iters = 5
+
+let chain_client =
+  let open Ft_vm.Asm in
+  program
+    [
+      func "main" []
+        [
+          Let ("i", Int 0);
+          Let ("r", Int 0);
+          Let ("v", Int 0);
+          Let ("s", Int 0);
+          While
+            ( Var "i" <: Int chain_iters,
+              [
+                Set ("r", Rand %: Int 100);
+                Send_msg (Int 1, Var "r");
+                Recv_msg ("v", "s");
+                Output ((Var "v" *: Int 8) +: Var "i");
+                Set ("i", Var "i" +: Int 1);
+              ] );
+        ];
+    ]
+
+let chain_server =
+  let open Ft_vm.Asm in
+  program
+    [
+      func "main" []
+        [
+          Let ("i", Int 0);
+          Let ("v", Int 0);
+          Let ("s", Int 0);
+          While
+            ( Var "i" <: Int chain_iters,
+              [
+                Recv_msg ("v", "s");
+                Send_msg (Var "s", (Var "v" *: Int 3) +: Int 1);
+                Set ("i", Var "i" +: Int 1);
+              ] );
+        ];
+    ]
+
+(* Run the pair under [spec] with a client kill at [kill_ms] and the
+   given recovery-stage injections; assert completion and legal output
+   (one fresh value per iteration, in order, each a genuine reply). *)
+let run_chain_and_check ~tag ~spec ~seed ~kill_ms ~recovery_kills () =
+  let kernel = Ft_os.Kernel.create ~seed ~nprocs:2 () in
+  let cfg =
+    {
+      Ft_runtime.Engine.default_config with
+      protocol = spec;
+      kills = [ (kill_ms * 1_000_000, 0) ];
+      recovery_kills;
+    }
+  in
+  let _, r =
+    Ft_runtime.Engine.execute ~cfg ~kernel
+      ~programs:[| Ft_vm.Asm.compile chain_client;
+                   Ft_vm.Asm.compile chain_server |]
+      ()
+  in
+  Alcotest.(check bool) (tag ^ " completed") true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  (* legal output: one fresh value per iteration in order, each a
+     server reply, duplicates only re-emissions *)
+  let seen = Hashtbl.create 8 in
+  let fresh =
+    List.filter
+      (fun v ->
+        if Hashtbl.mem seen v then false
+        else begin
+          Hashtbl.add seen v ();
+          true
+        end)
+      r.Ft_runtime.Engine.visible
+  in
+  Alcotest.(check int) (tag ^ " fresh outputs") chain_iters
+    (List.length fresh);
+  List.iteri
+    (fun idx f ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s output %d iteration tag" tag idx)
+        idx (f mod 8);
+      Alcotest.(check int)
+        (Printf.sprintf "%s output %d reply shape" tag idx)
+        1
+        (f / 8 mod 3))
+    fresh;
+  r
+
 let test_engine_orphan_rollback () =
   (* The orphan cascade on the real runtime: the client's transient draw
      taints the server through a message round-trip; killing the client
      between its dependent commit and the next one leaves the server
      holding uncommitted remote non-determinism — recovery must roll the
      survivor back too, and the run still completes with legal output. *)
-  let open Ft_vm.Asm in
-  let iters = 5 in
-  let client =
-    program
-      [
-        func "main" []
-          [
-            Let ("i", Int 0);
-            Let ("r", Int 0);
-            Let ("v", Int 0);
-            Let ("s", Int 0);
-            While
-              ( Var "i" <: Int iters,
-                [
-                  Set ("r", Rand %: Int 100);
-                  Send_msg (Int 1, Var "r");
-                  Recv_msg ("v", "s");
-                  Output ((Var "v" *: Int 8) +: Var "i");
-                  Set ("i", Var "i" +: Int 1);
-                ] );
-          ];
-      ]
-  in
-  let server =
-    program
-      [
-        func "main" []
-          [
-            Let ("i", Int 0);
-            Let ("v", Int 0);
-            Let ("s", Int 0);
-            While
-              ( Var "i" <: Int iters,
-                [
-                  Recv_msg ("v", "s");
-                  Send_msg (Var "s", (Var "v" *: Int 3) +: Int 1);
-                  Set ("i", Var "i" +: Int 1);
-                ] );
-          ];
-      ]
-  in
   List.iter
     (fun (spec, kill_ms) ->
-      let kernel = Ft_os.Kernel.create ~seed:9 ~nprocs:2 () in
-      let cfg =
-        { Ft_runtime.Engine.default_config with
-          protocol = spec;
-          kills = [ (kill_ms * 1_000_000, 0) ] }
+      let r =
+        run_chain_and_check ~tag:spec.Protocol.spec_name ~spec ~seed:9
+          ~kill_ms ~recovery_kills:[] ()
       in
-      let _, r =
-        Ft_runtime.Engine.execute ~cfg ~kernel
-          ~programs:[| compile client; compile server |] ()
-      in
-      Alcotest.(check bool) (spec.Protocol.spec_name ^ " completed") true
-        (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
       Alcotest.(check bool)
         (spec.Protocol.spec_name ^ " rolled the surviving server back")
         true
-        (r.Ft_runtime.Engine.orphan_rollbacks >= 1);
-      (* legal output: one fresh value per iteration in order, each a
-         server reply, duplicates only re-emissions *)
-      let seen = Hashtbl.create 8 in
-      let fresh =
-        List.filter
-          (fun v ->
-            if Hashtbl.mem seen v then false
-            else begin
-              Hashtbl.add seen v ();
-              true
-            end)
-          r.Ft_runtime.Engine.visible
-      in
-      Alcotest.(check int) (spec.Protocol.spec_name ^ " fresh outputs")
-        iters (List.length fresh);
-      List.iteri
-        (fun idx f ->
-          Alcotest.(check int)
-            (Printf.sprintf "%s output %d iteration tag"
-               spec.Protocol.spec_name idx)
-            idx (f mod 8);
-          Alcotest.(check int)
-            (Printf.sprintf "%s output %d reply shape"
-               spec.Protocol.spec_name idx)
-            1
-            (f / 8 mod 3))
-        fresh)
+        (r.Ft_runtime.Engine.orphan_rollbacks >= 1))
     (* each protocol orphans the server at a different crash point *)
     [ (Protocols.causal_log, 1); (Protocols.optimistic, 2) ]
+
+let test_engine_recrash_mid_cascade =
+  (* Property: a victim re-crashed mid-cascade leaves no surviving
+     orphan.  The re-entered recovery resumes the persisted worklist, so
+     whatever (seed, kill time, injection occurrence) the generator
+     draws, the run completes and every published value still encodes a
+     live lineage — a surviving orphan would break the reply shape or
+     the iteration order. *)
+  QCheck.Test.make ~name:"re-crashed cascade leaves no surviving orphan"
+    ~count:30
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_range 1 9) (int_range 1 4) (int_range 1 2)))
+    (fun (seed, kill_ms, occ) ->
+      List.for_all
+        (fun spec ->
+          let r =
+            run_chain_and_check
+              ~tag:
+                (Printf.sprintf "%s s%d k%d o%d" spec.Protocol.spec_name
+                   seed kill_ms occ)
+              ~spec ~seed ~kill_ms
+              ~recovery_kills:
+                [ (Ft_runtime.Scheduler.Mid_cascade, occ) ]
+              ()
+          in
+          (* whether or not the occurrence was reached, the run is
+             clean; when it was, the nested crash is accounted for *)
+          r.Ft_runtime.Engine.nested_crashes >= 0)
+        [ Protocols.causal_log; Protocols.optimistic ])
 
 let test_engine_pick_override () =
   (* the override drives scheduling: forcing p1 first changes nothing
@@ -520,6 +627,8 @@ let () =
             `Quick test_never_retransmit_dies_only_on_lose;
           Alcotest.test_case "prune matches no-prune" `Quick
             test_prune_matches_no_prune;
+          Alcotest.test_case "3-proc causal chain exhaustive with nested"
+            `Quick test_causal_chain3_exhaustive;
         ] );
       ( "mutants",
         [
@@ -547,6 +656,7 @@ let () =
             test_engine_xcheck;
           Alcotest.test_case "orphan rollback on the real runtime" `Quick
             test_engine_orphan_rollback;
+          QCheck_alcotest.to_alcotest test_engine_recrash_mid_cascade;
           Alcotest.test_case "pick override honored" `Quick
             test_engine_pick_override;
         ] );

@@ -187,6 +187,56 @@ let test_kstate_snapshot_roundtrip () =
   Alcotest.(check (option int)) "input position rolled back" (Some 1)
     s.Ft_os.Kernel.r0
 
+let test_det_log_cap_and_flush () =
+  let k = mk () in
+  Alcotest.(check int) "uncapped by default" 0 (Ft_os.Kernel.det_cap k);
+  Ft_os.Kernel.set_det_cap k 3;
+  Alcotest.(check int) "cap readable" 3 (Ft_os.Kernel.det_cap k);
+  for _ = 1 to 3 do
+    Alcotest.(check bool) "under cap" false (Ft_os.Kernel.det_append k 0)
+  done;
+  Alcotest.(check bool) "over cap signals flush" true
+    (Ft_os.Kernel.det_append k 1);
+  Alcotest.(check int) "live counts both owners" 4 (Ft_os.Kernel.det_live k);
+  Alcotest.(check int) "high water tracks peak" 4
+    (Ft_os.Kernel.det_high_water k);
+  Alcotest.(check int) "no flushes recorded yet" 0
+    (Ft_os.Kernel.det_forced_flushes k);
+  Ft_os.Kernel.note_forced_flush k;
+  Alcotest.(check int) "flush counted" 1 (Ft_os.Kernel.det_forced_flushes k);
+  Ft_os.Kernel.set_det_cap k 0;
+  Alcotest.(check bool) "cap 0 disables the signal" false
+    (Ft_os.Kernel.det_append k 0)
+
+let test_det_log_commit_retire_drop () =
+  let k = mk () in
+  for _ = 1 to 3 do
+    ignore (Ft_os.Kernel.det_append k 0)
+  done;
+  Alcotest.(check int) "three live for owner" 3 (Ft_os.Kernel.det_live_of k 0);
+  (* Retiring before any commit is a no-op: the watermark is derived
+     from committed state only. *)
+  Ft_os.Kernel.det_retire k 0;
+  Alcotest.(check int) "nothing retirable uncommitted" 3
+    (Ft_os.Kernel.det_live_of k 0);
+  Ft_os.Kernel.det_note_commit k 0;
+  ignore (Ft_os.Kernel.det_append k 0);
+  ignore (Ft_os.Kernel.det_append k 0);
+  (* Rollback discards only the dead (post-commit) lineage. *)
+  Ft_os.Kernel.det_drop_uncommitted k 0;
+  Alcotest.(check int) "uncommitted tail dropped" 3
+    (Ft_os.Kernel.det_live_of k 0);
+  Alcotest.(check int) "peak included the dead tail" 5
+    (Ft_os.Kernel.det_high_water k);
+  Ft_os.Kernel.det_retire k 0;
+  Alcotest.(check int) "committed prefix retired" 0
+    (Ft_os.Kernel.det_live_of k 0);
+  Alcotest.(check int) "fleet live drained" 0 (Ft_os.Kernel.det_live k);
+  (* Re-entrancy: a second retirement pass must not move the watermark
+     or drive the live count negative. *)
+  Ft_os.Kernel.det_retire k 0;
+  Alcotest.(check int) "watermark monotone" 0 (Ft_os.Kernel.det_live k)
+
 let tests =
   [
     Alcotest.test_case "input script" `Quick test_input_script_and_think_time;
@@ -206,6 +256,10 @@ let tests =
       test_os_fault_corruption_and_panic;
     Alcotest.test_case "kstate snapshot" `Quick
       test_kstate_snapshot_roundtrip;
+    Alcotest.test_case "det log cap and flush" `Quick
+      test_det_log_cap_and_flush;
+    Alcotest.test_case "det log commit/retire/drop" `Quick
+      test_det_log_commit_retire_drop;
   ]
 
 let () = Alcotest.run "ft_os" [ ("kernel", tests) ]

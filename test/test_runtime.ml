@@ -428,6 +428,112 @@ let test_recoveries_reset_on_progress () =
     (Ft_core.Consistency.is_consistent ~reference:expected_output
        ~observed:r.Ft_runtime.Engine.visible)
 
+(* --- nested failures: crashing the recovery path itself ------------------ *)
+
+let test_nested_restore_kill_completes () =
+  (* A scheduled kill, then the recovering process is killed again on
+     its first entry into restore: recovery must be idempotent — retry
+     the restore and still finish consistently. *)
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      kills = [ (3_500_000, 0) ];
+      recovery_kills = [ (Ft_runtime.Scheduler.Mid_restore, 1) ] }
+  in
+  let r = run_echo ~cfg () in
+  Alcotest.(check int) "nested crash fired" 1
+    r.Ft_runtime.Engine.nested_crashes;
+  Alcotest.(check bool) "restore crash counted" true
+    (r.Ft_runtime.Engine.recovery_crashes >= 1);
+  Alcotest.(check bool) "completed" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check bool) "consistent" true
+    (Ft_core.Consistency.is_consistent ~reference:expected_output
+       ~observed:r.Ft_runtime.Engine.visible)
+
+let test_nested_cascade_resumes () =
+  (* Optimistic logging orphans the client when the server's volatile
+     determinants die with it; killing the cascade's victim again
+     mid-walk must resume the persisted worklist, not restart it. *)
+  let cfg =
+    { Ft_runtime.Engine.default_config with
+      protocol = Ft_core.Protocols.optimistic;
+      kills = [ (900_000, 1) ];
+      recovery_kills = [ (Ft_runtime.Scheduler.Mid_cascade, 1) ] }
+  in
+  let r = run_pingpong ~cfg ~rounds:6 () in
+  Alcotest.(check int) "nested crash fired" 1
+    r.Ft_runtime.Engine.nested_crashes;
+  Alcotest.(check bool) "cascade resumed from persisted progress" true
+    (r.Ft_runtime.Engine.cascade_resumes >= 1);
+  Alcotest.(check bool) "completed" true
+    (r.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check bool) "consistent" true
+    (Ft_core.Consistency.is_consistent
+       ~reference:(pingpong_reference 6)
+       ~observed:r.Ft_runtime.Engine.visible)
+
+let test_breaker_counts_nested_crashes () =
+  (* The quarantine breaker's sliding window must see recovery-time
+     crashes like any other: one scheduled kill plus two nested restore
+     crashes reach the default threshold of three; the same kill alone
+     must not trip it. *)
+  let base recovery_kills =
+    { Ft_runtime.Engine.default_config with
+      quarantine = Some Ft_recovery.Quarantine.default_params;
+      kills = [ (3_500_000, 0) ];
+      recovery_kills }
+  in
+  let quiet = run_echo ~cfg:(base []) () in
+  Alcotest.(check int) "one plain crash never trips" 0
+    quiet.Ft_runtime.Engine.quarantine_trips;
+  let loud =
+    run_echo
+      ~cfg:
+        (base
+           [
+             (Ft_runtime.Scheduler.Mid_restore, 1);
+             (Ft_runtime.Scheduler.Mid_restore, 2);
+           ])
+      ()
+  in
+  Alcotest.(check int) "both nested crashes fired" 2
+    loud.Ft_runtime.Engine.nested_crashes;
+  Alcotest.(check bool) "nested crashes tripped the breaker" true
+    (loud.Ft_runtime.Engine.quarantine_trips >= 1);
+  Alcotest.(check bool) "parked, probed, completed" true
+    (loud.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check bool) "consistent" true
+    (Ft_core.Consistency.is_consistent ~reference:expected_output
+       ~observed:loud.Ft_runtime.Engine.visible)
+
+let test_det_cap_forces_flush () =
+  (* Echo under causal logging records a determinant per input and,
+     uncapped, never commits — the log grows with the session.  A hard
+     cap must degrade to forced flush-to-checkpoint, keeping the high
+     water at the cap boundary without changing the output. *)
+  let run det_cap =
+    let cfg =
+      { Ft_runtime.Engine.default_config with
+        protocol = Ft_core.Protocols.causal_log;
+        det_cap }
+    in
+    run_echo ~cfg ()
+  in
+  let free = run 0 in
+  Alcotest.(check int) "uncapped never flushes" 0
+    free.Ft_runtime.Engine.det_forced_flushes;
+  Alcotest.(check bool) "uncapped log outgrows the cap" true
+    (free.Ft_runtime.Engine.det_high_water > 4);
+  let capped = run 4 in
+  Alcotest.(check bool) "cap hit forces flushes" true
+    (capped.Ft_runtime.Engine.det_forced_flushes >= 1);
+  Alcotest.(check bool) "high water pinned at the cap boundary" true
+    (capped.Ft_runtime.Engine.det_high_water <= 5);
+  Alcotest.(check bool) "completed" true
+    (capped.Ft_runtime.Engine.outcome = Ft_runtime.Engine.Completed);
+  Alcotest.(check (list int)) "output unchanged" expected_output
+    capped.Ft_runtime.Engine.visible
+
 (* The engine's own vista/region, for commit/restore fault injection. *)
 let engine_vista eng =
   Ft_runtime.Checkpointer.vista (Ft_runtime.Engine.checkpointer eng) ~pid:0
@@ -742,6 +848,14 @@ let tests =
       test_restore_crash_retries_then_succeeds;
     Alcotest.test_case "restore crash sticky gives up" `Quick
       test_restore_crash_sticky_gives_up;
+    Alcotest.test_case "nested restore kill completes" `Quick
+      test_nested_restore_kill_completes;
+    Alcotest.test_case "nested cascade resumes" `Quick
+      test_nested_cascade_resumes;
+    Alcotest.test_case "breaker counts nested crashes" `Quick
+      test_breaker_counts_nested_crashes;
+    Alcotest.test_case "det cap forces flush" `Quick
+      test_det_cap_forces_flush;
     Alcotest.test_case "deadline outcome" `Quick test_deadline_outcome;
     Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
     Alcotest.test_case "instruction budget" `Quick
